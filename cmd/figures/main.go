@@ -1,0 +1,101 @@
+// Command figures regenerates the paper's evaluation: every figure
+// (Figs. 2-16) and the ablation studies, printed as text series with
+// per-load means per strategy/scheduler pairing.
+//
+// Full fidelity (the paper's 1000 jobs per run, CI-controlled
+// replications) takes tens of minutes; -quick trades precision for a
+// fast pass over every experiment.
+//
+// Examples:
+//
+//	figures -quick            # all experiments, reduced runs
+//	figures -fig fig14        # one figure at full fidelity
+//	figures -fig ablA4 -quick # one ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// writeCSV emits one experiment's series as dir/<id>.csv.
+func writeCSV(dir, id string, s core.Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.ToTable().WriteCSV(f)
+}
+
+func main() {
+	var (
+		figID   = flag.String("fig", "all", "experiment id (fig02..fig16, ablA1..), or all")
+		quick   = flag.Bool("quick", false, "reduced job counts and replications")
+		jobs    = flag.Int("jobs", 0, "override completed jobs per run")
+		reps    = flag.Int("reps", 0, "override max replications per point")
+		seed    = flag.Int64("seed", 0, "base seed perturbation")
+		think   = flag.Float64("think", 0, "mean compute gap between sends")
+		ablOnly = flag.Bool("ablations", false, "run only the ablation studies")
+		plot    = flag.Bool("plot", false, "render ASCII charts alongside tables")
+		csvDir  = flag.String("csv", "", "write one CSV per experiment into this directory")
+	)
+	flag.Parse()
+
+	opt := core.Options{BaseSeed: *seed, Think: *think}
+	if *quick {
+		opt.Jobs = 200
+		opt.Replicator = stats.Replicator{MinReps: 2, MaxReps: 2, RelTol: 0.05}
+	}
+	if *jobs > 0 {
+		opt.Jobs = *jobs
+	}
+	if *reps > 0 {
+		opt.MaxReps = *reps
+	}
+
+	var exps []core.Experiment
+	switch {
+	case *figID != "all":
+		e, ok := core.FigureByID(*figID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q\n", *figID)
+			os.Exit(1)
+		}
+		exps = []core.Experiment{e}
+	case *ablOnly:
+		exps = core.Ablations()
+	default:
+		exps = append(core.Figures(), core.Ablations()...)
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		s := core.Run(e, opt)
+		fmt.Println(s.Table())
+		if *plot {
+			fmt.Println(s.ToTable().Chart(64, 16))
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.ID, s); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+		}
+		rank := s.RankingLastLoad()
+		fmt.Printf("ranking (best to worst at load %g):", e.Loads[len(e.Loads)-1])
+		for _, c := range rank {
+			fmt.Printf(" %s", c)
+		}
+		fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,129 @@
+// Command meshsim runs one simulation of processor allocation and job
+// scheduling on a wormhole-switched 2D mesh and prints the paper's five
+// performance metrics.
+//
+// Examples:
+//
+//	meshsim -strategy GABL -scheduler SSD -workload uniform -load 0.002
+//	meshsim -strategy MBS -workload real -load 0.0075
+//	meshsim -strategy Paging(0) -workload trace -trace jobs.txt -load 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		strategy  = flag.String("strategy", "GABL", "allocation strategy: GABL, Paging(0), MBS, FirstFit, BestFit, Random")
+		scheduler = flag.String("scheduler", "FCFS", "job scheduler: FCFS, SSD, SJF, LJF")
+		wl        = flag.String("workload", "uniform", "workload: uniform, exp, real, trace")
+		traceFile = flag.String("trace", "", "trace file (native format) for -workload trace")
+		load      = flag.Float64("load", 0.002, "system load, jobs per time unit")
+		jobs      = flag.Int("jobs", 1000, "completed jobs to measure")
+		warmup    = flag.Int("warmup", 100, "initial completions excluded from statistics")
+		meshW     = flag.Int("width", 16, "mesh width")
+		meshL     = flag.Int("length", 22, "mesh length")
+		ts        = flag.Float64("ts", 3, "router delay t_s in cycles")
+		plen      = flag.Int("plen", 8, "packet length in flits")
+		buffers   = flag.Int("buffers", 1, "router buffer depth in flits")
+		numMes    = flag.Float64("nummes", core.NumMes, "mean messages per processor")
+		think     = flag.Float64("think", 0, "mean compute gap between sends")
+		backfill  = flag.Int("backfill", 0, "aggressive backfilling depth (0 = paper semantics)")
+		topology  = flag.String("topology", "mesh", "interconnect topology: mesh, torus")
+		pattern   = flag.String("pattern", "all-to-all", "communication pattern: all-to-all, one-to-all, all-to-one, random-pairs, near-neighbour")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.MeshW, cfg.MeshL = *meshW, *meshL
+	cfg.Strategy = *strategy
+	cfg.Scheduler = *scheduler
+	cfg.MaxCompleted = *jobs
+	cfg.WarmupJobs = *warmup
+	cfg.MaxQueued = 4 * *jobs
+	cfg.Network.RouterDelay = *ts
+	cfg.Network.PacketLen = *plen
+	cfg.Network.BufferDepth = *buffers
+	cfg.ThinkMean = *think
+	cfg.BackfillDepth = *backfill
+	cfg.Seed = *seed
+	top, err := network.ParseTopology(*topology)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(1)
+	}
+	cfg.Network.Topology = top
+	pat, err := sim.ParsePattern(*pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(1)
+	}
+	cfg.Pattern = pat
+
+	src, err := buildSource(*wl, *traceFile, cfg, *load, *numMes, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(1)
+	}
+
+	res, err := sim.Run(cfg, src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("strategy            %s(%s)\n", cfg.Strategy, cfg.Scheduler)
+	fmt.Printf("workload            %s, load %g jobs/cycle, pattern %s\n",
+		src.Name(), *load, cfg.Pattern)
+	fmt.Printf("network             %dx%d %s, t_s=%g, P_len=%d, buffers=%d\n",
+		cfg.MeshW, cfg.MeshL, cfg.Network.Topology, *ts, *plen, *buffers)
+	fmt.Printf("completed jobs      %d (sim time %.0f)\n", res.Completed, res.SimTime)
+	fmt.Printf("turnaround time     %.1f\n", res.MeanTurnaround)
+	fmt.Printf("service time        %.1f\n", res.MeanService)
+	fmt.Printf("utilization         %.3f\n", res.Utilization)
+	fmt.Printf("packet latency      %.2f (over %d packets)\n", res.MeanLatency, res.PacketCount)
+	fmt.Printf("packet blocking     %.2f\n", res.MeanBlocking)
+	fmt.Printf("queue wait          %.1f (mean queue length %.1f)\n", res.MeanWait, res.MeanQueueLen)
+	fmt.Printf("sub-meshes per job  %.2f\n", res.MeanPieces)
+	if res.Saturated {
+		fmt.Println("NOTE: run hit the backlog bound (saturated load); means are saturation values")
+	}
+}
+
+func buildSource(kind, traceFile string, cfg sim.Config, load, numMes float64, seed int64) (workload.Source, error) {
+	switch kind {
+	case "uniform":
+		return core.StochasticUniform.Source(cfg.MeshW, cfg.MeshL, load, seed), nil
+	case "exp":
+		return core.StochasticExp.Source(cfg.MeshW, cfg.MeshL, load, seed), nil
+	case "real":
+		return core.RealTrace.Source(cfg.MeshW, cfg.MeshL, load, seed), nil
+	case "trace":
+		if traceFile == "" {
+			return nil, fmt.Errorf("-workload trace requires -trace FILE")
+		}
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		jobs, err := workload.ReadTrace(f, cfg.MeshW, cfg.MeshL, numMes, stats.NewStream(seed))
+		if err != nil {
+			return nil, err
+		}
+		f2 := (1 / load) / workload.MeanInterarrival(jobs)
+		return workload.NewSliceSource(traceFile, workload.ScaleArrivals(jobs, f2)), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", kind)
+	}
+}

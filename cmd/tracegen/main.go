@@ -1,0 +1,53 @@
+// Command tracegen emits a synthetic SDSC Paragon workload trace in the
+// native "arrival procs runtime" format (see DESIGN.md §3.1 for the
+// statistical model and the substitution rationale). The output feeds
+// meshsim -workload trace or any external tool.
+//
+// Example:
+//
+//	tracegen -jobs 10658 -seed 42 -out paragon.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "-", "output file (- for stdout)")
+		jobs  = flag.Int("jobs", 10658, "number of jobs")
+		seed  = flag.Int64("seed", 42, "generator seed")
+		meshW = flag.Int("width", 16, "mesh width (caps job sizes)")
+		meshL = flag.Int("length", 22, "mesh length")
+		meanI = flag.Float64("interarrival", 1186.7, "mean inter-arrival time, seconds")
+	)
+	flag.Parse()
+
+	spec := workload.DefaultParagon()
+	spec.Jobs = *jobs
+	spec.MeshW, spec.MeshL = *meshW, *meshL
+	spec.MeanInterarrival = *meanI
+	trace := workload.SyntheticParagon(spec, *seed)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteTrace(w, trace); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d jobs, mean interarrival %.1f, mean size %.1f, power-of-two fraction %.3f\n",
+		len(trace), workload.MeanInterarrival(trace), workload.MeanSize(trace),
+		workload.FractionPowerOfTwoSizes(trace))
+}

@@ -1,0 +1,49 @@
+// compare_strategies reproduces the paper's core comparison at a single
+// load point: the three non-contiguous allocation strategies — GABL,
+// Paging(0) and MBS — under both FCFS and SSD scheduling, on the
+// uniform stochastic workload. It prints all five metrics per pairing
+// and the best-to-worst ranking, the paper's headline claim being that
+// GABL wins across the board.
+//
+// Run with: go run ./examples/compare_strategies
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	exp := core.Experiment{
+		ID:       "compare",
+		Title:    "strategy comparison at load 0.002",
+		Metric:   core.Turnaround,
+		Workload: core.StochasticUniform,
+		Loads:    []float64{0.002},
+		Combos:   core.PaperCombos(),
+		Jobs:     600,
+		Warmup:   60,
+	}
+	s := core.Run(exp, core.Options{
+		Replicator: stats.Replicator{MinReps: 3, MaxReps: 5, RelTol: 0.1},
+	})
+
+	fmt.Println("Uniform stochastic workload, 16x22 mesh, load 0.002 jobs/cycle")
+	fmt.Printf("%-18s %12s %10s %6s %10s %10s\n",
+		"strategy", "turnaround", "service", "util", "latency", "blocking")
+	for _, c := range exp.Combos {
+		cell, _ := s.At(c, 0.002)
+		fmt.Printf("%-18s %12.0f %10.0f %5.0f%% %10.1f %10.1f\n",
+			c.String(), cell.Means[core.Turnaround], cell.Means[core.Service],
+			100*cell.Means[core.Utilization], cell.Means[core.Latency],
+			cell.Means[core.Blocking])
+	}
+
+	fmt.Print("\nturnaround ranking (best to worst):")
+	for _, c := range s.Ranking(0.002) {
+		fmt.Printf(" %s", c)
+	}
+	fmt.Println()
+}

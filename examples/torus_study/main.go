@@ -1,0 +1,50 @@
+// torus_study explores the paper's stated future work (§6): "it would
+// be interesting to assess the performance of the allocation strategies
+// on other common multicomputer networks, such as torus networks". The
+// same 16x22 node set is simulated as a mesh and as a torus (wrap-around
+// links, minimal ring routing, dateline virtual channels), under the
+// paper's workload and all three allocation strategies.
+//
+// Expected outcome: the torus's wrap links shorten the paths between a
+// fragmented job's pieces, so the *non-contiguous penalty* shrinks —
+// the strategies converge, with the scatter-heavy ones gaining most.
+//
+// Run with: go run ./examples/torus_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+func main() {
+	load := 0.005
+	fmt.Printf("Real workload (synthetic Paragon), load %g, FCFS scheduling\n\n", load)
+	fmt.Printf("%-12s %10s %10s %12s\n", "strategy", "mesh lat", "torus lat", "torus gain")
+	for _, strategy := range []string{"GABL", "Paging(0)", "MBS", "Random"} {
+		var lat [2]float64
+		for i, topo := range []network.Topology{network.MeshTopology, network.TorusTopology} {
+			cfg := sim.DefaultConfig()
+			cfg.Strategy = strategy
+			cfg.MaxCompleted = 600
+			cfg.WarmupJobs = 60
+			cfg.Network.Topology = topo
+			src := core.RealTrace.Source(cfg.MeshW, cfg.MeshL, load, 42)
+			res, err := sim.Run(cfg, src)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lat[i] = res.MeanLatency
+		}
+		fmt.Printf("%-12s %10.1f %10.1f %11.1f%%\n",
+			strategy, lat[0], lat[1], 100*(lat[0]-lat[1])/lat[0])
+	}
+	fmt.Println("\nThe torus shortens the scattered strategies' paths most (Random")
+	fmt.Println("gains the largest share), narrowing the non-contiguous penalty.")
+	fmt.Println("Paging(0) can lose slightly: half-ring ties always route East, so")
+	fmt.Println("its full-width page bands double the load on the East ring.")
+}

@@ -1,0 +1,107 @@
+// Package alloc implements the processor allocation strategies the
+// paper evaluates — Paging(size_index), MBS (Multiple Buddy Strategy)
+// and GABL (Greedy Available Busy List) — plus contiguous First-Fit /
+// Best-Fit and a random non-contiguous scatter used as baselines and for
+// the ablation studies.
+//
+// All strategies share one mesh.Mesh occupancy model, which enforces the
+// safety invariants (no double allocation, exact release) so every
+// strategy is checked on every call.
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+)
+
+// Request is one job's allocation request: a sub-mesh of W x L
+// processors (paper Definition 4 asks for S(a, b); non-contiguous
+// strategies consume Size() = W*L processors in whatever shape).
+type Request struct {
+	W, L int
+}
+
+// Size returns the number of processors requested.
+func (r Request) Size() int { return r.W * r.L }
+
+// Valid reports whether both sides are positive.
+func (r Request) Valid() bool { return r.W > 0 && r.L > 0 }
+
+// String renders the request as "WxL".
+func (r Request) String() string { return fmt.Sprintf("%dx%d", r.W, r.L) }
+
+// Allocation is the set of disjoint sub-meshes granted to one job.
+type Allocation struct {
+	Pieces []mesh.Submesh
+}
+
+// Size returns the total processors allocated.
+func (a Allocation) Size() int {
+	n := 0
+	for _, p := range a.Pieces {
+		n += p.Area()
+	}
+	return n
+}
+
+// Nodes returns every allocated processor, piece by piece in row-major
+// order within each piece.
+func (a Allocation) Nodes() []mesh.Coord {
+	out := make([]mesh.Coord, 0, a.Size())
+	for _, p := range a.Pieces {
+		out = append(out, p.Nodes()...)
+	}
+	return out
+}
+
+// Contiguous reports whether the allocation is a single sub-mesh.
+func (a Allocation) Contiguous() bool { return len(a.Pieces) == 1 }
+
+// Allocator is a processor allocation strategy bound to a mesh.
+type Allocator interface {
+	// Name identifies the strategy in result tables, e.g. "GABL".
+	Name() string
+	// Allocate attempts to satisfy the request, returning the granted
+	// allocation. ok is false when the strategy cannot place the
+	// request in the current occupancy (the scheduler keeps the job
+	// queued). A returned allocation is already committed to the mesh.
+	Allocate(req Request) (Allocation, bool)
+	// Release returns a previously granted allocation's processors.
+	Release(a Allocation)
+	// Mesh exposes the underlying occupancy (shared across strategies
+	// in comparisons only sequentially, never concurrently).
+	Mesh() *mesh.Mesh
+}
+
+// validate panics on malformed requests: the workload generators are
+// responsible for producing requests that fit the mesh, and a request
+// that can never fit would otherwise wedge a FCFS queue forever.
+func validate(m *mesh.Mesh, req Request) {
+	if !req.Valid() {
+		panic(fmt.Sprintf("alloc: invalid request %v", req))
+	}
+	if req.Size() > m.Size() {
+		panic(fmt.Sprintf("alloc: request %v exceeds mesh capacity %d", req, m.Size()))
+	}
+}
+
+// commit allocates every piece on the mesh, panicking on any violation:
+// strategies must only propose free, disjoint pieces.
+func commit(m *mesh.Mesh, pieces []mesh.Submesh) Allocation {
+	for _, p := range pieces {
+		if err := m.AllocateSub(p); err != nil {
+			panic(fmt.Sprintf("alloc: strategy proposed invalid piece: %v", err))
+		}
+	}
+	return Allocation{Pieces: pieces}
+}
+
+// release frees every piece, panicking on double release.
+func release(m *mesh.Mesh, a Allocation) {
+	for _, p := range a.Pieces {
+		if err := m.ReleaseSub(p); err != nil {
+			panic(fmt.Sprintf("alloc: invalid release: %v", err))
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+// strategies under test, freshly constructed on the given mesh.
+func allStrategies(t testing.TB, m *mesh.Mesh) []Allocator {
+	t.Helper()
+	paging, err := NewPaging(m, 0, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Allocator{
+		NewGABL(m),
+		paging,
+		NewMBS(m),
+		NewRandom(m, stats.NewStream(99)),
+	}
+}
+
+// checkDisjointWithin verifies an allocation's pieces are valid, within
+// the mesh, and mutually disjoint.
+func checkDisjointWithin(t *testing.T, m *mesh.Mesh, a Allocation) {
+	t.Helper()
+	for i, p := range a.Pieces {
+		if !p.Valid() {
+			t.Fatalf("piece %d invalid: %v", i, p)
+		}
+		if !m.InBounds(p.Base()) || !m.InBounds(p.End()) {
+			t.Fatalf("piece %d out of bounds: %v", i, p)
+		}
+		for j := i + 1; j < len(a.Pieces); j++ {
+			if p.Overlaps(a.Pieces[j]) {
+				t.Fatalf("pieces %d and %d overlap: %v, %v", i, j, p, a.Pieces[j])
+			}
+		}
+	}
+}
+
+func TestRequestBasics(t *testing.T) {
+	r := Request{W: 3, L: 4}
+	if r.Size() != 12 || !r.Valid() || r.String() != "3x4" {
+		t.Fatalf("Request = %+v: size %d valid %v str %q", r, r.Size(), r.Valid(), r.String())
+	}
+	if (Request{W: 0, L: 4}).Valid() {
+		t.Fatal("zero-width request valid")
+	}
+}
+
+func TestAllocationHelpers(t *testing.T) {
+	a := Allocation{Pieces: []mesh.Submesh{mesh.Sub(0, 0, 1, 1), mesh.Sub(3, 3, 3, 4)}}
+	if a.Size() != 4+2 {
+		t.Fatalf("Size = %d, want 6", a.Size())
+	}
+	if len(a.Nodes()) != 6 {
+		t.Fatalf("Nodes = %d, want 6", len(a.Nodes()))
+	}
+	if a.Contiguous() {
+		t.Fatal("two-piece allocation reported contiguous")
+	}
+	if !(Allocation{Pieces: []mesh.Submesh{mesh.Sub(0, 0, 2, 2)}}).Contiguous() {
+		t.Fatal("single-piece allocation not contiguous")
+	}
+}
+
+// Non-contiguous strategies must succeed exactly when enough processors
+// are free (paper: "allocation always succeeds if the number of free
+// processors is >= a x b").
+func TestNonContiguousSucceedIffEnoughFree(t *testing.T) {
+	for _, name := range []string{"GABL", "Paging(0)", "MBS", "Random"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := mesh.New(16, 22)
+			al, err := ByName(name, m, stats.NewStream(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Fill most of the mesh with a scattered occupancy via the
+			// strategy itself.
+			var live []Allocation
+			s := stats.NewStream(7)
+			for m.FreeCount() > 40 {
+				req := Request{W: s.UniformInt(1, 8), L: s.UniformInt(1, 8)}
+				if req.Size() > m.FreeCount() {
+					continue
+				}
+				a, ok := al.Allocate(req)
+				if !ok {
+					t.Fatalf("%s failed with %d free for %v", name, m.FreeCount(), req)
+				}
+				live = append(live, a)
+			}
+			free := m.FreeCount()
+			// A request exactly matching the free count must succeed.
+			if free >= 1 {
+				req := Request{W: 1, L: free}
+				if req.L > 22 {
+					req = Request{W: 2, L: free / 2} // keep it valid; free>40 never here
+				}
+				a, ok := al.Allocate(req)
+				if !ok {
+					t.Fatalf("%s failed with exactly enough free (%d)", name, free)
+				}
+				al.Release(a)
+			}
+			// A request exceeding the free count must fail.
+			if _, ok := al.Allocate(Request{W: 7, L: 7}); ok && free < 49 {
+				t.Fatalf("%s succeeded with %d free for 49 processors", name, free)
+			}
+			for _, a := range live {
+				al.Release(a)
+			}
+			if m.FreeCount() != 352 {
+				t.Fatalf("%s: %d free after releasing all", name, m.FreeCount())
+			}
+		})
+	}
+}
+
+// Every strategy: random alloc/release stress keeps the mesh bookkeeping
+// exact and ends fully free.
+func TestStressAllStrategies(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+	}{{"GABL"}, {"Paging(0)"}, {"MBS"}, {"Random"}, {"FirstFit"}, {"BestFit"}} {
+		mk := mk
+		t.Run(mk.name, func(t *testing.T) {
+			m := mesh.New(16, 22)
+			al, err := ByName(mk.name, m, stats.NewStream(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := stats.NewStream(13)
+			var live []Allocation
+			allocated := 0
+			for step := 0; step < 3000; step++ {
+				if len(live) > 0 && (s.Intn(2) == 0 || m.FreeCount() < 30) {
+					i := s.Intn(len(live))
+					a := live[i]
+					live = append(live[:i], live[i+1:]...)
+					al.Release(a)
+					allocated -= a.Size()
+				} else {
+					req := Request{W: s.UniformInt(1, 10), L: s.UniformInt(1, 12)}
+					a, ok := al.Allocate(req)
+					if ok {
+						checkDisjointWithin(t, m, a)
+						if a.Size() < req.Size() {
+							t.Fatalf("allocation %d < request %d", a.Size(), req.Size())
+						}
+						live = append(live, a)
+						allocated += a.Size()
+					}
+				}
+				if m.BusyCount() != allocated {
+					t.Fatalf("step %d: mesh busy %d != tracked %d", step, m.BusyCount(), allocated)
+				}
+			}
+			for _, a := range live {
+				al.Release(a)
+			}
+			if m.FreeCount() != m.Size() {
+				t.Fatalf("mesh not fully free after releasing all: %d", m.FreeCount())
+			}
+		})
+	}
+}
+
+// Exact-size strategies must allocate exactly the requested processor
+// count (Paging(0) pages are single processors; GABL, MBS and Random are
+// exact by construction).
+func TestExactAllocationSize(t *testing.T) {
+	m := mesh.New(16, 22)
+	s := stats.NewStream(17)
+	for _, al := range allStrategies(t, m) {
+		for i := 0; i < 50; i++ {
+			req := Request{W: s.UniformInt(1, 16), L: s.UniformInt(1, 22)}
+			a, ok := al.Allocate(req)
+			if !ok {
+				break
+			}
+			if a.Size() != req.Size() {
+				t.Fatalf("%s allocated %d for request %d", al.Name(), a.Size(), req.Size())
+			}
+			al.Release(a)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", mesh.New(4, 4), nil); err == nil {
+		t.Fatal("ByName accepted unknown strategy")
+	}
+}
+
+func TestByNameAll(t *testing.T) {
+	for _, name := range []string{
+		"GABL", "GABL(no-rotate)", "MBS", "Paging(0)", "Paging(1)",
+		"FirstFit", "BestFit", "Random",
+	} {
+		m := mesh.New(16, 16)
+		al, err := ByName(name, m, nil)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if al.Mesh() != m {
+			t.Fatalf("%q not bound to mesh", name)
+		}
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	m := mesh.New(4, 4)
+	al := NewGABL(m)
+	for _, req := range []Request{{W: 0, L: 1}, {W: 5, L: 5}} {
+		req := req
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Allocate(%v) did not panic", req)
+				}
+			}()
+			al.Allocate(req)
+		}()
+	}
+}

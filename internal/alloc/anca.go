@@ -1,0 +1,114 @@
+package alloc
+
+import (
+	"repro/internal/mesh"
+)
+
+// ANCA implements Adaptive Non-Contiguous Allocation (Chang &
+// Mohapatra, JPDC 1998 — the paper's reference [4]). A request is first
+// attempted contiguously; on failure it is subdivided into 2^i
+// equal-ish subframes at level i (halving the longer side each level),
+// and allocation is attempted for all subframes of the level
+// atomically — either every subframe of the level is placed
+// contiguously, or the level fails and the request descends another
+// level. The final level degenerates to single processors, so ANCA,
+// like the other non-contiguous strategies, succeeds whenever enough
+// processors are free.
+type ANCA struct {
+	m *mesh.Mesh
+	// maxLevels bounds the subdivision; at the bound the remaining
+	// frames are filled processor by processor.
+	maxLevels int
+}
+
+// NewANCA builds an ANCA allocator with the conventional 4-level
+// subdivision bound before the single-processor fallback.
+func NewANCA(m *mesh.Mesh) *ANCA { return &ANCA{m: m, maxLevels: 4} }
+
+// Name implements Allocator.
+func (a *ANCA) Name() string { return "ANCA" }
+
+// Mesh implements Allocator.
+func (a *ANCA) Mesh() *mesh.Mesh { return a.m }
+
+// Allocate implements Allocator.
+func (a *ANCA) Allocate(req Request) (Allocation, bool) {
+	validate(a.m, req)
+	if req.Size() > a.m.FreeCount() {
+		return Allocation{}, false
+	}
+	frames := []Request{req}
+	for level := 0; level <= a.maxLevels; level++ {
+		if pieces, ok := a.tryLevel(frames); ok {
+			return Allocation{Pieces: pieces}, true
+		}
+		next, splittable := splitFrames(frames)
+		if !splittable {
+			break
+		}
+		frames = next
+	}
+	// Single-processor fallback: take free processors in row-major
+	// order (the level where every frame is 1x1).
+	pieces := make([]mesh.Submesh, 0, req.Size())
+	for _, c := range a.m.FreeNodes()[:req.Size()] {
+		pieces = append(pieces, mesh.SubAt(c.X, c.Y, 1, 1))
+	}
+	return commit(a.m, pieces), true
+}
+
+// tryLevel attempts to place every frame contiguously; on any failure
+// the already-placed frames are rolled back.
+func (a *ANCA) tryLevel(frames []Request) ([]mesh.Submesh, bool) {
+	var placed []mesh.Submesh
+	for _, f := range frames {
+		s, ok := a.m.FirstFit(f.W, f.L)
+		if !ok && f.W != f.L {
+			s, ok = a.m.FirstFit(f.L, f.W)
+		}
+		if !ok {
+			for _, p := range placed {
+				if err := a.m.ReleaseSub(p); err != nil {
+					panic("alloc: anca rollback failed: " + err.Error())
+				}
+			}
+			return nil, false
+		}
+		if err := a.m.AllocateSub(s); err != nil {
+			panic("alloc: anca placed busy frame: " + err.Error())
+		}
+		placed = append(placed, s)
+	}
+	return placed, true
+}
+
+// splitFrames halves each frame along its longer side; frames of one
+// processor cannot split. It reports whether any frame was split.
+func splitFrames(frames []Request) ([]Request, bool) {
+	out := make([]Request, 0, 2*len(frames))
+	split := false
+	for _, f := range frames {
+		if f.W == 1 && f.L == 1 {
+			out = append(out, f)
+			continue
+		}
+		split = true
+		if f.W >= f.L {
+			h := (f.W + 1) / 2
+			out = append(out, Request{W: h, L: f.L})
+			if f.W-h > 0 {
+				out = append(out, Request{W: f.W - h, L: f.L})
+			}
+		} else {
+			h := (f.L + 1) / 2
+			out = append(out, Request{W: f.W, L: h})
+			if f.L-h > 0 {
+				out = append(out, Request{W: f.W, L: f.L - h})
+			}
+		}
+	}
+	return out, split
+}
+
+// Release implements Allocator.
+func (a *ANCA) Release(al Allocation) { release(a.m, al) }

@@ -1,0 +1,211 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+func TestANCAContiguousWhenPossible(t *testing.T) {
+	m := mesh.New(16, 22)
+	a := NewANCA(m)
+	al, ok := a.Allocate(Request{W: 6, L: 9})
+	if !ok {
+		t.Fatal("ANCA failed on empty mesh")
+	}
+	if !al.Contiguous() {
+		t.Fatalf("ANCA split a satisfiable request into %d frames", len(al.Pieces))
+	}
+	if al.Size() != 54 {
+		t.Fatalf("allocated %d, want 54", al.Size())
+	}
+}
+
+func TestANCASplitsIntoHalves(t *testing.T) {
+	m := mesh.New(8, 4)
+	a := NewANCA(m)
+	// Occupy the middle columns so an 8x2... make a 6x4 request only
+	// satisfiable as two 3x4 halves.
+	if err := m.AllocateSub(mesh.Sub(3, 0, 4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Free: columns 0-2 and 5-7, each 3x4=12. Request 6x4 = 24.
+	al, ok := a.Allocate(Request{W: 6, L: 4})
+	if !ok {
+		t.Fatal("ANCA failed with exactly enough free")
+	}
+	if al.Size() != 24 {
+		t.Fatalf("allocated %d, want 24", al.Size())
+	}
+	if len(al.Pieces) != 2 {
+		t.Fatalf("pieces = %d, want 2 halves", len(al.Pieces))
+	}
+	for _, p := range al.Pieces {
+		if p.Area() != 12 {
+			t.Fatalf("piece %v area %d, want 12", p, p.Area())
+		}
+	}
+}
+
+func TestANCARollbackOnLevelFailure(t *testing.T) {
+	m := mesh.New(4, 4)
+	a := NewANCA(m)
+	// Scatter occupancy so no level places whole frames but the
+	// single-processor fallback succeeds.
+	busy := []mesh.Coord{{X: 1, Y: 0}, {X: 3, Y: 0}, {X: 0, Y: 1}, {X: 2, Y: 1},
+		{X: 1, Y: 2}, {X: 3, Y: 2}, {X: 0, Y: 3}, {X: 2, Y: 3}}
+	if err := m.Allocate(busy); err != nil {
+		t.Fatal(err)
+	}
+	free := m.FreeCount()
+	al, ok := a.Allocate(Request{W: 4, L: 2})
+	if !ok {
+		t.Fatalf("ANCA failed with %d free for 8", free)
+	}
+	if al.Size() != 8 {
+		t.Fatalf("allocated %d, want 8", al.Size())
+	}
+	a.Release(al)
+	if m.FreeCount() != free {
+		t.Fatal("release did not restore occupancy (rollback leak?)")
+	}
+}
+
+// Property: ANCA succeeds iff enough processors are free, allocates the
+// exact size in disjoint pieces, and release restores the mesh.
+func TestPropertyANCASound(t *testing.T) {
+	f := func(seed int64, wRaw, lRaw uint8) bool {
+		m := mesh.New(16, 22)
+		a := NewANCA(m)
+		s := stats.NewStream(seed)
+		free := m.FreeNodes()
+		perm := s.Perm(len(free))
+		var occupy []mesh.Coord
+		for _, i := range perm[:s.Intn(250)] {
+			occupy = append(occupy, free[i])
+		}
+		if err := m.Allocate(occupy); err != nil {
+			return false
+		}
+		req := Request{W: int(wRaw%16) + 1, L: int(lRaw%22) + 1}
+		before := m.FreeCount()
+		al, ok := a.Allocate(req)
+		if req.Size() <= before && !ok {
+			return false
+		}
+		if !ok {
+			return m.FreeCount() == before
+		}
+		if al.Size() != req.Size() {
+			return false
+		}
+		for i, p := range al.Pieces {
+			for j := i + 1; j < len(al.Pieces); j++ {
+				if p.Overlaps(al.Pieces[j]) {
+					return false
+				}
+			}
+		}
+		a.Release(al)
+		return m.FreeCount() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitFrames(t *testing.T) {
+	frames, ok := splitFrames([]Request{{W: 4, L: 3}})
+	if !ok || len(frames) != 2 {
+		t.Fatalf("splitFrames = %v, %v", frames, ok)
+	}
+	if frames[0].Size()+frames[1].Size() != 12 {
+		t.Fatal("split does not conserve area")
+	}
+	// Odd side splits unevenly but completely.
+	frames, _ = splitFrames([]Request{{W: 1, L: 5}})
+	if frames[0].Size()+frames[1].Size() != 5 {
+		t.Fatal("odd split loses processors")
+	}
+	// Single processors cannot split.
+	if _, ok := splitFrames([]Request{{W: 1, L: 1}}); ok {
+		t.Fatal("1x1 reported splittable")
+	}
+}
+
+func TestFrameSlidingStrides(t *testing.T) {
+	m := mesh.New(8, 8)
+	f := NewFrameSliding(m, false)
+	// Occupy (0,0): first-fit would find (1,0) for a 2x2, but frame
+	// sliding's next candidate base is (2,0).
+	if err := m.Allocate([]mesh.Coord{{X: 0, Y: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	al, ok := f.Allocate(Request{W: 2, L: 2})
+	if !ok {
+		t.Fatal("FrameSliding failed")
+	}
+	if al.Pieces[0].Base() != (mesh.Coord{X: 2, Y: 0}) {
+		t.Fatalf("base = %v, want (2,0) (stride skipping)", al.Pieces[0].Base())
+	}
+}
+
+func TestFrameSlidingMissesOffStrideFrames(t *testing.T) {
+	m := mesh.New(4, 4)
+	f := NewFrameSliding(m, false)
+	// Only free 2x2 region is at (1,1): off every stride base.
+	var busy []mesh.Coord
+	for _, c := range m.FreeNodes() {
+		if c.X >= 1 && c.X <= 2 && c.Y >= 1 && c.Y <= 2 {
+			continue
+		}
+		busy = append(busy, c)
+	}
+	if err := m.Allocate(busy); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Allocate(Request{W: 2, L: 2}); ok {
+		t.Fatal("FrameSliding found an off-stride frame (should miss it)")
+	}
+	// First-fit recognizes it: the recognition-completeness gap.
+	ff := NewFirstFit(m, false)
+	if _, ok := ff.Allocate(Request{W: 2, L: 2}); !ok {
+		t.Fatal("FirstFit missed the frame")
+	}
+}
+
+func TestFrameSlidingRotation(t *testing.T) {
+	m := mesh.New(8, 4)
+	f := NewFrameSliding(m, true)
+	al, ok := f.Allocate(Request{W: 3, L: 6})
+	if !ok {
+		t.Fatal("FrameSliding rotation failed")
+	}
+	if al.Pieces[0].W() != 6 || al.Pieces[0].L() != 3 {
+		t.Fatalf("piece = %v, want rotated", al.Pieces[0])
+	}
+	if NewFrameSliding(m, true).Name() != "FrameSliding(R)" ||
+		NewFrameSliding(m, false).Name() != "FrameSliding" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestByNameNewStrategies(t *testing.T) {
+	for _, name := range []string{"ANCA", "FrameSliding"} {
+		m := mesh.New(16, 22)
+		al, err := ByName(name, m, nil)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		a, ok := al.Allocate(Request{W: 3, L: 3})
+		if !ok {
+			t.Fatalf("%s failed on empty mesh", name)
+		}
+		al.Release(a)
+		if m.FreeCount() != 352 {
+			t.Fatalf("%s release did not restore", name)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+// benchCycle exercises a strategy with a steady allocate/release churn
+// at ~60 % occupancy, the regime the simulator spends its time in.
+func benchCycle(b *testing.B, name string) {
+	b.Helper()
+	m := mesh.New(16, 22)
+	al, err := ByName(name, m, stats.NewStream(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := stats.NewStream(2)
+	var live []Allocation
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) > 4 && (s.Intn(2) == 0 || m.FreeCount() < 60) {
+			k := s.Intn(len(live))
+			al.Release(live[k])
+			live = append(live[:k], live[k+1:]...)
+			continue
+		}
+		req := Request{W: s.UniformInt(1, 8), L: s.UniformInt(1, 10)}
+		if a, ok := al.Allocate(req); ok {
+			live = append(live, a)
+		}
+	}
+}
+
+func BenchmarkAllocateGABL(b *testing.B)     { benchCycle(b, "GABL") }
+func BenchmarkAllocatePaging0(b *testing.B)  { benchCycle(b, "Paging(0)") }
+func BenchmarkAllocateMBS(b *testing.B)      { benchCycle(b, "MBS") }
+func BenchmarkAllocateANCA(b *testing.B)     { benchCycle(b, "ANCA") }
+func BenchmarkAllocateFirstFit(b *testing.B) { benchCycle(b, "FirstFit") }
+func BenchmarkAllocateRandom(b *testing.B)   { benchCycle(b, "Random") }

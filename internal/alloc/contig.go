@@ -1,0 +1,152 @@
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+// Contiguous is the classic contiguous allocation baseline: a request
+// S(a, b) is granted a single free a x b sub-mesh (optionally also
+// trying the rotated b x a) or rejected. It exhibits the external
+// fragmentation that motivates the non-contiguous strategies (paper
+// §1); it is included as a baseline and as the substrate other
+// strategies' contiguous steps are validated against.
+type Contiguous struct {
+	m       *mesh.Mesh
+	bestFit bool
+	rotate  bool
+}
+
+// NewFirstFit builds a contiguous first-fit allocator.
+func NewFirstFit(m *mesh.Mesh, rotate bool) *Contiguous {
+	return &Contiguous{m: m, rotate: rotate}
+}
+
+// NewBestFit builds a contiguous best-fit allocator (boundary-hugging
+// placement, Zhu-style).
+func NewBestFit(m *mesh.Mesh, rotate bool) *Contiguous {
+	return &Contiguous{m: m, bestFit: true, rotate: rotate}
+}
+
+// Name implements Allocator.
+func (c *Contiguous) Name() string {
+	n := "FirstFit"
+	if c.bestFit {
+		n = "BestFit"
+	}
+	if c.rotate {
+		n += "(R)"
+	}
+	return n
+}
+
+// Mesh implements Allocator.
+func (c *Contiguous) Mesh() *mesh.Mesh { return c.m }
+
+// Allocate implements Allocator.
+func (c *Contiguous) Allocate(req Request) (Allocation, bool) {
+	validate(c.m, req)
+	search := c.m.FirstFit
+	if c.bestFit {
+		search = c.m.BestFit
+	}
+	if s, ok := search(req.W, req.L); ok {
+		return commit(c.m, []mesh.Submesh{s}), true
+	}
+	if c.rotate && req.W != req.L {
+		if s, ok := search(req.L, req.W); ok {
+			return commit(c.m, []mesh.Submesh{s}), true
+		}
+	}
+	return Allocation{}, false
+}
+
+// Release implements Allocator.
+func (c *Contiguous) Release(a Allocation) { release(c.m, a) }
+
+// Random is the fully scattered non-contiguous baseline: a request for
+// p processors takes p uniformly random free processors with no regard
+// for contiguity. It bounds the worst case of communication dispersal
+// and anchors the GABL-contiguity ablation (DESIGN.md A3).
+type Random struct {
+	m   *mesh.Mesh
+	rng *stats.Stream
+}
+
+// NewRandom builds a random-scatter allocator drawing from rng.
+func NewRandom(m *mesh.Mesh, rng *stats.Stream) *Random {
+	if rng == nil {
+		panic("alloc: NewRandom requires a random stream")
+	}
+	return &Random{m: m, rng: rng}
+}
+
+// Name implements Allocator.
+func (r *Random) Name() string { return "Random" }
+
+// Mesh implements Allocator.
+func (r *Random) Mesh() *mesh.Mesh { return r.m }
+
+// Allocate implements Allocator.
+func (r *Random) Allocate(req Request) (Allocation, bool) {
+	validate(r.m, req)
+	p := req.Size()
+	free := r.m.FreeNodes()
+	if p > len(free) {
+		return Allocation{}, false
+	}
+	perm := r.rng.Perm(len(free))
+	pieces := make([]mesh.Submesh, 0, p)
+	for _, i := range perm[:p] {
+		c := free[i]
+		pieces = append(pieces, mesh.SubAt(c.X, c.Y, 1, 1))
+	}
+	return commit(r.m, pieces), true
+}
+
+// Release implements Allocator.
+func (r *Random) Release(a Allocation) { release(r.m, a) }
+
+// ByName constructs the named strategy on m; rng is used only by
+// "Random". Recognised names: GABL, Paging(0), Paging(1), MBS,
+// FirstFit, BestFit, Random. It is the strategy factory used by the
+// command-line tools.
+func ByName(name string, m *mesh.Mesh, rng *stats.Stream) (Allocator, error) {
+	switch name {
+	case "GABL":
+		return NewGABL(m), nil
+	case "GABL(no-rotate)":
+		return NewGABLNoRotate(m), nil
+	case "MBS":
+		return NewMBS(m), nil
+	case "Paging(0)":
+		return NewPaging(m, 0, RowMajor)
+	case "Paging(0,snake)":
+		return NewPaging(m, 0, SnakeLike)
+	case "Paging(0,shuffled)":
+		return NewPaging(m, 0, ShuffledRowMajor)
+	case "Paging(0,shuffled-snake)":
+		return NewPaging(m, 0, ShuffledSnakeLike)
+	case "Paging(1)":
+		return NewPaging(m, 1, RowMajor)
+	case "Paging(2)":
+		return NewPaging(m, 2, RowMajor)
+	case "FirstFit":
+		return NewFirstFit(m, true), nil
+	case "BestFit":
+		return NewBestFit(m, true), nil
+	case "ANCA":
+		return NewANCA(m), nil
+	case "FrameSliding":
+		return NewFrameSliding(m, true), nil
+	case "Random":
+		if rng == nil {
+			rng = stats.NewStream(1)
+		}
+		return NewRandom(m, rng), nil
+	default:
+		return nil, fmt.Errorf("alloc: unknown strategy %q", name)
+	}
+}

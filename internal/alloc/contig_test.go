@@ -1,0 +1,131 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+func TestFirstFitContiguousExactShape(t *testing.T) {
+	m := mesh.New(8, 8)
+	c := NewFirstFit(m, false)
+	a, ok := c.Allocate(Request{W: 3, L: 5})
+	if !ok {
+		t.Fatal("FirstFit failed on empty mesh")
+	}
+	if !a.Contiguous() || a.Pieces[0].W() != 3 || a.Pieces[0].L() != 5 {
+		t.Fatalf("allocation = %v", a.Pieces)
+	}
+}
+
+func TestContiguousExternalFragmentation(t *testing.T) {
+	// The paper's motivating scenario: enough free processors but no
+	// contiguous sub-mesh -> contiguous allocation fails.
+	m := mesh.New(4, 4)
+	c := NewFirstFit(m, true)
+	var occupy []mesh.Coord
+	for y := 0; y < 4; y++ {
+		occupy = append(occupy, mesh.Coord{X: 1, Y: y}, mesh.Coord{X: 3, Y: y})
+	}
+	if err := m.Allocate(occupy); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Allocate(Request{W: 2, L: 2}); ok {
+		t.Fatal("contiguous allocation succeeded despite fragmentation")
+	}
+	if m.FreeCount() != 8 {
+		t.Fatalf("free = %d, want 8", m.FreeCount())
+	}
+}
+
+func TestContiguousRotation(t *testing.T) {
+	m := mesh.New(8, 4)
+	noRot := NewFirstFit(m, false)
+	if _, ok := noRot.Allocate(Request{W: 3, L: 6}); ok {
+		t.Fatal("3x6 fits in 8x4 without rotation?")
+	}
+	rot := NewFirstFit(m, true)
+	a, ok := rot.Allocate(Request{W: 3, L: 6})
+	if !ok {
+		t.Fatal("rotated allocation failed")
+	}
+	if a.Pieces[0].W() != 6 || a.Pieces[0].L() != 3 {
+		t.Fatalf("piece = %v, want 6x3", a.Pieces[0])
+	}
+}
+
+func TestBestFitAllocates(t *testing.T) {
+	m := mesh.New(8, 8)
+	c := NewBestFit(m, true)
+	a, ok := c.Allocate(Request{W: 2, L: 2})
+	if !ok {
+		t.Fatal("BestFit failed on empty mesh")
+	}
+	c.Release(a)
+	if m.FreeCount() != 64 {
+		t.Fatal("release did not restore mesh")
+	}
+}
+
+func TestContiguousNames(t *testing.T) {
+	m := mesh.New(4, 4)
+	if NewFirstFit(m, false).Name() != "FirstFit" {
+		t.Fatal("FirstFit name")
+	}
+	if NewFirstFit(m, true).Name() != "FirstFit(R)" {
+		t.Fatal("FirstFit(R) name")
+	}
+	if NewBestFit(m, true).Name() != "BestFit(R)" {
+		t.Fatal("BestFit(R) name")
+	}
+}
+
+func TestRandomScatters(t *testing.T) {
+	m := mesh.New(16, 22)
+	r := NewRandom(m, stats.NewStream(7))
+	a, ok := r.Allocate(Request{W: 4, L: 4})
+	if !ok {
+		t.Fatal("Random failed on empty mesh")
+	}
+	if a.Size() != 16 || len(a.Pieces) != 16 {
+		t.Fatalf("size %d pieces %d, want 16 single processors", a.Size(), len(a.Pieces))
+	}
+	// With 352 free processors, 16 uniformly random singles forming a
+	// contiguous 4x4 block is essentially impossible.
+	distinctRows := map[int]bool{}
+	for _, p := range a.Pieces {
+		distinctRows[p.Y1] = true
+	}
+	if len(distinctRows) < 4 {
+		t.Fatalf("random allocation suspiciously clustered: %v", a.Pieces)
+	}
+	r.Release(a)
+	if m.FreeCount() != 352 {
+		t.Fatal("release did not restore mesh")
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	pick := func(seed int64) []mesh.Submesh {
+		m := mesh.New(8, 8)
+		r := NewRandom(m, stats.NewStream(seed))
+		a, _ := r.Allocate(Request{W: 2, L: 3})
+		return a.Pieces
+	}
+	a, b := pick(5), pick(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different random allocations")
+		}
+	}
+}
+
+func TestNewRandomNilStreamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRandom(nil) did not panic")
+		}
+	}()
+	NewRandom(mesh.New(4, 4), nil)
+}

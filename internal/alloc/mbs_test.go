@@ -1,0 +1,263 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+func TestFactorize(t *testing.T) {
+	cases := []struct {
+		p    int
+		want []int
+	}{
+		{1, []int{1}},
+		{3, []int{3}},
+		{4, []int{0, 1}},
+		{5, []int{1, 1}},
+		{16, []int{0, 0, 1}},
+		{21, []int{1, 1, 1}},
+		{35, []int{3, 0, 2}},        // 3 + 0*4 + 2*16
+		{352, []int{0, 0, 2, 1, 1}}, // 2*16 + 64 + 256
+	}
+	for _, c := range cases {
+		got := Factorize(c.p)
+		if len(got) != len(c.want) {
+			t.Fatalf("Factorize(%d) = %v, want %v", c.p, got, c.want)
+		}
+		sum := 0
+		for i, d := range got {
+			if d != c.want[i] {
+				t.Fatalf("Factorize(%d) = %v, want %v", c.p, got, c.want)
+			}
+			sum += d << (2 * i)
+		}
+		if sum != c.p {
+			t.Fatalf("Factorize(%d) digits sum to %d", c.p, sum)
+		}
+	}
+	if Factorize(0) != nil || Factorize(-3) != nil {
+		t.Fatal("Factorize of non-positive not nil")
+	}
+}
+
+// Property: factorization digits are in [0,3] and reconstruct p.
+func TestPropertyFactorize(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := int(raw)%2000 + 1
+		sum := 0
+		for i, d := range Factorize(p) {
+			if d < 0 || d > 3 {
+				return false
+			}
+			sum += d << (2 * i)
+		}
+		return sum == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMBSInitialDecomposition16x22(t *testing.T) {
+	m := mesh.New(16, 22)
+	a := NewMBS(m)
+	// 16x22 carves into one 16x16, four 4x4, eight 2x2.
+	if got := a.FreeBlockCount(4); got != 1 {
+		t.Fatalf("16x16 blocks = %d, want 1", got)
+	}
+	if got := a.FreeBlockCount(2); got != 4 {
+		t.Fatalf("4x4 blocks = %d, want 4", got)
+	}
+	if got := a.FreeBlockCount(1); got != 8 {
+		t.Fatalf("2x2 blocks = %d, want 8", got)
+	}
+	if got := a.FreeBlockCount(3); got != 0 {
+		t.Fatalf("8x8 blocks = %d, want 0", got)
+	}
+}
+
+func TestMBSPowerOfFourIsContiguous(t *testing.T) {
+	m := mesh.New(16, 16)
+	a := NewMBS(m)
+	// Requests of size 4^n are served as one square block (the paper:
+	// contiguity is explicitly sought only for sizes 2^2n).
+	for _, p := range []int{1, 4, 16, 64, 256} {
+		req := Request{W: 1, L: p}
+		if p > 16 {
+			req = Request{W: 16, L: p / 16}
+		}
+		al, ok := a.Allocate(req)
+		if !ok {
+			t.Fatalf("MBS failed for %d on empty mesh", p)
+		}
+		if !al.Contiguous() {
+			t.Fatalf("size %d allocated %d pieces, want 1", p, len(al.Pieces))
+		}
+		if al.Pieces[0].W() != al.Pieces[0].L() {
+			t.Fatalf("size %d piece %v not square", p, al.Pieces[0])
+		}
+		a.Release(al)
+	}
+}
+
+func TestMBSNonPowerOfTwoScatters(t *testing.T) {
+	m := mesh.New(16, 16)
+	a := NewMBS(m)
+	// 35 = 2*16 + 3: two 4x4 blocks and three 1x1 blocks.
+	al, ok := a.Allocate(Request{W: 5, L: 7})
+	if !ok {
+		t.Fatal("MBS failed for 35")
+	}
+	if al.Size() != 35 {
+		t.Fatalf("allocated %d, want exactly 35", al.Size())
+	}
+	sizes := map[int]int{}
+	for _, piece := range al.Pieces {
+		if piece.W() != piece.L() {
+			t.Fatalf("piece %v not square", piece)
+		}
+		sizes[piece.W()]++
+	}
+	if sizes[4] != 2 || sizes[1] != 3 {
+		t.Fatalf("block sizes = %v, want 2 of 4x4 and 3 of 1x1", sizes)
+	}
+}
+
+func TestMBSSplitsLargerBlocks(t *testing.T) {
+	m := mesh.New(8, 8)
+	a := NewMBS(m)
+	// Only one 8x8 root; a request for one processor forces recursive
+	// splitting 8->4->2->1, leaving buddies free.
+	al, ok := a.Allocate(Request{W: 1, L: 1})
+	if !ok {
+		t.Fatal("MBS failed for 1")
+	}
+	if al.Size() != 1 {
+		t.Fatalf("allocated %d, want 1", al.Size())
+	}
+	if a.FreeBlockCount(2) != 3 || a.FreeBlockCount(1) != 3 || a.FreeBlockCount(0) != 3 {
+		t.Fatalf("free blocks after split: 4x4=%d 2x2=%d 1x1=%d, want 3 each",
+			a.FreeBlockCount(2), a.FreeBlockCount(1), a.FreeBlockCount(0))
+	}
+}
+
+func TestMBSCoalesceRestoresRoots(t *testing.T) {
+	m := mesh.New(8, 8)
+	a := NewMBS(m)
+	var live []Allocation
+	s := stats.NewStream(3)
+	for i := 0; i < 20; i++ {
+		req := Request{W: s.UniformInt(1, 8), L: s.UniformInt(1, 8)}
+		if req.Size() > m.FreeCount() {
+			continue
+		}
+		al, ok := a.Allocate(req)
+		if !ok {
+			t.Fatalf("MBS failed with %d free for %v", m.FreeCount(), req)
+		}
+		live = append(live, al)
+	}
+	for _, al := range live {
+		a.Release(al)
+	}
+	// After releasing everything, coalescing must restore the single
+	// 8x8 root.
+	if a.FreeBlockCount(3) != 1 {
+		t.Fatalf("8x8 blocks after full release = %d, want 1", a.FreeBlockCount(3))
+	}
+	for k := 0; k < 3; k++ {
+		if a.FreeBlockCount(k) != 0 {
+			t.Fatalf("%dx%d blocks after full release = %d, want 0",
+				1<<k, 1<<k, a.FreeBlockCount(k))
+		}
+	}
+}
+
+func TestMBSCoalesceDoesNotCrossRoots(t *testing.T) {
+	// 4x2 mesh carves into two 2x2 roots; they must never merge into a
+	// (non-square, non-existent) 4x4.
+	m := mesh.New(4, 2)
+	a := NewMBS(m)
+	al, ok := a.Allocate(Request{W: 4, L: 2})
+	if !ok {
+		t.Fatal("MBS failed for full mesh")
+	}
+	a.Release(al)
+	if a.FreeBlockCount(1) != 2 {
+		t.Fatalf("2x2 roots after release = %d, want 2", a.FreeBlockCount(1))
+	}
+	if a.FreeBlockCount(2) != 0 {
+		t.Fatal("coalesced across root boundary")
+	}
+}
+
+func TestMBSFullMeshAllocation(t *testing.T) {
+	m := mesh.New(16, 22)
+	a := NewMBS(m)
+	al, ok := a.Allocate(Request{W: 16, L: 22})
+	if !ok {
+		t.Fatal("MBS failed for the whole mesh")
+	}
+	if al.Size() != 352 || m.FreeCount() != 0 {
+		t.Fatalf("size %d free %d", al.Size(), m.FreeCount())
+	}
+	if _, ok := a.Allocate(Request{W: 1, L: 1}); ok {
+		t.Fatal("allocation on full mesh succeeded")
+	}
+	a.Release(al)
+	if m.FreeCount() != 352 {
+		t.Fatalf("free = %d after release", m.FreeCount())
+	}
+	// Roots restored.
+	if a.FreeBlockCount(4) != 1 || a.FreeBlockCount(2) != 4 || a.FreeBlockCount(1) != 8 {
+		t.Fatal("roots not restored after full release")
+	}
+}
+
+// Property: random MBS workload conserves processors: free block areas
+// plus mesh busy count always equals the mesh size.
+func TestPropertyMBSConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		m := mesh.New(16, 22)
+		a := NewMBS(m)
+		s := stats.NewStream(seed)
+		var live []Allocation
+		for step := 0; step < 200; step++ {
+			if len(live) > 0 && s.Intn(2) == 0 {
+				i := s.Intn(len(live))
+				a.Release(live[i])
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				req := Request{W: s.UniformInt(1, 16), L: s.UniformInt(1, 22)}
+				if al, ok := a.Allocate(req); ok {
+					live = append(live, al)
+				}
+			}
+			freeArea := 0
+			for k := 0; k <= 4; k++ {
+				freeArea += a.FreeBlockCount(k) << (2 * k)
+			}
+			if freeArea != m.FreeCount() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMBSReleaseNonSquarePanics(t *testing.T) {
+	m := mesh.New(8, 8)
+	a := NewMBS(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release of non-square piece did not panic")
+		}
+	}()
+	a.Release(Allocation{Pieces: []mesh.Submesh{mesh.Sub(0, 0, 2, 1)}})
+}

@@ -1,0 +1,203 @@
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+)
+
+// Indexing selects the page traversal order of the Paging strategy
+// (Lo et al., TPDS 1997, §4.2). The paper under reproduction uses
+// row-major only, having found the scheme makes little difference; the
+// others are provided for the ablation bench.
+type Indexing int
+
+// Page indexing schemes.
+const (
+	RowMajor Indexing = iota
+	SnakeLike
+	ShuffledRowMajor
+	ShuffledSnakeLike
+)
+
+var indexingNames = [...]string{"row-major", "snake", "shuffled-row-major", "shuffled-snake"}
+
+// String names the indexing scheme.
+func (ix Indexing) String() string {
+	if ix < 0 || int(ix) >= len(indexingNames) {
+		return fmt.Sprintf("Indexing(%d)", int(ix))
+	}
+	return indexingNames[ix]
+}
+
+// Paging implements the Paging(size_index) strategy: the mesh is split
+// into square pages of side 2^size_index; a request for p processors
+// takes the first ceil(p / pageArea) free pages in index order. Pages
+// are the allocation unit, so size_index > 0 introduces internal
+// fragmentation, while the index order provides a degree of contiguity.
+type Paging struct {
+	m         *mesh.Mesh
+	side      int   // page side length, 2^size_index
+	pagesX    int   // pages per row
+	pagesY    int   // pages per column
+	order     []int // page visit order (indices into page grid)
+	free      []bool
+	freePages int
+	sizeIndex int
+	indexing  Indexing
+}
+
+// NewPaging builds a Paging(sizeIndex) allocator with the given page
+// indexing scheme. The mesh sides must be divisible by the page side.
+func NewPaging(m *mesh.Mesh, sizeIndex int, indexing Indexing) (*Paging, error) {
+	if sizeIndex < 0 || sizeIndex > 10 {
+		return nil, fmt.Errorf("alloc: size_index %d out of range", sizeIndex)
+	}
+	side := 1 << sizeIndex
+	if m.W()%side != 0 || m.L()%side != 0 {
+		return nil, fmt.Errorf("alloc: %dx%d mesh not divisible into %dx%d pages",
+			m.W(), m.L(), side, side)
+	}
+	p := &Paging{
+		m:         m,
+		side:      side,
+		pagesX:    m.W() / side,
+		pagesY:    m.L() / side,
+		sizeIndex: sizeIndex,
+		indexing:  indexing,
+	}
+	n := p.pagesX * p.pagesY
+	p.free = make([]bool, n)
+	for i := range p.free {
+		p.free[i] = true
+	}
+	p.freePages = n
+	p.order = buildOrder(p.pagesX, p.pagesY, indexing)
+	return p, nil
+}
+
+// buildOrder returns page grid indices (py*pagesX+px) in visit order.
+func buildOrder(px, py int, ix Indexing) []int {
+	base := make([]int, 0, px*py)
+	switch ix {
+	case RowMajor, ShuffledRowMajor:
+		for y := 0; y < py; y++ {
+			for x := 0; x < px; x++ {
+				base = append(base, y*px+x)
+			}
+		}
+	case SnakeLike, ShuffledSnakeLike:
+		for y := 0; y < py; y++ {
+			if y%2 == 0 {
+				for x := 0; x < px; x++ {
+					base = append(base, y*px+x)
+				}
+			} else {
+				for x := px - 1; x >= 0; x-- {
+					base = append(base, y*px+x)
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("alloc: unknown indexing %d", int(ix)))
+	}
+	if ix == ShuffledRowMajor || ix == ShuffledSnakeLike {
+		return shuffleBitReverse(base)
+	}
+	return base
+}
+
+// shuffleBitReverse permutes the order by bit-reversing each position
+// within the next power of two, dropping out-of-range slots — the
+// "shuffled" page orders of Lo et al., which scatter consecutive
+// requests across the mesh.
+func shuffleBitReverse(base []int) []int {
+	n := len(base)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < 1<<bits; i++ {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		if r < n {
+			out = append(out, base[r])
+		}
+	}
+	return out
+}
+
+// Name implements Allocator.
+func (p *Paging) Name() string {
+	return fmt.Sprintf("Paging(%d)", p.sizeIndex)
+}
+
+// Mesh implements Allocator.
+func (p *Paging) Mesh() *mesh.Mesh { return p.m }
+
+// SizeIndex returns the strategy's page size exponent.
+func (p *Paging) SizeIndex() int { return p.sizeIndex }
+
+// Indexing returns the page traversal scheme.
+func (p *Paging) Indexing() Indexing { return p.indexing }
+
+// FreePages returns the number of unallocated pages.
+func (p *Paging) FreePages() int { return p.freePages }
+
+// pageSub returns the sub-mesh covered by page grid index gi.
+func (p *Paging) pageSub(gi int) mesh.Submesh {
+	px, py := gi%p.pagesX, gi/p.pagesX
+	return mesh.SubAt(px*p.side, py*p.side, p.side, p.side)
+}
+
+// Allocate implements Allocator: take the first ceil(p/pageArea) free
+// pages in index order.
+func (p *Paging) Allocate(req Request) (Allocation, bool) {
+	validate(p.m, req)
+	pageArea := p.side * p.side
+	need := (req.Size() + pageArea - 1) / pageArea
+	if need > p.freePages {
+		return Allocation{}, false
+	}
+	pieces := make([]mesh.Submesh, 0, need)
+	taken := make([]int, 0, need)
+	for _, gi := range p.order {
+		if len(pieces) == need {
+			break
+		}
+		if p.free[gi] {
+			pieces = append(pieces, p.pageSub(gi))
+			taken = append(taken, gi)
+		}
+	}
+	if len(pieces) != need {
+		panic("alloc: paging free-page count out of sync")
+	}
+	for _, gi := range taken {
+		p.free[gi] = false
+	}
+	p.freePages -= need
+	return commit(p.m, pieces), true
+}
+
+// Release implements Allocator.
+func (p *Paging) Release(a Allocation) {
+	for _, piece := range a.Pieces {
+		if piece.W() != p.side || piece.L() != p.side ||
+			piece.X1%p.side != 0 || piece.Y1%p.side != 0 {
+			panic(fmt.Sprintf("alloc: paging release of non-page piece %v", piece))
+		}
+		gi := (piece.Y1/p.side)*p.pagesX + piece.X1/p.side
+		if p.free[gi] {
+			panic(fmt.Sprintf("alloc: paging double release of page %d", gi))
+		}
+		p.free[gi] = true
+		p.freePages++
+	}
+	release(p.m, a)
+}

@@ -1,0 +1,180 @@
+package alloc
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func newPaging(t *testing.T, m *mesh.Mesh, sizeIndex int, ix Indexing) *Paging {
+	t.Helper()
+	p, err := NewPaging(m, sizeIndex, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPagingZeroTakesRowMajorSingles(t *testing.T) {
+	m := mesh.New(4, 4)
+	p := newPaging(t, m, 0, RowMajor)
+	a, ok := p.Allocate(Request{W: 2, L: 2})
+	if !ok {
+		t.Fatal("Paging(0) failed on empty mesh")
+	}
+	if len(a.Pieces) != 4 {
+		t.Fatalf("pieces = %d, want 4 single-processor pages", len(a.Pieces))
+	}
+	want := []mesh.Coord{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}}
+	for i, piece := range a.Pieces {
+		if piece.Base() != want[i] || piece.Area() != 1 {
+			t.Fatalf("piece %d = %v, want single processor at %v", i, piece, want[i])
+		}
+	}
+}
+
+func TestPagingName(t *testing.T) {
+	m := mesh.New(4, 4)
+	if got := newPaging(t, m, 0, RowMajor).Name(); got != "Paging(0)" {
+		t.Fatalf("Name = %q", got)
+	}
+	m2 := mesh.New(4, 4)
+	if got := newPaging(t, m2, 1, RowMajor).Name(); got != "Paging(1)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestPagingOneInternalFragmentation(t *testing.T) {
+	m := mesh.New(8, 8)
+	p := newPaging(t, m, 1, RowMajor)
+	// 5 processors need ceil(5/4) = 2 pages = 8 processors.
+	a, ok := p.Allocate(Request{W: 5, L: 1})
+	if !ok {
+		t.Fatal("Paging(1) failed")
+	}
+	if a.Size() != 8 {
+		t.Fatalf("allocated %d processors, want 8 (internal fragmentation)", a.Size())
+	}
+	for _, piece := range a.Pieces {
+		if piece.W() != 2 || piece.L() != 2 {
+			t.Fatalf("piece %v is not a 2x2 page", piece)
+		}
+		if piece.X1%2 != 0 || piece.Y1%2 != 0 {
+			t.Fatalf("piece %v not page-aligned", piece)
+		}
+	}
+}
+
+func TestPagingIndivisibleMeshRejected(t *testing.T) {
+	if _, err := NewPaging(mesh.New(16, 22), 2, RowMajor); err == nil {
+		t.Fatal("NewPaging accepted 16x22 mesh with 4x4 pages")
+	}
+	if _, err := NewPaging(mesh.New(16, 22), 1, RowMajor); err != nil {
+		t.Fatalf("NewPaging rejected 16x22 mesh with 2x2 pages: %v", err)
+	}
+	if _, err := NewPaging(mesh.New(4, 4), -1, RowMajor); err == nil {
+		t.Fatal("NewPaging accepted negative size_index")
+	}
+}
+
+func TestPagingFailsWhenShortOnPages(t *testing.T) {
+	m := mesh.New(4, 4)
+	p := newPaging(t, m, 0, RowMajor)
+	a, ok := p.Allocate(Request{W: 4, L: 3})
+	if !ok {
+		t.Fatal("first allocation failed")
+	}
+	if _, ok := p.Allocate(Request{W: 5, L: 1}); ok {
+		t.Fatal("allocation succeeded with 4 free pages for 5 processors")
+	}
+	p.Release(a)
+	if p.FreePages() != 16 {
+		t.Fatalf("FreePages = %d after release, want 16", p.FreePages())
+	}
+}
+
+func TestPagingOrdersAreValidPermutations(t *testing.T) {
+	for _, ix := range []Indexing{RowMajor, SnakeLike, ShuffledRowMajor, ShuffledSnakeLike} {
+		order := buildOrder(4, 6, ix)
+		if len(order) != 24 {
+			t.Fatalf("%v: order length %d, want 24", ix, len(order))
+		}
+		sorted := append([]int(nil), order...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				t.Fatalf("%v: order is not a permutation: %v", ix, order)
+			}
+		}
+	}
+}
+
+func TestPagingSnakeOrderReversesOddRows(t *testing.T) {
+	order := buildOrder(3, 2, SnakeLike)
+	want := []int{0, 1, 2, 5, 4, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("snake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPagingShuffledDiffersFromPlain(t *testing.T) {
+	plain := buildOrder(4, 4, RowMajor)
+	shuf := buildOrder(4, 4, ShuffledRowMajor)
+	same := true
+	for i := range plain {
+		if plain[i] != shuf[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("shuffled row-major equals row-major")
+	}
+}
+
+func TestPagingIndexingString(t *testing.T) {
+	if RowMajor.String() != "row-major" || ShuffledSnakeLike.String() != "shuffled-snake" {
+		t.Fatal("indexing names wrong")
+	}
+	if Indexing(42).String() != "Indexing(42)" {
+		t.Fatal("out-of-range indexing name wrong")
+	}
+}
+
+func TestPagingAccessors(t *testing.T) {
+	m := mesh.New(8, 8)
+	p := newPaging(t, m, 1, SnakeLike)
+	if p.SizeIndex() != 1 || p.Indexing() != SnakeLike {
+		t.Fatalf("accessors: sizeIndex=%d indexing=%v", p.SizeIndex(), p.Indexing())
+	}
+	if p.FreePages() != 16 {
+		t.Fatalf("FreePages = %d, want 16", p.FreePages())
+	}
+}
+
+func TestPagingReleaseForeignPiecePanics(t *testing.T) {
+	m := mesh.New(8, 8)
+	p := newPaging(t, m, 1, RowMajor)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release of non-page piece did not panic")
+		}
+	}()
+	p.Release(Allocation{Pieces: []mesh.Submesh{mesh.Sub(1, 1, 2, 2)}})
+}
+
+func TestPagingReleaseDoubleFreePanics(t *testing.T) {
+	m := mesh.New(4, 4)
+	p := newPaging(t, m, 0, RowMajor)
+	a, _ := p.Allocate(Request{W: 1, L: 1})
+	p.Release(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	p.Release(a)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFiguresCoverPaper(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 15 {
+		t.Fatalf("figures = %d, want 15 (Figs. 2-16)", len(figs))
+	}
+	wantMetric := map[string]Metric{
+		"fig02": Turnaround, "fig03": Turnaround, "fig04": Turnaround,
+		"fig05": Service, "fig06": Service, "fig07": Service,
+		"fig08": Utilization, "fig09": Utilization, "fig10": Utilization,
+		"fig11": Blocking, "fig12": Blocking, "fig13": Blocking,
+		"fig14": Latency, "fig15": Latency, "fig16": Latency,
+	}
+	wantWorkload := map[string]Workload{
+		"fig02": RealTrace, "fig03": StochasticUniform, "fig04": StochasticExp,
+		"fig05": RealTrace, "fig06": StochasticUniform, "fig07": StochasticExp,
+		"fig08": RealTrace, "fig09": StochasticUniform, "fig10": StochasticExp,
+		"fig11": RealTrace, "fig12": StochasticUniform, "fig13": StochasticExp,
+		"fig14": RealTrace, "fig15": StochasticUniform, "fig16": StochasticExp,
+	}
+	for _, f := range figs {
+		if f.Metric != wantMetric[f.ID] {
+			t.Errorf("%s metric = %v, want %v", f.ID, f.Metric, wantMetric[f.ID])
+		}
+		if f.Workload != wantWorkload[f.ID] {
+			t.Errorf("%s workload = %v, want %v", f.ID, f.Workload, wantWorkload[f.ID])
+		}
+		if len(f.Loads) == 0 {
+			t.Errorf("%s has no loads", f.ID)
+		}
+		if len(f.Combos) != 6 {
+			t.Errorf("%s has %d combos, want 6", f.ID, len(f.Combos))
+		}
+		if f.Jobs != 1000 {
+			t.Errorf("%s jobs = %d, want the paper's 1000", f.ID, f.Jobs)
+		}
+		for i := 1; i < len(f.Loads); i++ {
+			if f.Loads[i] <= f.Loads[i-1] {
+				t.Errorf("%s loads not increasing", f.ID)
+			}
+		}
+	}
+}
+
+func TestRealWorkloadAxesMatchPaper(t *testing.T) {
+	// The real-workload experiments use the paper's own axis ranges.
+	f, _ := FigureByID("fig05")
+	if f.Loads[0] != 0.0025 || f.Loads[len(f.Loads)-1] != 0.02 {
+		t.Fatalf("fig05 axis = [%v, %v], want paper's [0.0025, 0.02]",
+			f.Loads[0], f.Loads[len(f.Loads)-1])
+	}
+	f2, _ := FigureByID("fig02")
+	if f2.Loads[len(f2.Loads)-1] != 0.004 {
+		t.Fatalf("fig02 axis ends at %v, want paper's 0.004", f2.Loads[len(f2.Loads)-1])
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	f, ok := FigureByID("fig07")
+	if !ok || f.Metric != Service || f.Workload != StochasticExp {
+		t.Fatalf("FigureByID(fig07) = %+v, %v", f, ok)
+	}
+	if _, ok := FigureByID("fig99"); ok {
+		t.Fatal("FigureByID accepted unknown id")
+	}
+	if _, ok := FigureByID("ablA3"); !ok {
+		t.Fatal("FigureByID does not find ablations")
+	}
+}
+
+func TestAblationsWellFormed(t *testing.T) {
+	abls := Ablations()
+	if len(abls) < 5 {
+		t.Fatalf("ablations = %d, want >= 5", len(abls))
+	}
+	ids := map[string]bool{}
+	for _, a := range abls {
+		if !strings.HasPrefix(a.ID, "abl") {
+			t.Errorf("ablation id %q", a.ID)
+		}
+		if ids[a.ID] {
+			t.Errorf("duplicate ablation id %q", a.ID)
+		}
+		ids[a.ID] = true
+		if len(a.Combos) < 2 && a.ID != "ablA1" {
+			t.Errorf("%s has %d combos", a.ID, len(a.Combos))
+		}
+		if len(a.Loads) == 0 || a.Jobs == 0 {
+			t.Errorf("%s incomplete: %+v", a.ID, a)
+		}
+	}
+}
+
+func TestLoadRange(t *testing.T) {
+	r := loadRange(0.001, 0.001, 4)
+	want := []float64{0.001, 0.002, 0.003, 0.004}
+	for i := range want {
+		if diff := r[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("loadRange = %v", r)
+		}
+	}
+}

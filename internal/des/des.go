@@ -1,0 +1,243 @@
+// Package des provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a simulation clock and a pending-event set ordered
+// by event time. Events scheduled for the same time fire in the order they
+// were scheduled (FIFO tie-break), which makes simulations reproducible
+// run to run. There is no canonical discrete-event framework in the Go
+// ecosystem, so this package is built from scratch on a binary heap.
+//
+// Typical use:
+//
+//	eng := des.NewEngine()
+//	eng.Schedule(10, func() { fmt.Println("t =", eng.Now()) })
+//	eng.Run()
+//
+// The engine is single-threaded by design: discrete-event simulations are
+// causally ordered and parallelising the event loop would change results.
+// Parallelism belongs one level up (independent replications), which the
+// stats package provides.
+package des
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is the simulation clock type. One unit corresponds to one flit
+// cycle in the network model, per the paper's time-unit convention.
+type Time = float64
+
+// ErrHorizon is returned by Run when the event limit is exhausted before
+// the pending set drains, which almost always indicates a scheduling loop.
+var ErrHorizon = errors.New("des: event limit exceeded")
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is invalid.
+type Handle struct {
+	ev *event
+}
+
+// Valid reports whether the handle refers to an event that has neither
+// fired nor been cancelled.
+func (h Handle) Valid() bool { return h.ev != nil && h.ev.index >= 0 }
+
+type event struct {
+	time  Time
+	seq   uint64 // tie-break: schedule order
+	index int    // heap index, -1 once popped or cancelled
+	fn    func()
+}
+
+// Engine is a discrete-event simulator instance. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now      Time
+	seq      uint64
+	heap     []*event
+	executed uint64
+	limit    uint64
+	running  bool
+}
+
+// NewEngine returns an engine with the clock at zero and no event limit.
+func NewEngine() *Engine {
+	return &Engine{limit: math.MaxUint64}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// SetEventLimit bounds the total number of events Run may execute.
+// A limit of 0 removes the bound.
+func (e *Engine) SetEventLimit(n uint64) {
+	if n == 0 {
+		e.limit = math.MaxUint64
+		return
+	}
+	e.limit = n
+}
+
+// Schedule registers fn to fire delay time units from now. A negative
+// delay panics: causality violations are programming errors, and failing
+// fast keeps them near their cause.
+func (e *Engine) Schedule(delay Time, fn func()) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At registers fn to fire at absolute time t, which must not precede the
+// current clock.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("des: nil event function")
+	}
+	ev := &event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.push(ev)
+	return Handle{ev: ev}
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if it already fired or was cancelled before).
+func (e *Engine) Cancel(h Handle) bool {
+	if !h.Valid() {
+		return false
+	}
+	e.remove(h.ev)
+	return true
+}
+
+// Step fires the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	ev := e.pop()
+	if ev == nil {
+		return false
+	}
+	e.now = ev.time
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the pending set is empty. It returns ErrHorizon
+// if the event limit is reached first.
+func (e *Engine) Run() error {
+	return e.RunUntil(math.Inf(1))
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to
+// t if the simulation outlived it. Events scheduled during execution are
+// honoured. It returns ErrHorizon if the event limit is reached.
+func (e *Engine) RunUntil(t Time) error {
+	if e.running {
+		panic("des: Run re-entered from an event handler")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.heap) > 0 && e.heap[0].time <= t {
+		if e.executed >= e.limit {
+			return ErrHorizon
+		}
+		e.Step()
+	}
+	if !math.IsInf(t, 1) && t > e.now {
+		e.now = t
+	}
+	return nil
+}
+
+// heap operations (min-heap on (time, seq)).
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].index = i
+	e.heap[j].index = j
+}
+
+func (e *Engine) push(ev *event) {
+	ev.index = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.up(ev.index)
+}
+
+func (e *Engine) pop() *event {
+	if len(e.heap) == 0 {
+		return nil
+	}
+	ev := e.heap[0]
+	e.removeAt(0)
+	return ev
+}
+
+func (e *Engine) remove(ev *event) {
+	if ev.index < 0 || ev.index >= len(e.heap) || e.heap[ev.index] != ev {
+		return
+	}
+	e.removeAt(ev.index)
+}
+
+func (e *Engine) removeAt(i int) {
+	last := len(e.heap) - 1
+	ev := e.heap[i]
+	if i != last {
+		e.swap(i, last)
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i != last && i < len(e.heap) {
+		e.down(i)
+		e.up(i)
+	}
+	ev.index = -1
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && e.less(right, left) {
+			smallest = right
+		}
+		if !e.less(smallest, i) {
+			return
+		}
+		e.swap(i, smallest)
+		i = smallest
+	}
+}

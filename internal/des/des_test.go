@@ -1,0 +1,347 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAndRunAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(5, func() { fired = append(fired, e.Now()) })
+	e.Schedule(2, func() { fired = append(fired, e.Now()) })
+	e.Schedule(9, func() { fired = append(fired, e.Now()) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{2, 5, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if e.Now() != 9 {
+		t.Fatalf("Now() = %v, want 9", e.Now())
+	}
+}
+
+func TestFIFOTieBreakAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(1, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(3, func() { fired = append(fired, e.Now()) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 4 {
+		t.Fatalf("fired = %v, want [1 4]", fired)
+	}
+}
+
+func TestRunUntilStopsAndAdvances(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func() { count++ })
+	e.Schedule(10, func() { count++ })
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 || e.Now() != 10 {
+		t.Fatalf("count = %d Now = %v, want 2, 10", count, e.Now())
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event at the RunUntil boundary did not fire")
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	h := e.Schedule(3, func() { fired = true })
+	if !e.Cancel(h) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if e.Cancel(h) {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeapKeepsOrdering(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	var handles []Handle
+	times := []Time{8, 3, 9, 1, 7, 2, 6, 4, 5}
+	for _, tm := range times {
+		tm := tm
+		handles = append(handles, e.Schedule(tm, func() { fired = append(fired, tm) }))
+	}
+	// Cancel times 9, 1, 6.
+	e.Cancel(handles[2])
+	e.Cancel(handles[3])
+	e.Cancel(handles[6])
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{2, 3, 4, 5, 7, 8}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestHandleInvalidAfterFiring(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(1, func() {})
+	if !h.Valid() {
+		t.Fatal("handle invalid before firing")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Valid() {
+		t.Fatal("handle still valid after firing")
+	}
+	if e.Cancel(h) {
+		t.Fatal("Cancel of fired event returned true")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(-1) did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestAtBeforeNowPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event function did not panic")
+		}
+	}()
+	NewEngine().Schedule(1, nil)
+}
+
+func TestEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(10)
+	var tick func()
+	tick = func() { e.Schedule(1, tick) }
+	e.Schedule(1, tick)
+	if err := e.Run(); err != ErrHorizon {
+		t.Fatalf("Run() = %v, want ErrHorizon", err)
+	}
+	if e.Executed() != 10 {
+		t.Fatalf("Executed() = %d, want 10", e.Executed())
+	}
+}
+
+func TestEventLimitZeroMeansUnbounded(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(3)
+	e.SetEventLimit(0)
+	for i := 0; i < 100; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run() = %v, want nil", err)
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 17; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Executed() != 17 {
+		t.Fatalf("Executed() = %d, want 17", e.Executed())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time
+// order and the engine clock matches each event's scheduled time.
+func TestPropertyOrderedFiring(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var expect []Time
+		var got []Time
+		for _, r := range raw {
+			d := Time(r % 1000)
+			expect = append(expect, d)
+			d2 := d
+			e.Schedule(d2, func() {
+				if e.Now() != d2 {
+					t.Errorf("clock %v at event scheduled for %v", e.Now(), d2)
+				}
+				got = append(got, d2)
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		sort.Float64s(expect)
+		if len(got) != len(expect) {
+			return false
+		}
+		for i := range got {
+			if got[i] != expect[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleaving of schedules and cancels never corrupts
+// the heap; surviving events fire in order.
+func TestPropertyScheduleCancelStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		var live []Handle
+		var last Time = -1
+		ok := true
+		for op := 0; op < 500; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				e.Cancel(live[i])
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			d := Time(rng.Intn(10000))
+			live = append(live, e.Schedule(d, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			}))
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: out-of-order firing", trial)
+		}
+		for _, h := range live {
+			if h.Valid() {
+				t.Fatalf("trial %d: handle valid after Run drained heap", trial)
+			}
+		}
+	}
+}
+
+func TestRunUntilInfinityDrains(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() { n++ })
+	if err := e.RunUntil(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatal("event did not fire")
+	}
+	if math.IsInf(e.Now(), 1) {
+		t.Fatal("clock advanced to infinity")
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97), func() {})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

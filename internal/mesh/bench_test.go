@@ -1,0 +1,51 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// fragmented builds a 16x22 mesh with ~40 % scattered occupancy.
+func fragmented(b *testing.B) *Mesh {
+	b.Helper()
+	m := New(16, 22)
+	s := stats.NewStream(9)
+	free := m.FreeNodes()
+	perm := s.Perm(len(free))
+	var occupy []Coord
+	for _, i := range perm[:140] {
+		occupy = append(occupy, free[i])
+	}
+	if err := m.Allocate(occupy); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkFirstFit(b *testing.B) {
+	m := fragmented(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.FirstFit(4, 5)
+	}
+}
+
+func BenchmarkBestFit(b *testing.B) {
+	m := fragmented(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.BestFit(4, 5)
+	}
+}
+
+func BenchmarkLargestFree(b *testing.B) {
+	m := fragmented(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LargestFree(10, 12, 80)
+	}
+}

@@ -1,0 +1,91 @@
+// Package mesh models a W x L 2D mesh of processors: coordinates,
+// rectangular sub-meshes, an occupancy map with allocation bookkeeping,
+// and the free-sub-mesh searches (first-fit, best-fit, constrained
+// largest-free) that the allocation strategies are built on.
+//
+// Coordinates follow the paper: processor (x, y) with 0 <= x < W,
+// 0 <= y < L; a sub-mesh S(w, l) is written (x, y, x', y') where (x, y)
+// is its base and (x', y') its end (paper Definition 1).
+package mesh
+
+import "fmt"
+
+// Coord identifies one processor in the mesh.
+type Coord struct {
+	X, Y int
+}
+
+// String renders the coordinate as "(x,y)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// ManhattanDist returns the L1 distance between two processors, which is
+// the number of links an XY-routed message traverses between them.
+func ManhattanDist(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Submesh is the rectangle of processors with base (X1, Y1) and end
+// (X2, Y2), both inclusive (paper Definition 1).
+type Submesh struct {
+	X1, Y1, X2, Y2 int
+}
+
+// Sub builds a sub-mesh from base and end coordinates.
+func Sub(x1, y1, x2, y2 int) Submesh { return Submesh{x1, y1, x2, y2} }
+
+// SubAt builds the w x l sub-mesh whose base is (x, y).
+func SubAt(x, y, w, l int) Submesh { return Submesh{x, y, x + w - 1, y + l - 1} }
+
+// W returns the sub-mesh width (extent along x).
+func (s Submesh) W() int { return s.X2 - s.X1 + 1 }
+
+// L returns the sub-mesh length (extent along y).
+func (s Submesh) L() int { return s.Y2 - s.Y1 + 1 }
+
+// Area returns the number of processors in the sub-mesh.
+func (s Submesh) Area() int { return s.W() * s.L() }
+
+// Valid reports whether the base does not exceed the end in either axis.
+func (s Submesh) Valid() bool { return s.X1 <= s.X2 && s.Y1 <= s.Y2 }
+
+// Base returns the sub-mesh base processor.
+func (s Submesh) Base() Coord { return Coord{s.X1, s.Y1} }
+
+// End returns the sub-mesh end processor.
+func (s Submesh) End() Coord { return Coord{s.X2, s.Y2} }
+
+// Contains reports whether c lies inside the sub-mesh.
+func (s Submesh) Contains(c Coord) bool {
+	return c.X >= s.X1 && c.X <= s.X2 && c.Y >= s.Y1 && c.Y <= s.Y2
+}
+
+// Overlaps reports whether two sub-meshes share any processor.
+func (s Submesh) Overlaps(o Submesh) bool {
+	return s.X1 <= o.X2 && o.X1 <= s.X2 && s.Y1 <= o.Y2 && o.Y1 <= s.Y2
+}
+
+// Nodes returns all processors of the sub-mesh in row-major order.
+func (s Submesh) Nodes() []Coord {
+	if !s.Valid() {
+		return nil
+	}
+	out := make([]Coord, 0, s.Area())
+	for y := s.Y1; y <= s.Y2; y++ {
+		for x := s.X1; x <= s.X2; x++ {
+			out = append(out, Coord{x, y})
+		}
+	}
+	return out
+}
+
+// String renders the sub-mesh as "(x1,y1,x2,y2)".
+func (s Submesh) String() string {
+	return fmt.Sprintf("(%d,%d,%d,%d)", s.X1, s.Y1, s.X2, s.Y2)
+}

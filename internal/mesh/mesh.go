@@ -1,0 +1,221 @@
+package mesh
+
+import "fmt"
+
+// Mesh is the occupancy model of a W x L mesh: which processors are
+// allocated, how many are free, and the searches over the free set.
+// It is not safe for concurrent use; a simulation owns one mesh.
+type Mesh struct {
+	w, l int
+	busy []bool // row-major: index = y*w + x
+
+	freeCount int
+
+	// rightRun[y*w+x] is the number of consecutive free processors at
+	// (x,y),(x+1,y),... It backs the rectangle searches and is rebuilt
+	// lazily after occupancy changes.
+	rightRun []int
+	dirty    bool
+}
+
+// New returns an empty (fully free) w x l mesh.
+func New(w, l int) *Mesh {
+	if w <= 0 || l <= 0 {
+		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", w, l))
+	}
+	return &Mesh{
+		w:         w,
+		l:         l,
+		busy:      make([]bool, w*l),
+		freeCount: w * l,
+		rightRun:  make([]int, w*l),
+		dirty:     true,
+	}
+}
+
+// W returns the mesh width.
+func (m *Mesh) W() int { return m.w }
+
+// L returns the mesh length.
+func (m *Mesh) L() int { return m.l }
+
+// Size returns the total number of processors.
+func (m *Mesh) Size() int { return m.w * m.l }
+
+// FreeCount returns the number of unallocated processors.
+func (m *Mesh) FreeCount() int { return m.freeCount }
+
+// BusyCount returns the number of allocated processors.
+func (m *Mesh) BusyCount() int { return m.Size() - m.freeCount }
+
+// InBounds reports whether c is a processor of this mesh.
+func (m *Mesh) InBounds(c Coord) bool {
+	return c.X >= 0 && c.X < m.w && c.Y >= 0 && c.Y < m.l
+}
+
+// Index maps a coordinate to its row-major index.
+func (m *Mesh) Index(c Coord) int { return c.Y*m.w + c.X }
+
+// CoordOf maps a row-major index back to a coordinate.
+func (m *Mesh) CoordOf(i int) Coord { return Coord{i % m.w, i / m.w} }
+
+// Busy reports whether processor c is allocated.
+func (m *Mesh) Busy(c Coord) bool { return m.busy[m.Index(c)] }
+
+// Allocate marks the processors busy. It returns an error — without
+// side effects — if any is out of bounds or already allocated; a
+// strategy asking for an occupied processor is a bug, and catching it
+// here keeps every allocator honest.
+func (m *Mesh) Allocate(nodes []Coord) error {
+	for _, c := range nodes {
+		if !m.InBounds(c) {
+			return fmt.Errorf("mesh: allocate out of bounds %v", c)
+		}
+		if m.busy[m.Index(c)] {
+			return fmt.Errorf("mesh: allocate already-busy %v", c)
+		}
+	}
+	// Reject duplicate coordinates inside one request.
+	for i, c := range nodes {
+		m.busy[m.Index(c)] = true
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[j] == c {
+				// Roll back what we set so far.
+				for k := 0; k <= i; k++ {
+					m.busy[m.Index(nodes[k])] = false
+				}
+				return fmt.Errorf("mesh: duplicate coordinate %v in request", c)
+			}
+		}
+	}
+	m.freeCount -= len(nodes)
+	m.dirty = true
+	return nil
+}
+
+// AllocateSub marks an entire sub-mesh busy.
+func (m *Mesh) AllocateSub(s Submesh) error {
+	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
+		return fmt.Errorf("mesh: allocate invalid sub-mesh %v", s)
+	}
+	for y := s.Y1; y <= s.Y2; y++ {
+		for x := s.X1; x <= s.X2; x++ {
+			if m.busy[y*m.w+x] {
+				return fmt.Errorf("mesh: sub-mesh %v overlaps busy %v", s, Coord{x, y})
+			}
+		}
+	}
+	for y := s.Y1; y <= s.Y2; y++ {
+		for x := s.X1; x <= s.X2; x++ {
+			m.busy[y*m.w+x] = true
+		}
+	}
+	m.freeCount -= s.Area()
+	m.dirty = true
+	return nil
+}
+
+// Release marks the processors free. Releasing a free processor is an
+// error for the same reason double-allocation is.
+func (m *Mesh) Release(nodes []Coord) error {
+	for _, c := range nodes {
+		if !m.InBounds(c) {
+			return fmt.Errorf("mesh: release out of bounds %v", c)
+		}
+		if !m.busy[m.Index(c)] {
+			return fmt.Errorf("mesh: release already-free %v", c)
+		}
+	}
+	for _, c := range nodes {
+		m.busy[m.Index(c)] = false
+	}
+	m.freeCount += len(nodes)
+	m.dirty = true
+	return nil
+}
+
+// ReleaseSub marks an entire sub-mesh free.
+func (m *Mesh) ReleaseSub(s Submesh) error {
+	return m.Release(s.Nodes())
+}
+
+// SubFree reports whether every processor of s is free (paper
+// Definition 3). Out-of-range sub-meshes are not free.
+func (m *Mesh) SubFree(s Submesh) bool {
+	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
+		return false
+	}
+	for y := s.Y1; y <= s.Y2; y++ {
+		for x := s.X1; x <= s.X2; x++ {
+			if m.busy[y*m.w+x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FreeNodes returns the free processors in row-major order.
+func (m *Mesh) FreeNodes() []Coord {
+	out := make([]Coord, 0, m.freeCount)
+	for i, b := range m.busy {
+		if !b {
+			out = append(out, m.CoordOf(i))
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the mesh occupancy.
+func (m *Mesh) Clone() *Mesh {
+	n := New(m.w, m.l)
+	copy(n.busy, m.busy)
+	n.freeCount = m.freeCount
+	n.dirty = true
+	return n
+}
+
+// Reset frees every processor.
+func (m *Mesh) Reset() {
+	for i := range m.busy {
+		m.busy[i] = false
+	}
+	m.freeCount = m.Size()
+	m.dirty = true
+}
+
+// String renders the occupancy as an ASCII grid, row y = L-1 at the
+// top (matching the paper's Fig. 1 orientation): '#' busy, '.' free.
+func (m *Mesh) String() string {
+	b := make([]byte, 0, (m.w+1)*m.l)
+	for y := m.l - 1; y >= 0; y-- {
+		for x := 0; x < m.w; x++ {
+			if m.busy[y*m.w+x] {
+				b = append(b, '#')
+			} else {
+				b = append(b, '.')
+			}
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+func (m *Mesh) refresh() {
+	if !m.dirty {
+		return
+	}
+	for y := 0; y < m.l; y++ {
+		run := 0
+		for x := m.w - 1; x >= 0; x-- {
+			i := y*m.w + x
+			if m.busy[i] {
+				run = 0
+			} else {
+				run++
+			}
+			m.rightRun[i] = run
+		}
+	}
+	m.dirty = false
+}

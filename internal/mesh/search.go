@@ -1,0 +1,155 @@
+package mesh
+
+// This file implements the free-rectangle searches used by the
+// allocation strategies. All of them run on the lazily maintained
+// rightRun table: rightRun[x,y] is the count of consecutive free
+// processors starting at (x,y) going right, so a w x l sub-mesh based at
+// (x,y) is free iff min(rightRun[x,y..y+l-1]) >= w.
+
+// FirstFit returns the first (row-major base order) free w x l sub-mesh,
+// the classic contiguous first-fit search.
+func (m *Mesh) FirstFit(w, l int) (Submesh, bool) {
+	if w <= 0 || l <= 0 || w > m.w || l > m.l {
+		return Submesh{}, false
+	}
+	m.refresh()
+	for y := 0; y+l <= m.l; y++ {
+		for x := 0; x+w <= m.w; x++ {
+			if m.fitsAt(x, y, w, l) {
+				return SubAt(x, y, w, l), true
+			}
+		}
+	}
+	return Submesh{}, false
+}
+
+// fitsAt reports whether the w x l sub-mesh based at (x,y) is free,
+// assuming the rightRun table is fresh and the rectangle is in bounds.
+func (m *Mesh) fitsAt(x, y, w, l int) bool {
+	for yy := y; yy < y+l; yy++ {
+		if m.rightRun[yy*m.w+x] < w {
+			return false
+		}
+	}
+	return true
+}
+
+// BestFit returns the free w x l sub-mesh whose placement touches the
+// most busy-or-border processors along its perimeter (Zhu-style best
+// fit: prefer corners and crevices, preserving large free regions).
+// The row-major-first candidate wins ties.
+func (m *Mesh) BestFit(w, l int) (Submesh, bool) {
+	if w <= 0 || l <= 0 || w > m.w || l > m.l {
+		return Submesh{}, false
+	}
+	m.refresh()
+	best := Submesh{}
+	bestScore := -1
+	for y := 0; y+l <= m.l; y++ {
+		for x := 0; x+w <= m.w; x++ {
+			if !m.fitsAt(x, y, w, l) {
+				continue
+			}
+			s := SubAt(x, y, w, l)
+			score := m.boundaryPressure(s)
+			if score > bestScore {
+				bestScore = score
+				best = s
+			}
+		}
+	}
+	if bestScore < 0 {
+		return Submesh{}, false
+	}
+	return best, true
+}
+
+// boundaryPressure counts perimeter positions of s that abut the mesh
+// border or a busy processor.
+func (m *Mesh) boundaryPressure(s Submesh) int {
+	score := 0
+	cell := func(x, y int) {
+		if x < 0 || x >= m.w || y < 0 || y >= m.l {
+			score++ // mesh border
+			return
+		}
+		if m.busy[y*m.w+x] {
+			score++
+		}
+	}
+	for x := s.X1; x <= s.X2; x++ {
+		cell(x, s.Y1-1)
+		cell(x, s.Y2+1)
+	}
+	for y := s.Y1; y <= s.Y2; y++ {
+		cell(s.X1-1, y)
+		cell(s.X2+1, y)
+	}
+	return score
+}
+
+// LargestFree returns the free sub-mesh of maximum area subject to
+// width <= maxW, length <= maxL and area <= maxArea. Ties prefer the
+// more nearly square candidate and then row-major base order. This is
+// the search at the heart of GABL: the first piece is capped by the
+// request's sides, later pieces by the previous piece's sides, and all
+// pieces by the processors still owed.
+func (m *Mesh) LargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
+	if maxW <= 0 || maxL <= 0 || maxArea <= 0 {
+		return Submesh{}, false
+	}
+	if maxW > m.w {
+		maxW = m.w
+	}
+	if maxL > m.l {
+		maxL = m.l
+	}
+	m.refresh()
+	var (
+		best      Submesh
+		bestArea  int
+		bestSkew  int // |w - l|, lower is better on equal area
+		bestFound bool
+	)
+	for y := 0; y < m.l; y++ {
+		for x := 0; x < m.w; x++ {
+			// Grow the rectangle downward from (x,y), tracking the
+			// minimum free run; the widest rectangle of each height
+			// based here is minRun clipped by the caps.
+			minRun := m.w + 1
+			for l := 1; l <= maxL && y+l-1 < m.l; l++ {
+				run := m.rightRun[(y+l-1)*m.w+x]
+				if run == 0 {
+					break
+				}
+				if run < minRun {
+					minRun = run
+				}
+				w := minRun
+				if w > maxW {
+					w = maxW
+				}
+				if w*l > maxArea {
+					w = maxArea / l
+				}
+				if w == 0 {
+					continue
+				}
+				area := w * l
+				skew := abs(w - l)
+				if area > bestArea || (area == bestArea && bestFound && skew < bestSkew) {
+					best = SubAt(x, y, w, l)
+					bestArea = area
+					bestSkew = skew
+					bestFound = true
+				}
+			}
+		}
+	}
+	return best, bestFound
+}
+
+// LargestFreeAnywhere returns the unconstrained largest free sub-mesh.
+func (m *Mesh) LargestFreeAnywhere() (Submesh, bool) {
+	return m.LargestFree(m.w, m.l, m.Size())
+}

@@ -1,0 +1,61 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+// BenchmarkUniformTraffic measures the event-driven wormhole engine on
+// uniform random traffic over the paper's 16x22 mesh.
+func BenchmarkUniformTraffic(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := des.NewEngine()
+		n := New(eng, 16, 22, DefaultConfig())
+		s := stats.NewStream(1)
+		for k := 0; k < 2000; k++ {
+			src := mesh.Coord{X: s.Intn(16), Y: s.Intn(22)}
+			dst := mesh.Coord{X: s.Intn(16), Y: s.Intn(22)}
+			at := des.Time(s.Intn(4000))
+			eng.At(at, func() { n.Send(src, dst, nil) })
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTorusTraffic is the torus counterpart (wrap links, dateline
+// virtual channels).
+func BenchmarkTorusTraffic(b *testing.B) {
+	b.ReportAllocs()
+	cfg := DefaultConfig()
+	cfg.Topology = TorusTopology
+	for i := 0; i < b.N; i++ {
+		eng := des.NewEngine()
+		n := New(eng, 16, 22, cfg)
+		s := stats.NewStream(1)
+		for k := 0; k < 2000; k++ {
+			src := mesh.Coord{X: s.Intn(16), Y: s.Intn(22)}
+			dst := mesh.Coord{X: s.Intn(16), Y: s.Intn(22)}
+			at := des.Time(s.Intn(4000))
+			eng.At(at, func() { n.Send(src, dst, nil) })
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoute isolates XY path construction.
+func BenchmarkRoute(b *testing.B) {
+	eng := des.NewEngine()
+	n := New(eng, 16, 22, DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = n.Route(mesh.Coord{X: i % 16, Y: i % 22}, mesh.Coord{X: (i + 7) % 16, Y: (i + 13) % 22})
+	}
+}

@@ -1,0 +1,344 @@
+// Package network simulates a wormhole-switched 2D mesh interconnect at
+// channel granularity on top of the des engine.
+//
+// Model (see DESIGN.md §3.2): every unidirectional link — including each
+// node's injection and ejection links — is a channel that one packet
+// (worm) holds at a time, with a FIFO queue of waiting headers. A packet
+// follows the XY dimension-ordered route from source to destination. The
+// header crosses a channel in one cycle and spends RouterDelay (the
+// paper's t_s) cycles in each router before requesting the next channel.
+// If the next channel is busy the header waits — while continuing to
+// hold every channel the worm stretches over, which is wormhole's
+// chained blocking. Routers buffer BufferDepth flits per channel
+// (ProcSimity's routers have small per-channel FIFO buffers), so a worm
+// of PacketLen flits stretches over ceil(PacketLen/BufferDepth)
+// channels: the tail frees channel j-W exactly when the header acquires
+// channel j, a stalled header therefore stalls the tail, and the body
+// drains one channel per cycle once the header reaches the destination.
+// XY routing is deadlock-free on the mesh, so the FIFO channel queues
+// cannot form a cyclic wait.
+//
+// Per-packet latency (injection to tail delivery) and blocking time
+// (total time the header spent queued for channels) are reported through
+// the delivery callback; these are the paper's "average packet latency"
+// and "average packet blocking time".
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/mesh"
+)
+
+// Direction indexes a node's output channels.
+type Direction int
+
+// The four mesh directions plus the processor-router links.
+const (
+	East   Direction = iota // +x
+	West                    // -x
+	North                   // +y
+	South                   // -y
+	Inject                  // processor -> router (source)
+	Eject                   // router -> processor (destination)
+	numDirs
+)
+
+var dirNames = [...]string{"East", "West", "North", "South", "Inject", "Eject"}
+
+// String names the direction.
+func (d Direction) String() string {
+	if d < 0 || int(d) >= len(dirNames) {
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+	return dirNames[d]
+}
+
+// Config carries the network parameters from the paper's Section 5.
+type Config struct {
+	// RouterDelay is t_s, the cycles a header spends being routed
+	// through a node. The paper (after ProcSimity) uses 3.
+	RouterDelay float64
+	// PacketLen is P_len, the packet length in flits. The paper uses 8.
+	PacketLen int
+	// BufferDepth is the per-channel router FIFO depth in flits. A
+	// worm spans ceil(PacketLen/BufferDepth) channels; depth 1 is
+	// classic single-flit wormhole (the worm stretches over PacketLen
+	// channels), large depths approach virtual cut-through.
+	BufferDepth int
+	// Topology selects mesh (the paper) or torus (its future work).
+	Topology Topology
+}
+
+// DefaultConfig returns the paper's parameters: t_s = 3, P_len = 8,
+// with classic single-flit wormhole buffers.
+func DefaultConfig() Config {
+	return Config{RouterDelay: 3, PacketLen: 8, BufferDepth: 1}
+}
+
+// window returns the number of channels a worm spans.
+func (c Config) window() int {
+	w := (c.PacketLen + c.BufferDepth - 1) / c.BufferDepth
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Packet is one wormhole message in flight or delivered.
+type Packet struct {
+	ID  uint64
+	Src mesh.Coord
+	Dst mesh.Coord
+
+	CreatedAt   des.Time // injection request time
+	DeliveredAt des.Time // tail received at destination
+	Blocked     des.Time // total header queueing time
+	Hops        int      // link hops (Manhattan distance)
+
+	path []int32 // channel ids: inject, links..., eject
+	hop  int     // next channel index to acquire
+
+	waitStart des.Time // when the header began waiting (if queued)
+
+	onDelivered func(*Packet)
+}
+
+// Latency returns the packet's injection-to-delivery latency; valid
+// after delivery.
+func (p *Packet) Latency() des.Time { return p.DeliveredAt - p.CreatedAt }
+
+type channel struct {
+	busy  bool
+	queue []*Packet // FIFO of waiting headers
+}
+
+// Network is the wormhole interconnect for a w x l mesh.
+type Network struct {
+	eng *des.Engine
+	w   int
+	l   int
+	cfg Config
+
+	channels []channel
+	inFlight int
+	nextID   uint64
+
+	delivered uint64
+	grants    uint64
+	releases  uint64
+}
+
+// New builds the interconnect on the given engine and mesh dimensions.
+func New(eng *des.Engine, w, l int, cfg Config) *Network {
+	if w <= 0 || l <= 0 {
+		panic(fmt.Sprintf("network: invalid dimensions %dx%d", w, l))
+	}
+	if cfg.PacketLen < 1 {
+		panic("network: PacketLen must be at least 1 flit")
+	}
+	if cfg.RouterDelay < 0 {
+		panic("network: negative RouterDelay")
+	}
+	if cfg.BufferDepth < 1 {
+		panic("network: BufferDepth must be at least 1 flit")
+	}
+	return &Network{
+		eng:      eng,
+		w:        w,
+		l:        l,
+		cfg:      cfg,
+		channels: make([]channel, w*l*int(numDirs)*numVCs),
+	}
+}
+
+// W returns the mesh width.
+func (n *Network) W() int { return n.w }
+
+// L returns the mesh length.
+func (n *Network) L() int { return n.l }
+
+// Config returns the network parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// InFlight returns the number of packets not yet fully delivered.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Delivered returns the count of fully delivered packets.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// BusyChannels returns how many channels are currently held; useful for
+// conservation checks in tests.
+func (n *Network) BusyChannels() int {
+	c := 0
+	for i := range n.channels {
+		if n.channels[i].busy {
+			c++
+		}
+	}
+	return c
+}
+
+// chanID computes the channel id for node (x,y) direction d on virtual
+// channel 0.
+func (n *Network) chanID(x, y int, d Direction) int32 {
+	return n.chanIDVC(x, y, d, 0)
+}
+
+// chanIDVC computes the channel id for node (x,y), direction d, virtual
+// channel vc.
+func (n *Network) chanIDVC(x, y int, d Direction, vc int) int32 {
+	return int32(((y*n.w+x)*int(numDirs)+int(d))*numVCs + vc)
+}
+
+// NoContentionLatency returns the latency of a packet over d link hops
+// through an idle network: the header acquires d+2 channels (inject, d
+// links, eject) at a rate of one per 1+RouterDelay cycles, and the tail
+// lands PacketLen cycles after the last acquisition.
+func (n *Network) NoContentionLatency(d int) des.Time {
+	return des.Time(d+1)*(1+n.cfg.RouterDelay) + des.Time(n.cfg.PacketLen)
+}
+
+// Route returns the XY dimension-ordered channel path from src to dst:
+// correct x first, then y, bracketed by src's injection and dst's
+// ejection channels. On the torus each dimension takes the minimal ring
+// direction with the dateline virtual-channel switch (see Topology).
+func (n *Network) Route(src, dst mesh.Coord) []int32 {
+	n.checkCoord(src)
+	n.checkCoord(dst)
+	path := make([]int32, 0, n.cfg.Topology.Distance(n.w, n.l, src, dst)+2)
+	path = append(path, n.chanID(src.X, src.Y, Inject))
+	if n.cfg.Topology == TorusTopology {
+		path = n.torusRoute(path, src, dst)
+	} else {
+		x, y := src.X, src.Y
+		for x != dst.X {
+			if dst.X > x {
+				path = append(path, n.chanID(x, y, East))
+				x++
+			} else {
+				path = append(path, n.chanID(x, y, West))
+				x--
+			}
+		}
+		for y != dst.Y {
+			if dst.Y > y {
+				path = append(path, n.chanID(x, y, North))
+				y++
+			} else {
+				path = append(path, n.chanID(x, y, South))
+				y--
+			}
+		}
+	}
+	path = append(path, n.chanID(dst.X, dst.Y, Eject))
+	return path
+}
+
+func (n *Network) checkCoord(c mesh.Coord) {
+	if c.X < 0 || c.X >= n.w || c.Y < 0 || c.Y >= n.l {
+		panic(fmt.Sprintf("network: coordinate %v outside %dx%d mesh", c, n.w, n.l))
+	}
+}
+
+// Send injects a packet from src to dst at the current simulation time.
+// onDelivered fires (once) when the packet's tail reaches dst; it may be
+// nil. The returned packet's metric fields are final only after
+// delivery.
+func (n *Network) Send(src, dst mesh.Coord, onDelivered func(*Packet)) *Packet {
+	p := &Packet{
+		ID:          n.nextID,
+		Src:         src,
+		Dst:         dst,
+		CreatedAt:   n.eng.Now(),
+		Hops:        n.cfg.Topology.Distance(n.w, n.l, src, dst),
+		path:        n.Route(src, dst),
+		onDelivered: onDelivered,
+	}
+	n.nextID++
+	n.inFlight++
+	n.request(p)
+	return p
+}
+
+// request asks for the packet's next channel, queueing on contention.
+// A stalled header freezes the worm behind it: tail releases are driven
+// by header progress, so they simply do not happen while the header
+// waits — wormhole's chained blocking.
+func (n *Network) request(p *Packet) {
+	ch := &n.channels[p.path[p.hop]]
+	if ch.busy {
+		ch.queue = append(ch.queue, p)
+		p.waitStart = n.eng.Now()
+		return
+	}
+	n.grant(p)
+}
+
+// grant gives the packet channel p.hop and advances the header. The
+// worm spans window() channels, so acquiring channel j frees channel
+// j-window.
+func (n *Network) grant(p *Packet) {
+	j := p.hop
+	ch := &n.channels[p.path[j]]
+	if ch.busy {
+		panic("network: grant of busy channel")
+	}
+	ch.busy = true
+	n.grants++
+	p.hop++
+
+	if tail := j - n.cfg.window(); tail >= 0 {
+		n.release(p.path[tail])
+	}
+
+	if j < len(p.path)-1 {
+		// Cross this channel (1 cycle), then spend RouterDelay in the
+		// next router before requesting the next channel.
+		n.eng.Schedule(1+n.cfg.RouterDelay, func() { n.request(p) })
+		return
+	}
+
+	// Header acquired the ejection channel; the tail lands PacketLen
+	// cycles later and the still-held trailing channels drain one per
+	// cycle behind it.
+	last := len(p.path) - 1
+	deliverAt := n.eng.Now() + des.Time(n.cfg.PacketLen)
+	lo := last - n.cfg.window() + 1
+	if lo < 0 {
+		lo = 0
+	}
+	for k := lo; k <= last; k++ {
+		id := p.path[k]
+		n.eng.At(deliverAt-des.Time(last-k), func() { n.release(id) })
+	}
+	n.eng.At(deliverAt, func() { n.deliver(p) })
+}
+
+// release frees a channel and hands it to the next queued header.
+func (n *Network) release(id int32) {
+	ch := &n.channels[id]
+	if !ch.busy {
+		panic("network: release of free channel")
+	}
+	ch.busy = false
+	n.releases++
+	if len(ch.queue) == 0 {
+		return
+	}
+	next := ch.queue[0]
+	ch.queue = ch.queue[:copy(ch.queue, ch.queue[1:])]
+	next.Blocked += n.eng.Now() - next.waitStart
+	n.grant(next)
+}
+
+// deliver finalises the packet once its tail reaches the destination.
+func (n *Network) deliver(p *Packet) {
+	p.DeliveredAt = n.eng.Now()
+	n.inFlight--
+	n.delivered++
+	if p.onDelivered != nil {
+		p.onDelivered(p)
+	}
+}

@@ -1,0 +1,128 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+)
+
+// Topology selects the interconnect shape. The paper evaluates the 2D
+// mesh; the torus is its stated future work (§6: "it would be
+// interesting to assess the performance of the allocation strategies on
+// other common multicomputer networks, such as torus networks") and is
+// provided for the topology ablation.
+type Topology int
+
+// Supported topologies.
+const (
+	// MeshTopology is the paper's W x L mesh with bidirectional links
+	// between neighbours.
+	MeshTopology Topology = iota
+	// TorusTopology adds wrap-around links in both dimensions.
+	// Dimension-ordered routing takes the minimal direction around
+	// each ring; deadlock freedom on the rings uses two virtual
+	// channels with the Dally-Seitz dateline scheme: a packet starts
+	// on VC0 and switches to VC1 when it crosses the wrap-around link,
+	// breaking the ring's channel-dependency cycle.
+	TorusTopology
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case MeshTopology:
+		return "mesh"
+	case TorusTopology:
+		return "torus"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// ParseTopology resolves a topology name as used by cmd flags.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "mesh":
+		return MeshTopology, nil
+	case "torus":
+		return TorusTopology, nil
+	default:
+		return 0, fmt.Errorf("network: unknown topology %q", s)
+	}
+}
+
+// numVCs is the virtual channel count per physical link: VC1 exists
+// only for torus dateline crossing but is allocated uniformly to keep
+// channel indexing trivial.
+const numVCs = 2
+
+// Distance returns the link distance between two nodes under the
+// topology: Manhattan on the mesh, minimal ring distance per dimension
+// on the torus.
+func (t Topology) Distance(w, l int, a, b mesh.Coord) int {
+	if t == MeshTopology {
+		return mesh.ManhattanDist(a, b)
+	}
+	return ringDist(a.X, b.X, w) + ringDist(a.Y, b.Y, l)
+}
+
+func ringDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// ringSteps returns the per-hop step (+1 or -1) and hop count from a to
+// b on an n-ring, taking the minimal direction with ties broken toward
+// +1 (matching dimension-ordered routers).
+func ringSteps(a, b, n int) (step, hops int) {
+	if a == b {
+		return 0, 0
+	}
+	fwd := (b - a + n) % n // hops going +1
+	bwd := n - fwd         // hops going -1
+	if fwd <= bwd {
+		return 1, fwd
+	}
+	return -1, bwd
+}
+
+// torusRoute appends the dimension-ordered torus path from src to dst
+// to path: x-ring first, then y-ring, with the dateline VC switch at
+// each wrap-around crossing.
+func (n *Network) torusRoute(path []int32, src, dst mesh.Coord) []int32 {
+	x, y := src.X, src.Y
+	step, hops := ringSteps(x, dst.X, n.w)
+	vc := 0
+	for h := 0; h < hops; h++ {
+		dir := East
+		if step < 0 {
+			dir = West
+		}
+		// Crossing the wrap link (between W-1 and 0) switches to VC1.
+		if (step > 0 && x == n.w-1) || (step < 0 && x == 0) {
+			vc = 1
+		}
+		path = append(path, n.chanIDVC(x, y, dir, vc))
+		x = (x + step + n.w) % n.w
+	}
+	step, hops = ringSteps(y, dst.Y, n.l)
+	vc = 0
+	for h := 0; h < hops; h++ {
+		dir := North
+		if step < 0 {
+			dir = South
+		}
+		if (step > 0 && y == n.l-1) || (step < 0 && y == 0) {
+			vc = 1
+		}
+		path = append(path, n.chanIDVC(x, y, dir, vc))
+		y = (y + step + n.l) % n.l
+	}
+	return path
+}

@@ -1,0 +1,199 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+func torusNet(tb testing.TB, w, l int) (*des.Engine, *Network) {
+	tb.Helper()
+	eng := des.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Topology = TorusTopology
+	return eng, New(eng, w, l, cfg)
+}
+
+func TestTopologyNamesAndParse(t *testing.T) {
+	if MeshTopology.String() != "mesh" || TorusTopology.String() != "torus" {
+		t.Fatal("topology names wrong")
+	}
+	if Topology(7).String() != "Topology(7)" {
+		t.Fatal("unknown topology name wrong")
+	}
+	for _, s := range []string{"mesh", "torus"} {
+		tp, err := ParseTopology(s)
+		if err != nil || tp.String() != s {
+			t.Fatalf("ParseTopology(%q) = %v, %v", s, tp, err)
+		}
+	}
+	if _, err := ParseTopology("hypercube"); err == nil {
+		t.Fatal("ParseTopology accepted unknown")
+	}
+}
+
+func TestTorusDistanceWraps(t *testing.T) {
+	a, b := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 15, Y: 21}
+	if d := MeshTopology.Distance(16, 22, a, b); d != 36 {
+		t.Fatalf("mesh distance = %d, want 36", d)
+	}
+	// Torus: one wrap hop in each dimension.
+	if d := TorusTopology.Distance(16, 22, a, b); d != 2 {
+		t.Fatalf("torus distance = %d, want 2", d)
+	}
+	// Mid-mesh pairs are unaffected.
+	c, e := mesh.Coord{X: 4, Y: 5}, mesh.Coord{X: 7, Y: 9}
+	if TorusTopology.Distance(16, 22, c, e) != MeshTopology.Distance(16, 22, c, e) {
+		t.Fatal("torus distance differs for non-wrapping pair")
+	}
+}
+
+func TestRingSteps(t *testing.T) {
+	cases := []struct {
+		a, b, n, step, hops int
+	}{
+		{0, 3, 8, 1, 3},
+		{3, 0, 8, -1, 3},
+		{0, 7, 8, -1, 1}, // wrap backwards
+		{7, 0, 8, 1, 1},  // wrap forwards
+		{2, 6, 8, 1, 4},  // tie: forward
+		{5, 5, 8, 0, 0},
+	}
+	for _, c := range cases {
+		step, hops := ringSteps(c.a, c.b, c.n)
+		if step != c.step || hops != c.hops {
+			t.Errorf("ringSteps(%d,%d,%d) = %d,%d want %d,%d",
+				c.a, c.b, c.n, step, hops, c.step, c.hops)
+		}
+	}
+}
+
+func TestTorusRouteLengthMinimal(t *testing.T) {
+	_, n := torusNet(t, 8, 8)
+	src, dst := mesh.Coord{X: 7, Y: 7}, mesh.Coord{X: 0, Y: 0}
+	path := n.Route(src, dst)
+	// inject + 1 wrap east + 1 wrap north + eject.
+	if len(path) != 4 {
+		t.Fatalf("torus wrap path length = %d, want 4", len(path))
+	}
+}
+
+func TestTorusDatelineVCSwitch(t *testing.T) {
+	_, n := torusNet(t, 8, 1)
+	// 6 -> 1 forward is 3 hops crossing the wrap at x=7.
+	path := n.Route(mesh.Coord{X: 6, Y: 0}, mesh.Coord{X: 1, Y: 0})
+	if len(path) != 5 {
+		t.Fatalf("path length = %d, want 5", len(path))
+	}
+	want := []int32{
+		n.chanIDVC(6, 0, East, 0), // before the dateline: VC0
+		n.chanIDVC(7, 0, East, 1), // wrap link: VC1
+		n.chanIDVC(0, 0, East, 1), // after: stays VC1
+	}
+	for i, w := range want {
+		if path[1+i] != w {
+			t.Fatalf("hop %d channel = %d, want %d", i, path[1+i], w)
+		}
+	}
+}
+
+func TestTorusSinglePacketLatency(t *testing.T) {
+	eng, n := torusNet(t, 8, 8)
+	var got *Packet
+	// Distance 2 on the torus (wrap both dimensions).
+	n.Send(mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 7, Y: 7}, func(p *Packet) { got = p })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Hops != 2 {
+		t.Fatalf("hops = %d, want 2", got.Hops)
+	}
+	if got.Latency() != n.NoContentionLatency(2) {
+		t.Fatalf("latency = %v, want %v", got.Latency(), n.NoContentionLatency(2))
+	}
+}
+
+// Property: torus routes are valid (right length, start inject, end
+// eject) and random torus traffic always drains — the dateline VC
+// scheme keeps the rings deadlock-free.
+func TestPropertyTorusTrafficDrains(t *testing.T) {
+	f := func(seed int64) bool {
+		eng, n := torusNet(t, 6, 6)
+		s := stats.NewStream(seed)
+		count := s.Intn(80) + 1
+		for i := 0; i < count; i++ {
+			src := mesh.Coord{X: s.Intn(6), Y: s.Intn(6)}
+			dst := mesh.Coord{X: s.Intn(6), Y: s.Intn(6)}
+			at := des.Time(s.Intn(40))
+			eng.At(at, func() { n.Send(src, dst, nil) })
+		}
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return n.InFlight() == 0 && n.BusyChannels() == 0 && int(n.Delivered()) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Heavy ring pressure across the dateline in both directions: the
+// classic wormhole-torus deadlock scenario must drain with VCs.
+func TestTorusRingPressureDrains(t *testing.T) {
+	eng, n := torusNet(t, 8, 1)
+	sent := 0
+	for i := 0; i < 8; i++ {
+		for k := 0; k < 4; k++ {
+			src := mesh.Coord{X: i, Y: 0}
+			dst := mesh.Coord{X: (i + 3) % 8, Y: 0}
+			n.Send(src, dst, nil)
+			sent++
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if int(n.Delivered()) != sent || n.BusyChannels() != 0 {
+		t.Fatalf("delivered %d of %d, %d channels busy",
+			n.Delivered(), sent, n.BusyChannels())
+	}
+}
+
+func TestMeshTopologyUnchangedByVCSpace(t *testing.T) {
+	// Mesh routes use VC0 only; latency semantics are identical to the
+	// pre-torus model.
+	eng, n := newNet(t, 8, 8)
+	var got *Packet
+	n.Send(mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 3, Y: 2}, func(p *Packet) { got = p })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Latency() != n.NoContentionLatency(5) {
+		t.Fatalf("latency = %v", got.Latency())
+	}
+}
+
+func TestTorusShortensMeanDistance(t *testing.T) {
+	// Mean pairwise distance over the whole 16x22 node set must be
+	// strictly smaller on the torus.
+	var meshSum, torusSum, pairs int
+	for ax := 0; ax < 16; ax++ {
+		for ay := 0; ay < 22; ay++ {
+			for bx := 0; bx < 16; bx++ {
+				for by := 0; by < 22; by++ {
+					a, b := mesh.Coord{X: ax, Y: ay}, mesh.Coord{X: bx, Y: by}
+					meshSum += MeshTopology.Distance(16, 22, a, b)
+					torusSum += TorusTopology.Distance(16, 22, a, b)
+					pairs++
+				}
+			}
+		}
+	}
+	if torusSum >= meshSum {
+		t.Fatalf("torus mean distance %v >= mesh %v",
+			float64(torusSum)/float64(pairs), float64(meshSum)/float64(pairs))
+	}
+}

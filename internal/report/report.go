@@ -1,0 +1,184 @@
+// Package report renders experiment series for consumption outside the
+// simulator: CSV for plotting tools and ASCII line charts for terminal
+// inspection of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a plot-ready grid: X values (the load axis) against one Y
+// series per labelled line (the strategy/scheduler pairings).
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Line
+}
+
+// Line is one labelled series over the table's X axis.
+type Line struct {
+	Label string
+	Y     []float64
+}
+
+// Validate checks structural consistency: every series must cover the
+// X axis.
+func (t *Table) Validate() error {
+	if len(t.X) == 0 {
+		return fmt.Errorf("report: table %q has no x values", t.Title)
+	}
+	for _, s := range t.Series {
+		if len(s.Y) != len(t.X) {
+			return fmt.Errorf("report: series %q has %d points for %d x values",
+				s.Label, len(s.Y), len(t.X))
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the table as CSV: header "x,label1,label2,...", one
+// row per X value.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cols := []string{t.XLabel}
+	for _, s := range t.Series {
+		cols = append(cols, csvEscape(s.Label))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, x := range t.X {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range t.Series {
+			row = append(row, fmt.Sprintf("%g", s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Chart renders the table as a width x height ASCII line chart with one
+// letter per series, a y-axis scale and a legend — the terminal
+// counterpart of the paper's figures.
+func (t *Table) Chart(width, height int) string {
+	if err := t.Validate(); err != nil {
+		return err.Error()
+	}
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		return "report: no finite data"
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	xmin, xmax := t.X[0], t.X[len(t.X)-1]
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		return clamp(r, 0, height-1)
+	}
+	for si, s := range t.Series {
+		mark := byte('A' + si%26)
+		for i, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			grid[row(y)][col(t.X[i])] = mark
+			// Connect to the next point with a sparse line.
+			if i+1 < len(t.X) {
+				interpolate(grid, col(t.X[i]), row(y), col(t.X[i+1]), row(s.Y[i+1]))
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	for r, line := range grid {
+		yVal := ymax - float64(r)/float64(height-1)*(ymax-ymin)
+		fmt.Fprintf(&b, "%10.4g |%s|\n", yVal, string(line))
+	}
+	fmt.Fprintf(&b, "%10s  %-*g%*g\n", t.XLabel, width/2, xmin, width-width/2, xmax)
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", 'A'+si%26, s.Label)
+	}
+	return b.String()
+}
+
+// interpolate draws '.' along the segment between two grid points,
+// leaving series marks intact.
+func interpolate(grid [][]byte, c0, r0, c1, r1 int) {
+	steps := max(abs(c1-c0), abs(r1-r0))
+	for s := 1; s < steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = '.'
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

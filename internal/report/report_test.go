@@ -1,0 +1,131 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	return &Table{
+		Title:  "fig: demo",
+		XLabel: "load",
+		YLabel: "latency",
+		X:      []float64{0.001, 0.002, 0.003},
+		Series: []Line{
+			{Label: "GABL(FCFS)", Y: []float64{10, 20, 30}},
+			{Label: "MBS(FCFS)", Y: []float64{15, 25, 40}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sample()
+	bad.Series[0].Y = bad.Series[0].Y[:2]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	empty := &Table{Title: "x"}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "load,GABL(FCFS),MBS(FCFS)" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0.001,10,15" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+}
+
+func TestWriteCSVEscapes(t *testing.T) {
+	tab := sample()
+	tab.Series[0].Label = `odd,"label"`
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"odd,""label"""`) {
+		t.Fatalf("label not escaped: %q", strings.Split(b.String(), "\n")[0])
+	}
+}
+
+func TestWriteCSVRejectsInvalid(t *testing.T) {
+	bad := sample()
+	bad.Series[0].Y = nil
+	var b strings.Builder
+	if err := bad.WriteCSV(&b); err == nil {
+		t.Fatal("invalid table written")
+	}
+}
+
+func TestChartContainsSeriesAndLegend(t *testing.T) {
+	out := sample().Chart(40, 10)
+	for _, want := range []string{"fig: demo", "A = GABL(FCFS)", "B = MBS(FCFS)", "load"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatal("chart has no series marks")
+	}
+}
+
+func TestChartOrientation(t *testing.T) {
+	// Increasing series: the mark for the max must appear on an
+	// earlier (higher) row... i.e. the first data row should carry the
+	// max y label at top.
+	out := sample().Chart(30, 8)
+	lines := strings.Split(out, "\n")
+	// line 0 is title; line 1 is the top row with y = 40.
+	if !strings.Contains(lines[1], "40") {
+		t.Fatalf("top row label = %q, want 40", lines[1])
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	flat := &Table{
+		Title: "flat", XLabel: "x",
+		X:      []float64{1, 2},
+		Series: []Line{{Label: "s", Y: []float64{5, 5}}},
+	}
+	if out := flat.Chart(20, 5); !strings.Contains(out, "A") {
+		t.Fatalf("flat chart broken:\n%s", out)
+	}
+	nan := &Table{
+		Title: "nan", XLabel: "x",
+		X:      []float64{1, 2},
+		Series: []Line{{Label: "s", Y: []float64{math.NaN(), math.Inf(1)}}},
+	}
+	if out := nan.Chart(20, 5); !strings.Contains(out, "no finite data") {
+		t.Fatalf("nan chart = %q", out)
+	}
+	tiny := sample().Chart(1, 1) // clamped to minimums
+	if tiny == "" {
+		t.Fatal("tiny chart empty")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	one := &Table{
+		Title: "one", XLabel: "x",
+		X:      []float64{3},
+		Series: []Line{{Label: "s", Y: []float64{7}}},
+	}
+	if out := one.Chart(20, 5); !strings.Contains(out, "A") {
+		t.Fatalf("single-point chart broken:\n%s", out)
+	}
+}

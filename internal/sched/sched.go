@@ -1,0 +1,155 @@
+// Package sched implements the job scheduling strategies of the paper:
+// FCFS (First-Come-First-Served) and SSD (Shortest-Service-Demand),
+// plus SJF/LJF size-ordered variants for the scheduler ablation. A
+// scheduler is a queue discipline; the simulator repeatedly tries to
+// allocate the queue head and, per the paper, stops when allocation
+// fails for the current head (no bypassing in either strategy).
+package sched
+
+import "container/heap"
+
+// Queue is a scheduling discipline over queued items of type T.
+type Queue[T any] interface {
+	// Name identifies the discipline in result tables, e.g. "FCFS".
+	Name() string
+	// Push enqueues an item.
+	Push(T)
+	// PushFront reinserts an item at the head of the discipline's
+	// order. FIFO queues prepend; priority queues delegate to Push,
+	// since the key determines the position anyway. Backfilling
+	// schedulers use it to return examined-but-unstarted jobs without
+	// losing their place.
+	PushFront(T)
+	// Peek returns the next item to try without removing it.
+	Peek() (T, bool)
+	// Pop removes and returns the next item.
+	Pop() (T, bool)
+	// Len returns the number of queued items.
+	Len() int
+}
+
+// fcfs is a FIFO queue.
+type fcfs[T any] struct {
+	items []T
+}
+
+// NewFCFS returns the paper's First-Come-First-Served discipline: jobs
+// are tried strictly in arrival order.
+func NewFCFS[T any]() Queue[T] { return &fcfs[T]{} }
+
+func (q *fcfs[T]) Name() string { return "FCFS" }
+
+func (q *fcfs[T]) Push(v T) { q.items = append(q.items, v) }
+
+func (q *fcfs[T]) PushFront(v T) {
+	q.items = append([]T{v}, q.items...)
+}
+
+func (q *fcfs[T]) Peek() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+func (q *fcfs[T]) Pop() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero // release reference
+	q.items = q.items[1:]
+	return v, true
+}
+
+func (q *fcfs[T]) Len() int { return len(q.items) }
+
+// priority is a key-ordered queue with FIFO tie-break.
+type priority[T any] struct {
+	name string
+	key  func(T) float64
+	h    prioHeap[T]
+	seq  uint64
+}
+
+type prioItem[T any] struct {
+	v   T
+	key float64
+	seq uint64
+}
+
+type prioHeap[T any] []prioItem[T]
+
+func (h prioHeap[T]) Len() int { return len(h) }
+func (h prioHeap[T]) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+func (h prioHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap[T]) Push(x any)   { *h = append(*h, x.(prioItem[T])) }
+func (h *prioHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	old[n-1] = prioItem[T]{}
+	*h = old[:n-1]
+	return v
+}
+
+// NewPriority returns a discipline ordering items by ascending key with
+// FIFO tie-break. It is the building block for SSD, SJF and LJF.
+func NewPriority[T any](name string, key func(T) float64) Queue[T] {
+	if key == nil {
+		panic("sched: nil priority key")
+	}
+	return &priority[T]{name: name, key: key}
+}
+
+// NewSSD returns the paper's Shortest-Service-Demand discipline: the
+// queued job with the smallest a priori service demand is tried first.
+func NewSSD[T any](demand func(T) float64) Queue[T] {
+	return NewPriority[T]("SSD", demand)
+}
+
+// NewSJF returns Smallest-Job-First (by processor count), an ablation
+// discipline.
+func NewSJF[T any](size func(T) float64) Queue[T] {
+	return NewPriority[T]("SJF", size)
+}
+
+// NewLJF returns Largest-Job-First, an ablation discipline.
+func NewLJF[T any](size func(T) float64) Queue[T] {
+	return NewPriority[T]("LJF", func(v T) float64 { return -size(v) })
+}
+
+func (q *priority[T]) Name() string { return q.name }
+
+func (q *priority[T]) Push(v T) {
+	heap.Push(&q.h, prioItem[T]{v: v, key: q.key(v), seq: q.seq})
+	q.seq++
+}
+
+func (q *priority[T]) PushFront(v T) { q.Push(v) }
+
+func (q *priority[T]) Peek() (T, bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.h[0].v, true
+}
+
+func (q *priority[T]) Pop() (T, bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return zero, false
+	}
+	return heap.Pop(&q.h).(prioItem[T]).v, true
+}
+
+func (q *priority[T]) Len() int { return len(q.h) }

@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+type job struct {
+	id     int
+	demand float64
+}
+
+func TestFCFSOrder(t *testing.T) {
+	q := NewFCFS[job]()
+	if q.Name() != "FCFS" {
+		t.Fatalf("Name = %q", q.Name())
+	}
+	for i := 0; i < 5; i++ {
+		q.Push(job{id: i, demand: float64(100 - i)})
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		p, ok := q.Peek()
+		if !ok || p.id != i {
+			t.Fatalf("Peek %d = %+v", i, p)
+		}
+		v, ok := q.Pop()
+		if !ok || v.id != i {
+			t.Fatalf("Pop %d = %+v", i, v)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue succeeded")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue succeeded")
+	}
+}
+
+func TestFCFSPushFrontRestoresHead(t *testing.T) {
+	q := NewFCFS[job]()
+	q.Push(job{id: 1})
+	q.Push(job{id: 2})
+	head, _ := q.Pop()
+	q.PushFront(head)
+	if v, _ := q.Peek(); v.id != 1 {
+		t.Fatalf("head after PushFront = %d, want 1", v.id)
+	}
+	// Full-order restoration: pop two, push both back front in
+	// reverse, order must be 1,2.
+	a, _ := q.Pop()
+	b, _ := q.Pop()
+	q.PushFront(b)
+	q.PushFront(a)
+	for want := 1; want <= 2; want++ {
+		v, _ := q.Pop()
+		if v.id != want {
+			t.Fatalf("restored order broken at %d: got %d", want, v.id)
+		}
+	}
+}
+
+func TestPriorityPushFrontKeepsKeyOrder(t *testing.T) {
+	q := NewSSD(func(j job) float64 { return j.demand })
+	q.Push(job{id: 1, demand: 10})
+	q.Push(job{id: 2, demand: 20})
+	head, _ := q.Pop()
+	q.PushFront(head) // delegates to Push; key still wins
+	if v, _ := q.Peek(); v.demand != 10 {
+		t.Fatalf("priority head after PushFront = %v, want demand 10", v.demand)
+	}
+}
+
+func TestSSDOrdersByDemand(t *testing.T) {
+	q := NewSSD(func(j job) float64 { return j.demand })
+	if q.Name() != "SSD" {
+		t.Fatalf("Name = %q", q.Name())
+	}
+	demands := []float64{50, 10, 90, 30, 70}
+	for i, d := range demands {
+		q.Push(job{id: i, demand: d})
+	}
+	want := []float64{10, 30, 50, 70, 90}
+	for _, d := range want {
+		v, ok := q.Pop()
+		if !ok || v.demand != d {
+			t.Fatalf("Pop = %+v, want demand %v", v, d)
+		}
+	}
+}
+
+func TestSSDFIFOTieBreak(t *testing.T) {
+	q := NewSSD(func(j job) float64 { return j.demand })
+	for i := 0; i < 10; i++ {
+		q.Push(job{id: i, demand: 42})
+	}
+	for i := 0; i < 10; i++ {
+		v, _ := q.Pop()
+		if v.id != i {
+			t.Fatalf("equal-demand pop %d has id %d (tie-break not FIFO)", i, v.id)
+		}
+	}
+}
+
+func TestSJFAndLJF(t *testing.T) {
+	size := func(j job) float64 { return j.demand }
+	sjf := NewSJF(size)
+	ljf := NewLJF(size)
+	if sjf.Name() != "SJF" || ljf.Name() != "LJF" {
+		t.Fatal("names wrong")
+	}
+	for _, d := range []float64{5, 1, 9} {
+		sjf.Push(job{demand: d})
+		ljf.Push(job{demand: d})
+	}
+	if v, _ := sjf.Pop(); v.demand != 1 {
+		t.Fatalf("SJF first = %v", v.demand)
+	}
+	if v, _ := ljf.Pop(); v.demand != 9 {
+		t.Fatalf("LJF first = %v", v.demand)
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := NewSSD(func(j job) float64 { return j.demand })
+	q.Push(job{id: 1, demand: 3})
+	for i := 0; i < 3; i++ {
+		if _, ok := q.Peek(); !ok {
+			t.Fatal("Peek failed")
+		}
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after Peeks", q.Len())
+	}
+}
+
+func TestNewPriorityNilKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil key did not panic")
+		}
+	}()
+	NewPriority[job]("X", nil)
+}
+
+// Property: SSD pops in nondecreasing demand order under random input.
+func TestPropertySSDSorted(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		s := stats.NewStream(seed)
+		n := int(nRaw%100) + 1
+		q := NewSSD(func(j job) float64 { return j.demand })
+		var demands []float64
+		for i := 0; i < n; i++ {
+			d := s.Exp(100)
+			demands = append(demands, d)
+			q.Push(job{id: i, demand: d})
+		}
+		sort.Float64s(demands)
+		for _, want := range demands {
+			v, ok := q.Pop()
+			if !ok || v.demand != want {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved Push/Pop on FCFS preserves FIFO among live
+// items.
+func TestPropertyFCFSInterleaved(t *testing.T) {
+	f := func(seed int64) bool {
+		s := stats.NewStream(seed)
+		q := NewFCFS[int]()
+		next, expect := 0, 0
+		for op := 0; op < 300; op++ {
+			if q.Len() > 0 && s.Intn(2) == 0 {
+				v, ok := q.Pop()
+				if !ok || v != expect {
+					return false
+				}
+				expect++
+			} else {
+				q.Push(next)
+				next++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestExternalFragmentationContiguousOnly(t *testing.T) {
+	run := func(strategy string) Result {
+		cfg := quickCfg(strategy, "FCFS")
+		cfg.MaxCompleted = 200
+		res, err := Run(cfg, workload.NewStochastic(
+			stats.NewStream(21), 16, 22, workload.UniformSides, 0.01, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Contiguous first-fit at heavy load fails with enough free
+	// processors — the paper's motivating external fragmentation.
+	ff := run("FirstFit")
+	if ff.ExternalFragRate == 0 {
+		t.Fatal("FirstFit reported zero external fragmentation at heavy load")
+	}
+	// Non-contiguous strategies never fail with enough processors.
+	for _, s := range []string{"GABL", "Paging(0)", "MBS", "ANCA"} {
+		if r := run(s); r.ExternalFragRate != 0 {
+			t.Fatalf("%s external fragmentation = %v, want 0", s, r.ExternalFragRate)
+		}
+	}
+}
+
+func TestInternalFragmentationPagingOnly(t *testing.T) {
+	run := func(strategy string) Result {
+		cfg := quickCfg(strategy, "FCFS")
+		cfg.MeshW, cfg.MeshL = 16, 16 // divisible by 2x2 pages
+		cfg.MaxCompleted = 100
+		res, err := Run(cfg, workload.NewStochastic(
+			stats.NewStream(23), 16, 16, workload.UniformSides, 0.002, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if p1 := run("Paging(1)"); p1.InternalFrag <= 0 {
+		t.Fatalf("Paging(1) internal fragmentation = %v, want > 0", p1.InternalFrag)
+	}
+	for _, s := range []string{"GABL", "Paging(0)", "MBS"} {
+		if r := run(s); r.InternalFrag != 0 {
+			t.Fatalf("%s internal fragmentation = %v, want 0", s, r.InternalFrag)
+		}
+	}
+}
+
+func TestFragRatesWithinUnit(t *testing.T) {
+	cfg := quickCfg("FirstFit", "FCFS")
+	cfg.MaxCompleted = 150
+	res, err := Run(cfg, stochasticSrc(29, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExternalFragRate < 0 || res.ExternalFragRate > 1 {
+		t.Fatalf("ExternalFragRate = %v", res.ExternalFragRate)
+	}
+	if res.InternalFrag < 0 || res.InternalFrag > 1 {
+		t.Fatalf("InternalFrag = %v", res.InternalFrag)
+	}
+}

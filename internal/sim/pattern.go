@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Pattern selects the communication pattern a job's processors execute.
+// The paper evaluates all-to-all exclusively — chosen "because it causes
+// much message collision and is known as the weak point for
+// non-contiguous allocation" (§5) — and the alternatives here are the
+// other ProcSimity patterns, used by the pattern ablation to show how
+// much of the strategy gap all-to-all is responsible for.
+type Pattern int
+
+// Supported communication patterns.
+const (
+	// AllToAll cycles every processor's messages over all its job
+	// partners in allocation order (the paper's pattern).
+	AllToAll Pattern = iota
+	// OneToAll is a broadcast: the job's first processor sends all the
+	// job's messages, cycling over the other processors.
+	OneToAll
+	// AllToOne is a gather: every processor sends its messages to the
+	// job's first processor (maximum ejection contention).
+	AllToOne
+	// RandomPairs draws a uniformly random partner per message.
+	RandomPairs
+	// NearNeighbour alternates between the successor and predecessor
+	// in allocation order — a 1D stencil, the gentlest pattern.
+	NearNeighbour
+)
+
+var patternNames = [...]string{
+	"all-to-all", "one-to-all", "all-to-one", "random-pairs", "near-neighbour",
+}
+
+// String names the pattern.
+func (p Pattern) String() string {
+	if p < 0 || int(p) >= len(patternNames) {
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+	return patternNames[p]
+}
+
+// ParsePattern resolves a pattern name as used by cmd flags.
+func ParsePattern(s string) (Pattern, error) {
+	for i, n := range patternNames {
+		if s == n {
+			return Pattern(i), nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown communication pattern %q", s)
+}
+
+// senders returns how many of the job's n processors inject messages.
+func (p Pattern) senders(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if p == OneToAll {
+		return 1
+	}
+	return n
+}
+
+// dest returns the destination index for sender i's k-th message among
+// n processors. rng is used only by RandomPairs.
+func (p Pattern) dest(i, k, n int, rng *stats.Stream) int {
+	switch p {
+	case AllToAll:
+		return (i + 1 + k%(n-1)) % n
+	case OneToAll:
+		return 1 + k%(n-1)
+	case AllToOne:
+		if i == 0 {
+			return 1 + k%(n-1) // the root must send somewhere too
+		}
+		return 0
+	case RandomPairs:
+		d := rng.Intn(n - 1)
+		if d >= i {
+			d++
+		}
+		return d
+	case NearNeighbour:
+		if k%2 == 0 {
+			return (i + 1) % n
+		}
+		return (i - 1 + n) % n
+	default:
+		panic(fmt.Sprintf("sim: unknown pattern %d", int(p)))
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestPatternNamesAndParse(t *testing.T) {
+	for _, p := range []Pattern{AllToAll, OneToAll, AllToOne, RandomPairs, NearNeighbour} {
+		got, err := ParsePattern(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePattern(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePattern("bogus"); err == nil {
+		t.Fatal("ParsePattern accepted bogus name")
+	}
+	if Pattern(42).String() != "Pattern(42)" {
+		t.Fatal("unknown pattern name wrong")
+	}
+}
+
+func TestPatternSenders(t *testing.T) {
+	if AllToAll.senders(1) != 0 || OneToAll.senders(1) != 0 {
+		t.Fatal("single-processor jobs must not send")
+	}
+	if AllToAll.senders(10) != 10 {
+		t.Fatal("all-to-all senders wrong")
+	}
+	if OneToAll.senders(10) != 1 {
+		t.Fatal("one-to-all senders wrong")
+	}
+	if AllToOne.senders(10) != 10 {
+		t.Fatal("all-to-one senders wrong")
+	}
+}
+
+// Property: every pattern's destination is a valid index and never the
+// sender itself.
+func TestPropertyPatternDestValid(t *testing.T) {
+	rng := stats.NewStream(5)
+	f := func(pRaw, iRaw, kRaw uint8, nRaw uint16) bool {
+		p := Pattern(int(pRaw) % 5)
+		n := int(nRaw)%50 + 2
+		i := int(iRaw) % n
+		if p == OneToAll {
+			i = 0 // only the root sends
+		}
+		k := int(kRaw)
+		d := p.dest(i, k, n, rng)
+		return d >= 0 && d < n && d != i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllCyclesAllPartners(t *testing.T) {
+	n := 6
+	seen := map[int]bool{}
+	for k := 0; k < n-1; k++ {
+		seen[AllToAll.dest(2, k, n, nil)] = true
+	}
+	if len(seen) != n-1 {
+		t.Fatalf("all-to-all reached %d of %d partners", len(seen), n-1)
+	}
+	if seen[2] {
+		t.Fatal("all-to-all sent to self")
+	}
+}
+
+func TestAllToOneConverges(t *testing.T) {
+	for i := 1; i < 8; i++ {
+		if AllToOne.dest(i, 3, 8, nil) != 0 {
+			t.Fatal("all-to-one not converging on root")
+		}
+	}
+	if AllToOne.dest(0, 0, 8, nil) == 0 {
+		t.Fatal("root sent to itself")
+	}
+}
+
+func TestNearNeighbourAlternates(t *testing.T) {
+	if NearNeighbour.dest(3, 0, 8, nil) != 4 || NearNeighbour.dest(3, 1, 8, nil) != 2 {
+		t.Fatal("near-neighbour pattern wrong")
+	}
+	if NearNeighbour.dest(0, 1, 8, nil) != 7 {
+		t.Fatal("near-neighbour wrap wrong")
+	}
+}
+
+func TestPatternsRunEndToEnd(t *testing.T) {
+	for _, p := range []Pattern{AllToAll, OneToAll, AllToOne, RandomPairs, NearNeighbour} {
+		cfg := quickCfg("GABL", "FCFS")
+		cfg.Pattern = p
+		cfg.MaxCompleted = 40
+		res, err := Run(cfg, stochasticSrc(3, 0.002))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Completed != 40 {
+			t.Fatalf("%v completed %d", p, res.Completed)
+		}
+		if res.PacketCount == 0 {
+			t.Fatalf("%v sent no packets", p)
+		}
+	}
+}
+
+// The paper's rationale for all-to-all: it stresses non-contiguity the
+// most. Near-neighbour traffic should see clearly lower latency than
+// all-to-all under the scatter-heavy Random strategy.
+func TestAllToAllStressesDispersalMost(t *testing.T) {
+	at := func(p Pattern) float64 {
+		cfg := quickCfg("Random", "FCFS")
+		cfg.Pattern = p
+		cfg.MaxCompleted = 120
+		res, err := Run(cfg, stochasticSrc(9, 0.002))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanLatency
+	}
+	a2a, nn := at(AllToAll), at(NearNeighbour)
+	if a2a <= nn {
+		t.Fatalf("all-to-all latency %v <= near-neighbour %v under Random scatter", a2a, nn)
+	}
+}
+
+func TestOneToAllFewerPackets(t *testing.T) {
+	run := func(p Pattern) int64 {
+		cfg := quickCfg("GABL", "FCFS")
+		cfg.Pattern = p
+		cfg.MaxCompleted = 30
+		res, err := Run(cfg, workload.NewSliceSource("t", fixedJobs(30)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PacketCount
+	}
+	if one, all := run(OneToAll), run(AllToAll); one >= all {
+		t.Fatalf("one-to-all packets %d >= all-to-all %d", one, all)
+	}
+}
+
+// fixedJobs builds a deterministic stream of 3x3 jobs with 4 messages.
+func fixedJobs(n int) []workload.Job {
+	jobs := make([]workload.Job, n)
+	for i := range jobs {
+		jobs[i] = workload.Job{
+			ID: i, Arrival: float64(i) * 400, W: 3, L: 3, Messages: 4,
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,433 @@
+// Package sim runs the end-to-end simulation of the paper's system: a
+// job stream (workload.Source) is scheduled (sched) onto a 2D mesh
+// (mesh) by an allocation strategy (alloc); allocated jobs execute an
+// all-to-all communication phase on the wormhole network (network) plus
+// any trace compute demand, then depart and free their processors.
+//
+// One run yields all five paper metrics: average turnaround time,
+// average service time, mean system utilization, average packet latency
+// and average packet blocking time (paper §5).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/des"
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	MeshW, MeshL int            // mesh geometry (paper: 16 x 22)
+	Network      network.Config // t_s and P_len (paper: 3 and 8)
+
+	// Strategy is the allocation strategy name understood by
+	// alloc.ByName (GABL, Paging(0), MBS, FirstFit, BestFit, Random).
+	Strategy string
+	// Scheduler is FCFS, SSD, SJF or LJF.
+	Scheduler string
+
+	// MaxCompleted stops the run after this many completed jobs
+	// (paper: 1000 per run for the stochastic workload). Zero means
+	// run until the source is exhausted and all jobs drain.
+	MaxCompleted int
+	// WarmupJobs excludes the first completions from the job and
+	// packet statistics, removing cold-start transients.
+	WarmupJobs int
+	// MaxQueued aborts pathological runs where the backlog explodes
+	// (saturated load); zero means unbounded. Runs that hit the bound
+	// report Saturated in the result rather than failing.
+	MaxQueued int
+
+	// Pattern selects the communication pattern (default AllToAll, the
+	// paper's choice; see Pattern for the ablation alternatives).
+	Pattern Pattern
+
+	// BackfillDepth allows up to this many queued jobs behind a
+	// blocked head to be tried (aggressive backfilling without
+	// reservations). Zero is the paper's semantics: allocation
+	// attempts stop when they fail for the current queue head (§4).
+	BackfillDepth int
+
+	// ThinkMean is the mean of the exponential compute gap a processor
+	// spends between its all-to-all sends (ProcSimity jobs alternate
+	// computation and communication). It desynchronises a job's
+	// injections so packet latency is dominated by distance and
+	// cross-job interference rather than the job's own send burst.
+	ThinkMean float64
+
+	// Seed drives simulation-internal randomness: think-time draws and
+	// the Random strategy's placement stream.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's experimental setup (stochastic
+// workload stopping rule).
+func DefaultConfig() Config {
+	return Config{
+		MeshW:        16,
+		MeshL:        22,
+		Network:      network.DefaultConfig(),
+		Strategy:     "GABL",
+		Scheduler:    "FCFS",
+		MaxCompleted: 1000,
+		MaxQueued:    20000,
+	}
+}
+
+// Result carries the metrics of one run.
+type Result struct {
+	Completed int      // jobs measured (excludes warmup)
+	SimTime   des.Time // simulation clock at the measurement end
+
+	MeanTurnaround float64 // paper Figs. 2-4
+	MeanService    float64 // paper Figs. 5-7
+	Utilization    float64 // paper Figs. 8-10 (busy processors / total, time-averaged)
+	MeanBlocking   float64 // paper Figs. 11-13 (per packet)
+	MeanLatency    float64 // paper Figs. 14-16 (per packet)
+
+	// P95Turnaround is the 95th-percentile turnaround (P² estimate):
+	// FCFS head-of-line blocking shows in the tail before the mean.
+	P95Turnaround float64
+
+	MeanWait     float64 // queueing delay before allocation
+	MeanPieces   float64 // sub-meshes per allocation (contiguity measure)
+	PacketCount  int64
+	MeanQueueLen float64
+	Saturated    bool // hit MaxQueued: treat means as saturation values
+
+	// ExternalFragRate is the fraction of allocation attempts that
+	// failed despite enough free processors for the request — the
+	// paper's motivating external-fragmentation measure (§1). It is
+	// zero for the non-contiguous strategies by construction.
+	ExternalFragRate float64
+	// InternalFrag is the mean fraction of allocated processors beyond
+	// the request (page rounding in Paging(size_index > 0)).
+	InternalFrag float64
+}
+
+// jobState tracks one job through the pipeline.
+type jobState struct {
+	job         workload.Job
+	allocation  alloc.Allocation
+	allocAt     des.Time
+	outstanding int // undelivered packets
+}
+
+// Simulator couples the substrates for one run. Construct with New,
+// drive with Run; a Simulator is single-use.
+type Simulator struct {
+	cfg   Config
+	eng   *des.Engine
+	mesh  *mesh.Mesh
+	net   *network.Network
+	alloc alloc.Allocator
+	queue sched.Queue[*jobState]
+	src   workload.Source
+	rng   *stats.Stream
+
+	completed int
+	done      bool
+	saturated bool
+
+	turnaround stats.Accumulator
+	service    stats.Accumulator
+	wait       stats.Accumulator
+	pieces     stats.Accumulator
+	latency    stats.Accumulator
+	blocking   stats.Accumulator
+	busyInt    stats.TimeWeighted
+	queueInt   stats.TimeWeighted
+
+	allocAttempts int64
+	extFragFails  int64
+	internalFrag  stats.Accumulator
+	turnP95       *stats.Quantile
+}
+
+// New builds a simulator for the configuration and job source.
+func New(cfg Config, src workload.Source) (*Simulator, error) {
+	if cfg.MeshW <= 0 || cfg.MeshL <= 0 {
+		return nil, fmt.Errorf("sim: invalid mesh %dx%d", cfg.MeshW, cfg.MeshL)
+	}
+	eng := des.NewEngine()
+	m := mesh.New(cfg.MeshW, cfg.MeshL)
+	if cfg.ThinkMean < 0 {
+		return nil, fmt.Errorf("sim: negative ThinkMean %v", cfg.ThinkMean)
+	}
+	al, err := alloc.ByName(cfg.Strategy, m, stats.NewStream(cfg.Seed+1))
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:     cfg,
+		eng:     eng,
+		mesh:    m,
+		net:     network.New(eng, cfg.MeshW, cfg.MeshL, cfg.Network),
+		alloc:   al,
+		src:     src,
+		rng:     stats.NewStream(cfg.Seed),
+		turnP95: stats.NewQuantile(0.95),
+	}
+	switch cfg.Scheduler {
+	case "FCFS":
+		s.queue = sched.NewFCFS[*jobState]()
+	case "SSD":
+		s.queue = sched.NewSSD(func(j *jobState) float64 { return j.job.ServiceDemand() })
+	case "SJF":
+		s.queue = sched.NewSJF(func(j *jobState) float64 { return float64(j.job.Size()) })
+	case "LJF":
+		s.queue = sched.NewLJF(func(j *jobState) float64 { return float64(j.job.Size()) })
+	default:
+		return nil, fmt.Errorf("sim: unknown scheduler %q", cfg.Scheduler)
+	}
+	return s, nil
+}
+
+// Run executes the simulation to its stopping condition and returns the
+// metrics.
+func Run(cfg Config, src workload.Source) (Result, error) {
+	s, err := New(cfg, src)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}
+
+// Run drives the event loop until MaxCompleted measured jobs, source
+// exhaustion plus drain, or saturation.
+func (s *Simulator) Run() (Result, error) {
+	s.busyInt.Observe(0, 0)
+	s.queueInt.Observe(0, 0)
+	s.scheduleNextArrival()
+	for !s.done && s.eng.Step() {
+	}
+	s.busyInt.Finish(s.eng.Now())
+	s.queueInt.Finish(s.eng.Now())
+	return s.result(), nil
+}
+
+func (s *Simulator) result() Result {
+	extFrag := 0.0
+	if s.allocAttempts > 0 {
+		extFrag = float64(s.extFragFails) / float64(s.allocAttempts)
+	}
+	return Result{
+		ExternalFragRate: extFrag,
+		Completed:        int(s.turnaround.N()),
+		SimTime:          s.eng.Now(),
+		MeanTurnaround:   s.turnaround.Mean(),
+		MeanService:      s.service.Mean(),
+		Utilization:      s.busyInt.Mean() / float64(s.mesh.Size()),
+		MeanBlocking:     s.blocking.Mean(),
+		MeanLatency:      s.latency.Mean(),
+		MeanWait:         s.wait.Mean(),
+		MeanPieces:       s.pieces.Mean(),
+		PacketCount:      s.latency.N(),
+		MeanQueueLen:     s.queueInt.Mean(),
+		Saturated:        s.saturated,
+		InternalFrag:     s.internalFrag.Mean(),
+		P95Turnaround:    s.turnP95.Value(),
+	}
+}
+
+// scheduleNextArrival pulls the next job from the source and schedules
+// its arrival event.
+func (s *Simulator) scheduleNextArrival() {
+	job, ok := s.src.Next()
+	if !ok {
+		return
+	}
+	at := job.Arrival
+	if at < s.eng.Now() {
+		// Trace time scaling can place arrivals in the engine's past
+		// relative to a warm start; clamp forward.
+		at = s.eng.Now()
+	}
+	s.eng.At(at, func() { s.arrive(job) })
+}
+
+func (s *Simulator) arrive(job workload.Job) {
+	if s.done {
+		return
+	}
+	if job.W <= 0 || job.L <= 0 || job.W > s.cfg.MeshW || job.L > s.cfg.MeshL {
+		panic(fmt.Sprintf("sim: job %d request %dx%d does not fit %dx%d mesh",
+			job.ID, job.W, job.L, s.cfg.MeshW, s.cfg.MeshL))
+	}
+	s.queue.Push(&jobState{job: job})
+	s.queueInt.Observe(s.eng.Now(), float64(s.queue.Len()))
+	if s.cfg.MaxQueued > 0 && s.queue.Len() > s.cfg.MaxQueued {
+		s.saturated = true
+		s.finish()
+		return
+	}
+	s.trySchedule()
+	s.scheduleNextArrival()
+}
+
+// trySchedule attempts to allocate queued jobs in scheduler order,
+// stopping at the first failure (paper §4: "allocation attempts stop
+// when they fail for the current queue head", for both FCFS and SSD).
+// With BackfillDepth > 0 up to that many jobs behind a blocked head are
+// tried as well (aggressive backfilling, no reservations).
+func (s *Simulator) trySchedule() {
+	for {
+		head, ok := s.queue.Peek()
+		if !ok {
+			return
+		}
+		if s.tryStart(head) {
+			s.queue.Pop()
+			s.queueInt.Observe(s.eng.Now(), float64(s.queue.Len()))
+			continue
+		}
+		if s.cfg.BackfillDepth > 0 {
+			s.backfill()
+		}
+		return
+	}
+}
+
+// tryStart attempts to allocate and launch one job, tracking the
+// fragmentation statistics. It reports whether the job started.
+func (s *Simulator) tryStart(j *jobState) bool {
+	req := alloc.Request{W: j.job.W, L: j.job.L}
+	s.allocAttempts++
+	a, ok := s.alloc.Allocate(req)
+	if !ok {
+		if req.Size() <= s.mesh.FreeCount() {
+			s.extFragFails++
+		}
+		return false
+	}
+	s.internalFrag.Add(float64(a.Size()-req.Size()) / float64(a.Size()))
+	s.start(j, a)
+	return true
+}
+
+// backfill drains up to BackfillDepth jobs behind the blocked head,
+// starting any that fit the current occupancy; the rest — and the head
+// — are reinserted at the front in their original order.
+func (s *Simulator) backfill() {
+	head, _ := s.queue.Pop() // the blocked head, reinserted below
+	var skipped []*jobState
+	for i := 0; i < s.cfg.BackfillDepth; i++ {
+		j, ok := s.queue.Pop()
+		if !ok {
+			break
+		}
+		if s.tryStart(j) {
+			continue
+		}
+		skipped = append(skipped, j)
+	}
+	for i := len(skipped) - 1; i >= 0; i-- {
+		s.queue.PushFront(skipped[i])
+	}
+	s.queue.PushFront(head)
+	s.queueInt.Observe(s.eng.Now(), float64(s.queue.Len()))
+}
+
+// start begins a job's execution on its allocation.
+func (s *Simulator) start(j *jobState, a alloc.Allocation) {
+	now := s.eng.Now()
+	j.allocation = a
+	j.allocAt = now
+	s.busyInt.Observe(now, float64(s.mesh.BusyCount()))
+
+	nodes := a.Nodes()
+	n := len(nodes)
+	senders := s.cfg.Pattern.senders(n)
+	if senders == 0 || j.job.Messages == 0 {
+		// No communication partner: residence is the compute demand.
+		s.eng.Schedule(j.job.Compute, func() { s.complete(j) })
+		return
+	}
+	// Communication phase (paper §5, ProcSimity patterns; the paper
+	// uses all-to-all): each sending processor issues Messages
+	// packets. Sends are blocking — a processor issues its next packet
+	// when the previous one is delivered — so a job communicates
+	// throughout its residence and concurrent jobs' messages
+	// interfere, which is what makes packet latency and blocking grow
+	// with system load (paper Figs. 11-16).
+	j.outstanding = senders * j.job.Messages
+	for i := 0; i < senders; i++ {
+		s.sendNext(j, nodes, i, 0)
+	}
+}
+
+// sendNext schedules processor i's k-th packet after an optional
+// compute gap (ThinkMean) and chains the (k+1)-th onto its delivery.
+// Under the paper's all-to-all pattern the k-th destination is the
+// (k+1)-th successor on the ring of the job's processors in allocation
+// order: with Messages >= n-1 this is the full all-to-all exchange;
+// with fewer messages it is the truncated all-to-all, which rewards
+// allocations that keep consecutively allocated processors physically
+// close — precisely the contiguity property the strategies differ in.
+func (s *Simulator) sendNext(j *jobState, nodes []mesh.Coord, i, k int) {
+	if k >= j.job.Messages {
+		return
+	}
+	n := len(nodes)
+	dst := nodes[s.cfg.Pattern.dest(i, k, n, s.rng)]
+	think := 0.0
+	if s.cfg.ThinkMean > 0 {
+		think = s.rng.Exp(s.cfg.ThinkMean)
+	}
+	s.eng.Schedule(think, func() {
+		s.net.Send(nodes[i], dst, func(p *network.Packet) {
+			s.packetDelivered(j, p)
+			s.sendNext(j, nodes, i, k+1)
+		})
+	})
+}
+
+func (s *Simulator) packetDelivered(j *jobState, p *network.Packet) {
+	if s.measuring() {
+		s.latency.Add(float64(p.Latency()))
+		s.blocking.Add(float64(p.Blocked))
+	}
+	j.outstanding--
+	if j.outstanding == 0 {
+		// Communication phase done; the compute demand (zero for
+		// stochastic jobs) completes the service (DESIGN.md §3.3).
+		s.eng.Schedule(j.job.Compute, func() { s.complete(j) })
+	}
+}
+
+// measuring reports whether the warmup has passed and measurement is
+// still open.
+func (s *Simulator) measuring() bool {
+	return s.completed >= s.cfg.WarmupJobs && !s.done
+}
+
+func (s *Simulator) complete(j *jobState) {
+	now := s.eng.Now()
+	measure := s.measuring()
+	s.alloc.Release(j.allocation)
+	s.busyInt.Observe(now, float64(s.mesh.BusyCount()))
+	s.completed++
+	if measure {
+		s.turnP95.Add(float64(now - j.job.Arrival))
+		s.turnaround.Add(float64(now - j.job.Arrival))
+		s.service.Add(float64(now - j.allocAt))
+		s.wait.Add(float64(j.allocAt - j.job.Arrival))
+		s.pieces.Add(float64(len(j.allocation.Pieces)))
+		if s.cfg.MaxCompleted > 0 && int(s.turnaround.N()) >= s.cfg.MaxCompleted {
+			s.finish()
+			return
+		}
+	}
+	s.trySchedule()
+}
+
+// finish closes measurement; the run loop exits on the next step.
+func (s *Simulator) finish() {
+	s.done = true
+}

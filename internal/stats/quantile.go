@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile estimates a single quantile of a stream in O(1) memory with
+// the P² algorithm (Jain & Chlamtac, CACM 1985). Scheduling studies
+// care about tail behaviour — FCFS blocking shows up in the P95
+// turnaround long before it moves the mean — and storing every
+// observation of a multi-million-packet run is not an option.
+type Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64 // marker heights
+	pos     [5]float64 // marker positions (1-based)
+	want    [5]float64 // desired positions
+	inc     [5]float64 // desired-position increments
+	initial []float64  // first five observations
+}
+
+// NewQuantile returns an estimator for the p-quantile, 0 < p < 1.
+func NewQuantile(p float64) *Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of (0,1)", p))
+	}
+	return &Quantile{
+		p:    p,
+		want: [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		inc:  [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// P returns the target quantile.
+func (q *Quantile) P() float64 { return q.p }
+
+// N returns the number of observations.
+func (q *Quantile) N() int { return q.n }
+
+// Add folds one observation into the estimate.
+func (q *Quantile) Add(x float64) {
+	q.n++
+	if q.n <= 5 {
+		q.initial = append(q.initial, x)
+		if q.n == 5 {
+			sort.Float64s(q.initial)
+			copy(q.heights[:], q.initial)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+
+	// Locate the cell containing x and clamp the extreme markers.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		k = 3
+		for i := 1; i < 5; i++ {
+			if x < q.heights[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.inc[i]
+	}
+
+	// Adjust the interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction.
+func (q *Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+// linear is the fallback height prediction.
+func (q *Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return q.heights[i] + d*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact order statistic; with none it
+// returns NaN.
+func (q *Quantile) Value() float64 {
+	if q.n == 0 {
+		return math.NaN()
+	}
+	if q.n < 5 {
+		tmp := append([]float64(nil), q.initial...)
+		sort.Float64s(tmp)
+		idx := int(q.p * float64(len(tmp)))
+		if idx >= len(tmp) {
+			idx = len(tmp) - 1
+		}
+		return tmp[idx]
+	}
+	return q.heights[2]
+}
+
+// Reset discards all observations.
+func (q *Quantile) Reset() {
+	*q = *NewQuantile(q.p)
+}

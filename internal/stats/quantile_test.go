@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func exactQuantile(xs []float64, p float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	idx := int(p * float64(len(tmp)))
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+func TestQuantileUniform(t *testing.T) {
+	s := NewStream(3)
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		q := NewQuantile(p)
+		var xs []float64
+		for i := 0; i < 100000; i++ {
+			x := s.Float64()
+			xs = append(xs, x)
+			q.Add(x)
+		}
+		got := q.Value()
+		want := exactQuantile(xs, p)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("p=%v: got %v, exact %v", p, got, want)
+		}
+	}
+}
+
+func TestQuantileExponentialTail(t *testing.T) {
+	s := NewStream(7)
+	q := NewQuantile(0.95)
+	var xs []float64
+	for i := 0; i < 200000; i++ {
+		x := s.Exp(100)
+		xs = append(xs, x)
+		q.Add(x)
+	}
+	got, want := q.Value(), exactQuantile(xs, 0.95)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("P95 = %v, exact %v", got, want)
+	}
+	// Theoretical P95 of Exp(100) is 100*ln(20) ~ 299.6.
+	if math.Abs(got-299.6)/299.6 > 0.08 {
+		t.Fatalf("P95 = %v, theory ~299.6", got)
+	}
+}
+
+func TestQuantileSmallSamples(t *testing.T) {
+	q := NewQuantile(0.5)
+	if !math.IsNaN(q.Value()) {
+		t.Fatal("empty quantile not NaN")
+	}
+	q.Add(10)
+	if q.Value() != 10 {
+		t.Fatalf("single-value quantile = %v", q.Value())
+	}
+	q.Add(20)
+	q.Add(30)
+	// Median of {10,20,30} by order statistic.
+	if v := q.Value(); v != 20 {
+		t.Fatalf("three-value median = %v, want 20", v)
+	}
+	if q.N() != 3 {
+		t.Fatalf("N = %d", q.N())
+	}
+}
+
+func TestQuantileMonotoneInP(t *testing.T) {
+	s := NewStream(11)
+	q50, q90, q99 := NewQuantile(0.5), NewQuantile(0.9), NewQuantile(0.99)
+	for i := 0; i < 50000; i++ {
+		x := s.Exp(10)
+		q50.Add(x)
+		q90.Add(x)
+		q99.Add(x)
+	}
+	if !(q50.Value() < q90.Value() && q90.Value() < q99.Value()) {
+		t.Fatalf("quantiles not ordered: %v %v %v", q50.Value(), q90.Value(), q99.Value())
+	}
+}
+
+func TestQuantileSortedAndReversedInput(t *testing.T) {
+	for name, gen := range map[string]func(i int) float64{
+		"ascending":  func(i int) float64 { return float64(i) },
+		"descending": func(i int) float64 { return float64(100000 - i) },
+	} {
+		q := NewQuantile(0.9)
+		for i := 0; i < 100000; i++ {
+			q.Add(gen(i))
+		}
+		got := q.Value()
+		if math.Abs(got-90000)/90000 > 0.05 {
+			t.Errorf("%s: P90 = %v, want ~90000", name, got)
+		}
+	}
+}
+
+func TestQuantileReset(t *testing.T) {
+	q := NewQuantile(0.9)
+	for i := 0; i < 100; i++ {
+		q.Add(float64(i))
+	}
+	q.Reset()
+	if q.N() != 0 || !math.IsNaN(q.Value()) || q.P() != 0.9 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestQuantilePanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		p := p
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewQuantile(%v) did not panic", p)
+				}
+			}()
+			NewQuantile(p)
+		}()
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+// Replicator drives independent simulation replications until every
+// reported metric's 95 % confidence interval has relative error at most
+// RelTol, matching the paper's stopping rule ("confidence level is 95 %
+// and the relative errors do not exceed 5 %"). MaxReps bounds runaway
+// experiments; MinReps guards against spuriously tight early intervals.
+type Replicator struct {
+	MinReps int     // at least this many replications (default 3)
+	MaxReps int     // at most this many (default 30)
+	RelTol  float64 // target relative error (default 0.05)
+}
+
+// DefaultReplicator mirrors the paper's experimental setup.
+func DefaultReplicator() Replicator {
+	return Replicator{MinReps: 3, MaxReps: 30, RelTol: 0.05}
+}
+
+func (r Replicator) normalized() Replicator {
+	if r.MinReps <= 0 {
+		r.MinReps = 3
+	}
+	if r.MaxReps < r.MinReps {
+		r.MaxReps = r.MinReps
+	}
+	if r.RelTol <= 0 {
+		r.RelTol = 0.05
+	}
+	return r
+}
+
+// Run invokes run once per replication; run returns one observation per
+// metric (the slice length must be constant across replications). Run
+// returns the per-metric confidence intervals and the number of
+// replications performed.
+func (r Replicator) Run(run func(rep int) []float64) ([]CI, int) {
+	r = r.normalized()
+	var accs []*Accumulator
+	rep := 0
+	for rep < r.MaxReps {
+		obs := run(rep)
+		if accs == nil {
+			accs = make([]*Accumulator, len(obs))
+			for i := range accs {
+				accs[i] = &Accumulator{}
+			}
+		}
+		if len(obs) != len(accs) {
+			panic("stats: replication returned inconsistent metric count")
+		}
+		for i, x := range obs {
+			accs[i].Add(x)
+		}
+		rep++
+		if rep >= r.MinReps && r.converged(accs) {
+			break
+		}
+	}
+	cis := make([]CI, len(accs))
+	for i, a := range accs {
+		cis[i] = a.CI95()
+	}
+	return cis, rep
+}
+
+func (r Replicator) converged(accs []*Accumulator) bool {
+	for _, a := range accs {
+		if a.CI95().RelErr() > r.RelTol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReplicatorStopsWhenConverged(t *testing.T) {
+	r := Replicator{MinReps: 3, MaxReps: 100, RelTol: 0.05}
+	s := NewStream(3)
+	cis, n := r.Run(func(rep int) []float64 {
+		// Low-variance observations converge quickly.
+		return []float64{100 + s.Float64()}
+	})
+	if n >= 100 {
+		t.Fatalf("replicator did not stop early (n=%d)", n)
+	}
+	if n < 3 {
+		t.Fatalf("replicator stopped before MinReps (n=%d)", n)
+	}
+	if len(cis) != 1 {
+		t.Fatalf("got %d CIs, want 1", len(cis))
+	}
+	if cis[0].RelErr() > 0.05 {
+		t.Fatalf("stopped with RelErr %v > 0.05", cis[0].RelErr())
+	}
+	if math.Abs(cis[0].Mean-100.5) > 0.5 {
+		t.Fatalf("mean = %v, want ~100.5", cis[0].Mean)
+	}
+}
+
+func TestReplicatorHitsMaxRepsOnNoisyMetric(t *testing.T) {
+	r := Replicator{MinReps: 3, MaxReps: 8, RelTol: 0.0001}
+	s := NewStream(5)
+	_, n := r.Run(func(rep int) []float64 {
+		return []float64{s.Exp(10)}
+	})
+	if n != 8 {
+		t.Fatalf("n = %d, want MaxReps=8", n)
+	}
+}
+
+func TestReplicatorAllMetricsMustConverge(t *testing.T) {
+	r := Replicator{MinReps: 3, MaxReps: 50, RelTol: 0.05}
+	s := NewStream(7)
+	_, n := r.Run(func(rep int) []float64 {
+		return []float64{1000, s.Exp(5)} // second metric is noisy
+	})
+	if n <= 3 {
+		t.Fatalf("stopped at n=%d even though one metric was noisy", n)
+	}
+}
+
+func TestReplicatorDefaults(t *testing.T) {
+	d := DefaultReplicator()
+	if d.MinReps != 3 || d.MaxReps != 30 || d.RelTol != 0.05 {
+		t.Fatalf("DefaultReplicator = %+v", d)
+	}
+	// Zero-value Replicator normalizes rather than looping forever.
+	var r Replicator
+	_, n := r.Run(func(rep int) []float64 { return []float64{1} })
+	if n < 3 {
+		t.Fatalf("zero-value replicator ran %d reps, want >= 3", n)
+	}
+}
+
+func TestReplicatorInconsistentMetricsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inconsistent metric count did not panic")
+		}
+	}()
+	r := Replicator{MinReps: 2, MaxReps: 5, RelTol: 0.001}
+	r.Run(func(rep int) []float64 {
+		return make([]float64, rep+1)
+	})
+}
+
+func TestReplicatorPassesRepIndex(t *testing.T) {
+	var seen []int
+	r := Replicator{MinReps: 4, MaxReps: 4, RelTol: 0.05}
+	r.Run(func(rep int) []float64 {
+		seen = append(seen, rep)
+		return []float64{float64(rep * rep)}
+	})
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("rep indices = %v", seen)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d, want 8", a.N())
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance is 4; sample variance is 4*8/7.
+	if !almost(a.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Var = %v, want %v", a.Var(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", a.Min(), a.Max())
+	}
+	if !almost(a.Sum(), 40, 1e-9) {
+		t.Fatalf("Sum = %v, want 40", a.Sum())
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Var() != 0 || a.Std() != 0 {
+		t.Fatal("empty accumulator not zero-valued")
+	}
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Var() != 0 {
+		t.Fatalf("single obs: Mean=%v Var=%v", a.Mean(), a.Var())
+	}
+	ci := a.CI95()
+	if !math.IsInf(ci.Half, 1) {
+		t.Fatal("CI of single observation should have infinite half-width")
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	a.Add(2)
+	a.Reset()
+	if a.N() != 0 || a.Mean() != 0 {
+		t.Fatal("Reset did not clear accumulator")
+	}
+}
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(vs []float64) []float64 {
+			out := vs[:0]
+			for _, v := range vs {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var seq, a, b Accumulator
+		for _, x := range xs {
+			seq.Add(x)
+			a.Add(x)
+		}
+		for _, y := range ys {
+			seq.Add(y)
+			b.Add(y)
+		}
+		a.Merge(&b)
+		if a.N() != seq.N() {
+			return false
+		}
+		if seq.N() == 0 {
+			return true
+		}
+		scale := 1 + math.Abs(seq.Mean())
+		return almost(a.Mean(), seq.Mean(), 1e-8*scale) &&
+			almost(a.Var(), seq.Var(), 1e-6*(1+seq.Var())) &&
+			a.Min() == seq.Min() && a.Max() == seq.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCIRelErr(t *testing.T) {
+	cases := []struct {
+		ci   CI
+		want float64
+	}{
+		{CI{Mean: 100, Half: 5}, 0.05},
+		{CI{Mean: -100, Half: 5}, 0.05},
+		{CI{Mean: 0, Half: 0}, 0},
+	}
+	for _, c := range cases {
+		if got := c.ci.RelErr(); !almost(got, c.want, 1e-12) {
+			t.Errorf("RelErr(%+v) = %v, want %v", c.ci, got, c.want)
+		}
+	}
+	if !math.IsInf((CI{Mean: 0, Half: 1}).RelErr(), 1) {
+		t.Error("RelErr with zero mean and nonzero half should be +Inf")
+	}
+	ci := CI{Mean: 10, Half: 2}
+	if ci.Lo() != 8 || ci.Hi() != 12 {
+		t.Errorf("Lo/Hi = %v/%v, want 8/12", ci.Lo(), ci.Hi())
+	}
+}
+
+func TestTQuantile95(t *testing.T) {
+	if got := TQuantile95(1); got != 12.706 {
+		t.Errorf("TQuantile95(1) = %v", got)
+	}
+	if got := TQuantile95(10); got != 2.228 {
+		t.Errorf("TQuantile95(10) = %v", got)
+	}
+	if got := TQuantile95(1000); got != 1.960 {
+		t.Errorf("TQuantile95(1000) = %v", got)
+	}
+	if !math.IsInf(TQuantile95(0), 1) {
+		t.Error("TQuantile95(0) should be +Inf")
+	}
+	// Monotone nonincreasing in df.
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		q := TQuantile95(df)
+		if q > prev {
+			t.Fatalf("TQuantile95 not monotone at df=%d: %v > %v", df, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestCI95CoversKnownMean(t *testing.T) {
+	// 95% CI should cover the true mean in roughly 95% of trials.
+	s := NewStream(7)
+	covered := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		var a Accumulator
+		for i := 0; i < 30; i++ {
+			a.Add(s.Exp(10))
+		}
+		ci := a.CI95()
+		if ci.Lo() <= 10 && 10 <= ci.Hi() {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.88 || frac > 0.99 {
+		t.Fatalf("coverage = %v, want ~0.95", frac)
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	var w TimeWeighted
+	w.Observe(0, 10) // value 10 on [0,4)
+	w.Observe(4, 2)  // value 2 on [4,10)
+	w.Finish(10)
+	want := (10*4 + 2*6) / 10.0
+	if !almost(w.Mean(), want, 1e-12) {
+		t.Fatalf("Mean = %v, want %v", w.Mean(), want)
+	}
+	if w.Duration() != 10 {
+		t.Fatalf("Duration = %v, want 10", w.Duration())
+	}
+}
+
+func TestTimeWeightedEmpty(t *testing.T) {
+	var w TimeWeighted
+	if w.Mean() != 0 {
+		t.Fatal("empty TimeWeighted mean should be 0")
+	}
+	w.Observe(5, 3)
+	if w.Mean() != 0 { // zero duration so far
+		t.Fatal("zero-span TimeWeighted mean should be 0")
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	var w TimeWeighted
+	w.Observe(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	w.Observe(4, 1)
+}
+
+func TestTimeWeightedReset(t *testing.T) {
+	var w TimeWeighted
+	w.Observe(0, 5)
+	w.Finish(2)
+	w.Reset()
+	if w.Mean() != 0 || w.Duration() != 0 {
+		t.Fatal("Reset did not clear TimeWeighted")
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import "math"
+
+// Stream is a deterministic pseudo-random stream with the samplers the
+// workload models need. It is built on SplitMix64 followed by a
+// xoshiro256**-style scramble; the stdlib math/rand global is avoided so
+// that every simulation component owns an independent, seedable stream
+// and replications are reproducible bit for bit.
+type Stream struct {
+	s [4]uint64
+}
+
+// NewStream returns a stream seeded from seed. Distinct seeds yield
+// streams that are independent for simulation purposes.
+func NewStream(seed int64) *Stream {
+	st := &Stream{}
+	x := uint64(seed)
+	for i := range st.s {
+		// SplitMix64 expansion of the seed into four state words.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		st.s[i] = z ^ (z >> 31)
+	}
+	// A state of all zeros is the one forbidden xoshiro state.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return st
+}
+
+// Split derives a child stream from this stream deterministically; the
+// parent advances by one draw. Useful for handing independent streams to
+// sub-components without coordinating seeds.
+func (s *Stream) Split() *Stream {
+	return NewStream(int64(s.Uint64()))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (s *Stream) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive bound")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// UniformInt returns a uniform sample in [lo, hi] inclusive.
+func (s *Stream) UniformInt(lo, hi int) int {
+	if hi < lo {
+		panic("stats: UniformInt with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Exp returns an exponentially distributed sample with the given mean.
+// This is the paper's inter-arrival and message-count distribution.
+func (s *Stream) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("stats: Exp with non-positive mean")
+	}
+	u := s.Float64()
+	// 1-u is in (0,1], so the log is finite.
+	return -mean * math.Log(1-u)
+}
+
+// ExpInt returns a positive integer sample from a discretised exponential
+// with the given mean: ceil of an exponential draw, at least 1. The
+// paper's side lengths and message counts are integers drawn this way.
+func (s *Stream) ExpInt(mean float64) int {
+	v := int(math.Ceil(s.Exp(mean)))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// ExpIntCapped returns ExpInt truncated into [1, cap] by resampling,
+// which preserves the shape of the low quantiles (the paper caps side
+// lengths at the mesh dimensions).
+func (s *Stream) ExpIntCapped(mean float64, capV int) int {
+	if capV < 1 {
+		panic("stats: ExpIntCapped with cap < 1")
+	}
+	for i := 0; i < 64; i++ {
+		if v := s.ExpInt(mean); v <= capV {
+			return v
+		}
+	}
+	// Pathological mean >> cap: fall back to uniform.
+	return s.UniformInt(1, capV)
+}
+
+// BoundedPareto returns a sample from a Pareto distribution with shape
+// alpha truncated to [lo, hi]. Used to model the heavy-tailed runtimes of
+// the real workload.
+func (s *Stream) BoundedPareto(alpha, lo, hi float64) float64 {
+	if alpha <= 0 || lo <= 0 || hi <= lo {
+		panic("stats: BoundedPareto with invalid parameters")
+	}
+	u := s.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// HyperExp returns a sample from a two-phase hyper-exponential: with
+// probability p the mean is mean1, otherwise mean2. Hyper-exponentials
+// reproduce the bursty (CV > 1) inter-arrival process of real traces.
+func (s *Stream) HyperExp(p, mean1, mean2 float64) float64 {
+	if s.Float64() < p {
+		return s.Exp(mean1)
+	}
+	return s.Exp(mean2)
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Choice returns an index in [0, len(weights)) sampled proportionally to
+// the weights, which must be nonnegative with a positive sum.
+func (s *Stream) Choice(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("stats: weights sum to zero")
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	a, b := NewStream(123), NewStream(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamSeedsDiffer(t *testing.T) {
+	a, b := NewStream(1), NewStream(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical draws between differently seeded streams", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream(5)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64MeanNearHalf(t *testing.T) {
+	s := NewStream(11)
+	var a Accumulator
+	for i := 0; i < 200000; i++ {
+		a.Add(s.Float64())
+	}
+	if !almost(a.Mean(), 0.5, 0.01) {
+		t.Fatalf("mean = %v, want ~0.5", a.Mean())
+	}
+}
+
+func TestExpMeanAndPositivity(t *testing.T) {
+	s := NewStream(17)
+	var a Accumulator
+	for i := 0; i < 200000; i++ {
+		v := s.Exp(42)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		a.Add(v)
+	}
+	if !almost(a.Mean(), 42, 1.0) {
+		t.Fatalf("Exp mean = %v, want ~42", a.Mean())
+	}
+}
+
+func TestExpPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	NewStream(1).Exp(0)
+}
+
+func TestUniformIntBoundsAndUniformity(t *testing.T) {
+	s := NewStream(23)
+	counts := make(map[int]int)
+	const n = 120000
+	for i := 0; i < n; i++ {
+		v := s.UniformInt(3, 8)
+		if v < 3 || v > 8 {
+			t.Fatalf("UniformInt(3,8) = %d", v)
+		}
+		counts[v]++
+	}
+	for v := 3; v <= 8; v++ {
+		frac := float64(counts[v]) / n
+		if !almost(frac, 1.0/6.0, 0.01) {
+			t.Fatalf("P(%d) = %v, want ~1/6", v, frac)
+		}
+	}
+}
+
+func TestExpIntAtLeastOneAndMean(t *testing.T) {
+	s := NewStream(31)
+	var a Accumulator
+	for i := 0; i < 100000; i++ {
+		v := s.ExpInt(5)
+		if v < 1 {
+			t.Fatalf("ExpInt = %d < 1", v)
+		}
+		a.Add(float64(v))
+	}
+	// ceil(Exp(5)) has mean ~5.5.
+	if a.Mean() < 5 || a.Mean() > 6.2 {
+		t.Fatalf("ExpInt mean = %v, want ~5.5", a.Mean())
+	}
+}
+
+func TestExpIntCappedRespectsCap(t *testing.T) {
+	s := NewStream(37)
+	for i := 0; i < 50000; i++ {
+		v := s.ExpIntCapped(8, 16)
+		if v < 1 || v > 16 {
+			t.Fatalf("ExpIntCapped(8,16) = %d", v)
+		}
+	}
+	// Pathological mean far above cap still terminates and stays in range.
+	for i := 0; i < 1000; i++ {
+		v := s.ExpIntCapped(1e9, 4)
+		if v < 1 || v > 4 {
+			t.Fatalf("ExpIntCapped(1e9,4) = %d", v)
+		}
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	s := NewStream(41)
+	var a Accumulator
+	for i := 0; i < 100000; i++ {
+		v := s.BoundedPareto(1.1, 10, 10000)
+		if v < 10 || v > 10000 {
+			t.Fatalf("BoundedPareto out of range: %v", v)
+		}
+		a.Add(v)
+	}
+	// Heavy-tailed: mean well above the lower bound, below the cap.
+	if a.Mean() < 20 || a.Mean() > 2000 {
+		t.Fatalf("BoundedPareto mean = %v, implausible", a.Mean())
+	}
+}
+
+func TestHyperExpMean(t *testing.T) {
+	s := NewStream(43)
+	var a Accumulator
+	p, m1, m2 := 0.3, 10.0, 100.0
+	for i := 0; i < 300000; i++ {
+		a.Add(s.HyperExp(p, m1, m2))
+	}
+	want := p*m1 + (1-p)*m2
+	if !almost(a.Mean(), want, 1.5) {
+		t.Fatalf("HyperExp mean = %v, want ~%v", a.Mean(), want)
+	}
+	// CV should exceed 1 (burstier than Poisson).
+	cv := a.Std() / a.Mean()
+	if cv <= 1 {
+		t.Fatalf("HyperExp CV = %v, want > 1", cv)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := NewStream(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		sorted := append([]int(nil), p...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceProportional(t *testing.T) {
+	s := NewStream(53)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 90000
+	for i := 0; i < n; i++ {
+		counts[s.Choice(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight option chosen %d times", counts[1])
+	}
+	if !almost(float64(counts[0])/n, 0.25, 0.01) {
+		t.Fatalf("P(0) = %v, want ~0.25", float64(counts[0])/n)
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	for _, w := range [][]float64{{0, 0}, {-1, 2}} {
+		w := w
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Choice(%v) did not panic", w)
+				}
+			}()
+			NewStream(1).Choice(w)
+		}()
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewStream(99)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and split child produced %d identical draws", same)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewStream(1).Intn(0)
+}
+
+func TestExpQuantileShape(t *testing.T) {
+	// Median of Exp(mean) is mean*ln2.
+	s := NewStream(61)
+	var below int
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if s.Exp(1) < math.Ln2 {
+			below++
+		}
+	}
+	if !almost(float64(below)/n, 0.5, 0.01) {
+		t.Fatalf("P(X < median) = %v, want ~0.5", float64(below)/n)
+	}
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// This file implements trace I/O. Two formats are supported:
+//
+//   - the native format: one "arrival procs runtime" triple per line
+//     (whitespace separated; '#' comments), which is what cmd/tracegen
+//     emits; and
+//   - the Standard Workload Format (SWF) of the Feitelson archive,
+//     where the SDSC Paragon traces are published: ';' header comments
+//     and 18 whitespace-separated fields per job, of which we use
+//     submit time (2), run time (4) and allocated processors (5).
+//
+// Both readers drop unusable records (non-positive sizes, negative
+// runtimes) exactly as trace-driven studies conventionally do.
+
+// ReadTrace parses a native-format trace. Shapes are derived with
+// ShapeFor against the given mesh geometry; per-processor message
+// counts are drawn from rng with mean numMes (they are a property of
+// the simulated communication, not of the trace).
+func ReadTrace(r io.Reader, meshW, meshL int, numMes float64, rng *stats.Stream) ([]Job, error) {
+	var jobs []Job
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("workload: trace line %d: want 3 fields, got %d", line, len(fields))
+		}
+		arrival, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad arrival: %v", line, err)
+		}
+		procs, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad processor count: %v", line, err)
+		}
+		runtime, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad runtime: %v", line, err)
+		}
+		if procs <= 0 || procs > meshW*meshL || runtime < 0 {
+			continue // unusable record
+		}
+		w, l := ShapeFor(procs, meshW, meshL)
+		jobs = append(jobs, Job{
+			ID:       len(jobs),
+			Arrival:  arrival,
+			W:        w,
+			L:        l,
+			Compute:  runtime,
+			Messages: rng.ExpInt(numMes),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	sortByArrival(jobs)
+	return jobs, nil
+}
+
+// WriteTrace emits jobs in the native format.
+func WriteTrace(w io.Writer, jobs []Job) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# arrival procs runtime"); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		if _, err := fmt.Fprintf(bw, "%.3f %d %.3f\n", j.Arrival, j.Size(), j.Compute); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSWF parses a Standard Workload Format trace.
+func ReadSWF(r io.Reader, meshW, meshL int, numMes float64, rng *stats.Stream) ([]Job, error) {
+	var jobs []Job
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, ";") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("workload: SWF line %d: want >= 5 fields, got %d", line, len(fields))
+		}
+		submit, err1 := strconv.ParseFloat(fields[1], 64)
+		runtime, err2 := strconv.ParseFloat(fields[3], 64)
+		procs, err3 := strconv.Atoi(fields[4])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("workload: SWF line %d: malformed record", line)
+		}
+		if procs <= 0 || procs > meshW*meshL || runtime < 0 {
+			continue
+		}
+		w, l := ShapeFor(procs, meshW, meshL)
+		jobs = append(jobs, Job{
+			ID:       len(jobs),
+			Arrival:  submit,
+			W:        w,
+			L:        l,
+			Compute:  runtime,
+			Messages: rng.ExpInt(numMes),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading SWF: %w", err)
+	}
+	sortByArrival(jobs)
+	return jobs, nil
+}
+
+func sortByArrival(jobs []Job) {
+	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival })
+	for i := range jobs {
+		jobs[i].ID = i
+	}
+}

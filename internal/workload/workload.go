@@ -1,0 +1,268 @@
+// Package workload produces the job streams driving the simulation: the
+// paper's stochastic model (exponential inter-arrival times with uniform
+// or exponential side-length distributions), a trace format
+// reader/writer (including an SWF-compatible parser), and a synthetic
+// generator reproducing the published statistics of the SDSC Intel
+// Paragon trace the paper uses (see DESIGN.md §3.1 for the
+// substitution rationale).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Job is one parallel job submission.
+type Job struct {
+	ID      int
+	Arrival float64 // submission time, simulation time units
+	W, L    int     // requested sub-mesh shape (allocation consumes W*L)
+	// Compute is the job's computation demand in time units: the
+	// runtime recorded in a trace. It is zero for stochastic jobs,
+	// whose residence time is determined entirely by the simulated
+	// communication (paper §5: "the execution times of jobs are not
+	// simulator inputs").
+	Compute float64
+	// Messages is the number of packets each allocated processor sends
+	// in the job's all-to-all communication phase, exponentially
+	// distributed with mean num_mes (paper §5; ProcSimity
+	// parameterises the pattern per processor).
+	Messages int
+}
+
+// Size returns the number of processors the job occupies.
+func (j Job) Size() int { return j.W * j.L }
+
+// ServiceDemand is the a priori service-demand key used by the SSD
+// (Shortest-Service-Demand) scheduler: the known compute demand plus
+// the job's message volume. For trace jobs the compute term dominates;
+// for stochastic jobs the demand is purely communication volume.
+func (j Job) ServiceDemand() float64 {
+	return j.Compute + float64(j.Messages*j.Size())
+}
+
+// Source yields a job stream in nondecreasing arrival order.
+type Source interface {
+	// Next returns the next job; ok is false when the stream is
+	// exhausted (stochastic sources never exhaust).
+	Next() (Job, bool)
+	// Name identifies the workload in result tables.
+	Name() string
+}
+
+// SideDist selects the stochastic side-length model of the paper.
+type SideDist int
+
+// The side-length distributions: the paper's §5 evaluates UniformSides
+// and ExpSides; UniformDecSides and UniformIncSides are the other two
+// distributions its §1 lists from the literature (Zhu, JPDC 1992),
+// provided for workload ablations.
+const (
+	// UniformSides draws the width uniformly over [1, W] and the
+	// length over [1, L], independently.
+	UniformSides SideDist = iota
+	// ExpSides draws each side from an exponential distribution with
+	// mean half the mesh side, truncated into range.
+	ExpSides
+	// UniformDecSides favours small sides: the quarters of [1, max]
+	// are chosen with probabilities 0.4, 0.3, 0.2, 0.1 and the side is
+	// uniform within the chosen quarter.
+	UniformDecSides
+	// UniformIncSides favours large sides (the reverse weighting).
+	UniformIncSides
+)
+
+// String names the distribution.
+func (d SideDist) String() string {
+	switch d {
+	case UniformSides:
+		return "uniform"
+	case ExpSides:
+		return "exponential"
+	case UniformDecSides:
+		return "uniform-decreasing"
+	case UniformIncSides:
+		return "uniform-increasing"
+	default:
+		return fmt.Sprintf("SideDist(%d)", int(d))
+	}
+}
+
+// quarterWeightsDec weights the four quarters of the side range for the
+// uniform-decreasing distribution; increasing reverses them.
+var quarterWeightsDec = []float64{0.4, 0.3, 0.2, 0.1}
+
+// drawQuartered samples a side in [1, max] from weighted quarters.
+func drawQuartered(rng *stats.Stream, max int, increasing bool) int {
+	w := quarterWeightsDec
+	if increasing {
+		w = []float64{0.1, 0.2, 0.3, 0.4}
+	}
+	q := rng.Choice(w)
+	lo := q*max/4 + 1
+	hi := (q + 1) * max / 4
+	if hi < lo {
+		hi = lo
+	}
+	if hi > max {
+		hi = max
+	}
+	return rng.UniformInt(lo, hi)
+}
+
+// Stochastic is the paper's stochastic workload: Poisson arrivals and
+// probabilistic request sides.
+type Stochastic struct {
+	rng    *stats.Stream
+	meshW  int
+	meshL  int
+	dist   SideDist
+	mean   float64 // mean inter-arrival time
+	numMes float64 // mean per-processor message count
+	next   int
+	clock  float64
+}
+
+// NewStochastic builds the stochastic source. arrivalRate is the system
+// load in jobs per time unit (the paper's independent variable, the
+// inverse of mean inter-arrival time); numMes is the mean message
+// count (the paper uses 5).
+func NewStochastic(rng *stats.Stream, meshW, meshL int, dist SideDist, arrivalRate, numMes float64) *Stochastic {
+	if arrivalRate <= 0 {
+		panic("workload: arrival rate must be positive")
+	}
+	if numMes <= 0 {
+		panic("workload: numMes must be positive")
+	}
+	return &Stochastic{
+		rng:    rng,
+		meshW:  meshW,
+		meshL:  meshL,
+		dist:   dist,
+		mean:   1 / arrivalRate,
+		numMes: numMes,
+	}
+}
+
+// Name implements Source.
+func (s *Stochastic) Name() string {
+	return fmt.Sprintf("stochastic-%v", s.dist)
+}
+
+// Next implements Source.
+func (s *Stochastic) Next() (Job, bool) {
+	s.clock += s.rng.Exp(s.mean)
+	var w, l int
+	switch s.dist {
+	case UniformSides:
+		w = s.rng.UniformInt(1, s.meshW)
+		l = s.rng.UniformInt(1, s.meshL)
+	case ExpSides:
+		w = s.rng.ExpIntCapped(float64(s.meshW)/2, s.meshW)
+		l = s.rng.ExpIntCapped(float64(s.meshL)/2, s.meshL)
+	case UniformDecSides:
+		w = drawQuartered(s.rng, s.meshW, false)
+		l = drawQuartered(s.rng, s.meshL, false)
+	case UniformIncSides:
+		w = drawQuartered(s.rng, s.meshW, true)
+		l = drawQuartered(s.rng, s.meshL, true)
+	default:
+		panic(fmt.Sprintf("workload: unknown side distribution %d", int(s.dist)))
+	}
+	j := Job{
+		ID:       s.next,
+		Arrival:  s.clock,
+		W:        w,
+		L:        l,
+		Messages: s.rng.ExpInt(s.numMes),
+	}
+	s.next++
+	return j, true
+}
+
+// SliceSource replays a fixed job slice, e.g. a trace.
+type SliceSource struct {
+	name string
+	jobs []Job
+	pos  int
+}
+
+// NewSliceSource wraps jobs (already in arrival order) as a Source.
+func NewSliceSource(name string, jobs []Job) *SliceSource {
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Arrival < jobs[i-1].Arrival {
+			panic(fmt.Sprintf("workload: job %d arrives before its predecessor", i))
+		}
+	}
+	return &SliceSource{name: name, jobs: jobs}
+}
+
+// Name implements Source.
+func (s *SliceSource) Name() string { return s.name }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Job, bool) {
+	if s.pos >= len(s.jobs) {
+		return Job{}, false
+	}
+	j := s.jobs[s.pos]
+	s.pos++
+	return j, true
+}
+
+// Len returns the number of jobs remaining plus consumed.
+func (s *SliceSource) Len() int { return len(s.jobs) }
+
+// ScaleArrivals returns a copy of jobs with every arrival time
+// multiplied by f — the paper's load control for the real trace
+// ("to challenge allocation strategies, we multiply job arrival times
+// by a constant factor f"; f < 1 increases load).
+func ScaleArrivals(jobs []Job, f float64) []Job {
+	if f <= 0 {
+		panic("workload: arrival scale factor must be positive")
+	}
+	out := make([]Job, len(jobs))
+	for i, j := range jobs {
+		j.Arrival *= f
+		out[i] = j
+	}
+	return out
+}
+
+// MeanInterarrival returns the average gap between consecutive
+// arrivals, 0 for fewer than two jobs.
+func MeanInterarrival(jobs []Job) float64 {
+	if len(jobs) < 2 {
+		return 0
+	}
+	return (jobs[len(jobs)-1].Arrival - jobs[0].Arrival) / float64(len(jobs)-1)
+}
+
+// ShapeFor returns the most nearly square request shape w x l with
+// w*l >= p fitting a meshW x meshL mesh, minimizing wasted processors
+// first and skew second. Trace jobs record processor counts, not
+// shapes, so this derives the sub-mesh geometry a trace job requests.
+func ShapeFor(p, meshW, meshL int) (w, l int) {
+	if p <= 0 || p > meshW*meshL {
+		panic(fmt.Sprintf("workload: no shape for %d processors in %dx%d", p, meshW, meshL))
+	}
+	bestWaste, bestSkew := math.MaxInt, math.MaxInt
+	for cw := 1; cw <= meshW; cw++ {
+		cl := (p + cw - 1) / cw
+		if cl > meshL {
+			continue
+		}
+		waste := cw*cl - p
+		skew := cw - cl
+		if skew < 0 {
+			skew = -skew
+		}
+		if waste < bestWaste || (waste == bestWaste && skew < bestSkew) {
+			bestWaste, bestSkew = waste, skew
+			w, l = cw, cl
+		}
+	}
+	return w, l
+}
