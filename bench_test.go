@@ -15,6 +15,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // benchOptions trades precision for time: 250 completed jobs per run
@@ -168,6 +169,41 @@ func BenchmarkAblationPatterns(b *testing.B) {
 	b.ReportMetric(lat[sim.AllToAll], "all_to_all_latency")
 	b.ReportMetric(lat[sim.NearNeighbour], "near_neighbour_latency")
 }
+
+// Allocation-heavy scale benchmarks: a zero-communication workload on
+// production-size meshes, timing the full arrival → schedule →
+// allocate → release pipeline. The 256x256 case exists because the
+// incremental occupancy index makes it practical; with per-decision
+// full-index rebuilds it was not.
+
+func benchAllocHeavy(b *testing.B, w, l int, strategy string, jobs int) {
+	b.Helper()
+	b.ReportAllocs()
+	var completed int
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.MeshW, cfg.MeshL = w, l
+		cfg.Strategy = strategy
+		cfg.MaxCompleted = jobs
+		cfg.WarmupJobs = jobs / 10
+		// Offered load ≈ computeMean·E[size]/(rate⁻¹·W·L) ≈ 0.44 for
+		// half-side uniform requests, independent of mesh size.
+		src := workload.NewAllocStress(stats.NewStream(17), w, l, 0.07, 100)
+		res, err := sim.Run(cfg, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		completed = res.Completed
+	}
+	b.ReportMetric(float64(completed), "jobs/iter")
+}
+
+func BenchmarkAllocHeavy64x64GABL(b *testing.B)     { benchAllocHeavy(b, 64, 64, "GABL", 2000) }
+func BenchmarkAllocHeavy64x64FirstFit(b *testing.B) { benchAllocHeavy(b, 64, 64, "FirstFit", 2000) }
+func BenchmarkAllocHeavy64x64BestFit(b *testing.B)  { benchAllocHeavy(b, 64, 64, "BestFit", 2000) }
+func BenchmarkAllocHeavy64x64MBS(b *testing.B)      { benchAllocHeavy(b, 64, 64, "MBS", 2000) }
+func BenchmarkAllocHeavy256x256GABL(b *testing.B)   { benchAllocHeavy(b, 256, 256, "GABL", 800) }
+func BenchmarkAllocHeavy256x256ANCA(b *testing.B)   { benchAllocHeavy(b, 256, 256, "ANCA", 800) }
 
 // BenchmarkAblationBusyList measures GABL's busy-list claim (paper §6:
 // the number of sub-meshes per job stays small): the mean allocation

@@ -97,10 +97,14 @@ func commit(m *mesh.Mesh, pieces []mesh.Submesh) Allocation {
 	return Allocation{Pieces: pieces}
 }
 
-// release frees every piece, panicking on double release.
+// release frees every piece, panicking on double release. Pieces are
+// freed in reverse allocation order: strategies hand out pieces in
+// row-major sweeps, and freeing right-to-left lets the occupancy
+// index's run repair stop at the still-busy left neighbor instead of
+// re-propagating across the whole just-freed span.
 func release(m *mesh.Mesh, a Allocation) {
-	for _, p := range a.Pieces {
-		if err := m.ReleaseSub(p); err != nil {
+	for i := len(a.Pieces) - 1; i >= 0; i-- {
+		if err := m.ReleaseSub(a.Pieces[i]); err != nil {
 			panic(fmt.Sprintf("alloc: invalid release: %v", err))
 		}
 	}

@@ -49,10 +49,14 @@ func (a *ANCA) Allocate(req Request) (Allocation, bool) {
 		frames = next
 	}
 	// Single-processor fallback: take free processors in row-major
-	// order (the level where every frame is 1x1).
+	// order (the level where every frame is 1x1), streamed off the
+	// occupancy index without materializing the whole free list.
 	pieces := make([]mesh.Submesh, 0, req.Size())
-	for _, c := range a.m.FreeNodes()[:req.Size()] {
+	for c := range a.m.FreeSeq() {
 		pieces = append(pieces, mesh.SubAt(c.X, c.Y, 1, 1))
+		if len(pieces) == req.Size() {
+			break
+		}
 	}
 	return commit(a.m, pieces), true
 }

@@ -48,6 +48,11 @@ func (c *Contiguous) Mesh() *mesh.Mesh { return c.m }
 // Allocate implements Allocator.
 func (c *Contiguous) Allocate(req Request) (Allocation, bool) {
 	validate(c.m, req)
+	if req.Size() > c.m.FreeCount() {
+		// No w x l sub-mesh can exist with fewer free processors than
+		// the request; skip the search (its answer is already known).
+		return Allocation{}, false
+	}
 	search := c.m.FirstFit
 	if c.bestFit {
 		search = c.m.BestFit

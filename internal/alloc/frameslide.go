@@ -35,6 +35,9 @@ func (f *FrameSliding) Mesh() *mesh.Mesh { return f.m }
 // Allocate implements Allocator.
 func (f *FrameSliding) Allocate(req Request) (Allocation, bool) {
 	validate(f.m, req)
+	if req.Size() > f.m.FreeCount() {
+		return Allocation{}, false
+	}
 	if s, ok := f.slide(req.W, req.L); ok {
 		return commit(f.m, []mesh.Submesh{s}), true
 	}
@@ -47,6 +50,8 @@ func (f *FrameSliding) Allocate(req Request) (Allocation, bool) {
 }
 
 // slide scans candidate bases with strides (w, l) from origin (0,0).
+// Each probe is a single O(1) summed-area query on the mesh index, so
+// a full slide costs O((W/w)·(L/l)) regardless of frame size.
 func (f *FrameSliding) slide(w, l int) (mesh.Submesh, bool) {
 	if w <= 0 || l <= 0 || w > f.m.W() || l > f.m.L() {
 		return mesh.Submesh{}, false

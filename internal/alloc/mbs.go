@@ -26,8 +26,7 @@ type MBS struct {
 	free [][]blockBase
 	// roots are the initial decomposition blocks; coalescing never
 	// crosses a root boundary.
-	roots     []block
-	freeProcs int
+	roots []block
 }
 
 type blockBase struct{ x, y int }
@@ -56,11 +55,12 @@ func NewMBS(m *mesh.Mesh) *MBS {
 		}
 	}
 	a.free = make([][]blockBase, a.kmax+1)
+	covered := 0
 	for _, r := range a.roots {
 		a.free[r.k] = append(a.free[r.k], blockBase{r.x, r.y})
-		a.freeProcs += r.side() * r.side()
+		covered += r.side() * r.side()
 	}
-	if a.freeProcs != m.Size() {
+	if covered != m.Size() {
 		panic("alloc: mbs decomposition does not cover the mesh")
 	}
 	return a
@@ -116,11 +116,13 @@ func Factorize(p int) []int {
 	return digits
 }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. The admission check reads the mesh's
+// free count directly; the buddy free lists carry only the split
+// structure, not a second occupancy count that could drift.
 func (a *MBS) Allocate(req Request) (Allocation, bool) {
 	validate(a.m, req)
 	p := req.Size()
-	if p > a.freeProcs {
+	if p > a.m.FreeCount() {
 		return Allocation{}, false
 	}
 	need := make([]int, a.kmax+2)
@@ -155,7 +157,6 @@ func (a *MBS) Allocate(req Request) (Allocation, bool) {
 			need[i-1] += 4
 		}
 	}
-	a.freeProcs -= p
 	return commit(a.m, pieces), true
 }
 
@@ -205,7 +206,6 @@ func (a *MBS) Release(al Allocation) {
 		for 1<<k < side {
 			k++
 		}
-		a.freeProcs += side * side
 		a.insertAndCoalesce(block{piece.X1, piece.Y1, k})
 	}
 	release(a.m, al)

@@ -35,14 +35,16 @@ func (ix Indexing) String() string {
 // takes the first ceil(p / pageArea) free pages in index order. Pages
 // are the allocation unit, so size_index > 0 introduces internal
 // fragmentation, while the index order provides a degree of contiguity.
+//
+// Page occupancy is read straight off the mesh's O(1) rectangle
+// queries rather than a shadow bitmap, so the strategy can never drift
+// out of sync with the occupancy it allocates from.
 type Paging struct {
 	m         *mesh.Mesh
 	side      int   // page side length, 2^size_index
 	pagesX    int   // pages per row
 	pagesY    int   // pages per column
 	order     []int // page visit order (indices into page grid)
-	free      []bool
-	freePages int
 	sizeIndex int
 	indexing  Indexing
 }
@@ -66,12 +68,6 @@ func NewPaging(m *mesh.Mesh, sizeIndex int, indexing Indexing) (*Paging, error) 
 		sizeIndex: sizeIndex,
 		indexing:  indexing,
 	}
-	n := p.pagesX * p.pagesY
-	p.free = make([]bool, n)
-	for i := range p.free {
-		p.free[i] = true
-	}
-	p.freePages = n
 	p.order = buildOrder(p.pagesX, p.pagesY, indexing)
 	return p, nil
 }
@@ -146,8 +142,17 @@ func (p *Paging) SizeIndex() int { return p.sizeIndex }
 // Indexing returns the page traversal scheme.
 func (p *Paging) Indexing() Indexing { return p.indexing }
 
-// FreePages returns the number of unallocated pages.
-func (p *Paging) FreePages() int { return p.freePages }
+// FreePages returns the number of unallocated pages, read off the mesh
+// occupancy (one O(1) rectangle query per page).
+func (p *Paging) FreePages() int {
+	n := 0
+	for gi := 0; gi < p.pagesX*p.pagesY; gi++ {
+		if p.m.SubFree(p.pageSub(gi)) {
+			n++
+		}
+	}
+	return n
+}
 
 // pageSub returns the sub-mesh covered by page grid index gi.
 func (p *Paging) pageSub(gi int) mesh.Submesh {
@@ -156,32 +161,34 @@ func (p *Paging) pageSub(gi int) mesh.Submesh {
 }
 
 // Allocate implements Allocator: take the first ceil(p/pageArea) free
-// pages in index order.
+// pages in index order. Page freeness is an O(1) mesh query per page.
 func (p *Paging) Allocate(req Request) (Allocation, bool) {
 	validate(p.m, req)
 	pageArea := p.side * p.side
 	need := (req.Size() + pageArea - 1) / pageArea
-	if need > p.freePages {
+	if need*pageArea > p.m.FreeCount() {
 		return Allocation{}, false
 	}
 	pieces := make([]mesh.Submesh, 0, need)
-	taken := make([]int, 0, need)
 	for _, gi := range p.order {
+		if p.side == 1 {
+			// Single-processor pages: one busy-map read per page.
+			if p.m.Busy(mesh.Coord{X: gi % p.pagesX, Y: gi / p.pagesX}) {
+				continue
+			}
+		} else if !p.m.SubFree(p.pageSub(gi)) {
+			continue
+		}
+		pieces = append(pieces, p.pageSub(gi))
 		if len(pieces) == need {
 			break
 		}
-		if p.free[gi] {
-			pieces = append(pieces, p.pageSub(gi))
-			taken = append(taken, gi)
-		}
 	}
 	if len(pieces) != need {
-		panic("alloc: paging free-page count out of sync")
+		// Enough processors but not in whole free pages: only possible
+		// when the mesh is shared with a non-page-aligned allocator.
+		return Allocation{}, false
 	}
-	for _, gi := range taken {
-		p.free[gi] = false
-	}
-	p.freePages -= need
 	return commit(p.m, pieces), true
 }
 
@@ -192,12 +199,6 @@ func (p *Paging) Release(a Allocation) {
 			piece.X1%p.side != 0 || piece.Y1%p.side != 0 {
 			panic(fmt.Sprintf("alloc: paging release of non-page piece %v", piece))
 		}
-		gi := (piece.Y1/p.side)*p.pagesX + piece.X1/p.side
-		if p.free[gi] {
-			panic(fmt.Sprintf("alloc: paging double release of page %d", gi))
-		}
-		p.free[gi] = true
-		p.freePages++
 	}
 	release(p.m, a)
 }

@@ -49,3 +49,38 @@ func BenchmarkLargestFree(b *testing.B) {
 		m.LargestFree(10, 12, 80)
 	}
 }
+
+// benchChurn drives the hot allocate-search-release cycle the simulator
+// spends its time in: every iteration either first-fits and commits a
+// random sub-mesh or releases a random live one, so the occupancy index
+// is mutated and queried on every step (no static-mesh amortization).
+func benchChurn(b *testing.B, w, l int) {
+	b.Helper()
+	m := New(w, l)
+	s := stats.NewStream(7)
+	var live []Submesh
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) > 8 && (s.Intn(2) == 0 || m.FreeCount() < m.Size()/4) {
+			k := s.Intn(len(live))
+			if err := m.ReleaseSub(live[k]); err != nil {
+				b.Fatal(err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		rw, rl := s.UniformInt(1, max(2, w/8)), s.UniformInt(1, max(2, l/8))
+		if sub, ok := m.FirstFit(rw, rl); ok {
+			if err := m.AllocateSub(sub); err != nil {
+				b.Fatal(err)
+			}
+			live = append(live, sub)
+		}
+	}
+}
+
+func BenchmarkChurn16x22(b *testing.B)   { benchChurn(b, 16, 22) }
+func BenchmarkChurn64x64(b *testing.B)   { benchChurn(b, 64, 64) }
+func BenchmarkChurn256x256(b *testing.B) { benchChurn(b, 256, 256) }

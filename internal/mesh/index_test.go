@@ -1,0 +1,480 @@
+package mesh
+
+// White-box cross-checks of the incremental occupancy index: every
+// random mutation sequence must leave rightRun and the summed-area
+// table identical to a from-scratch recompute, and the searches must
+// return exactly what the seed's exhaustive scans returned.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveRightRun is the seed's full-rebuild refresh.
+func naiveRightRun(busy []bool, w, l int) []int {
+	out := make([]int, w*l)
+	for y := 0; y < l; y++ {
+		run := 0
+		for x := w - 1; x >= 0; x-- {
+			i := y*w + x
+			if busy[i] {
+				run = 0
+			} else {
+				run++
+			}
+			out[i] = run
+		}
+	}
+	return out
+}
+
+// naiveSAT recomputes the far-corner-anchored summed-area table.
+func naiveSAT(busy []bool, w, l int) []int {
+	stride := w + 1
+	out := make([]int, stride*(l+1))
+	for y := l - 1; y >= 0; y-- {
+		for x := w - 1; x >= 0; x-- {
+			b := 0
+			if busy[y*w+x] {
+				b = 1
+			}
+			out[y*stride+x] = b + out[(y+1)*stride+x] + out[y*stride+x+1] - out[(y+1)*stride+x+1]
+		}
+	}
+	return out
+}
+
+// checkTables compares the incremental tables against full recomputes.
+// The SAT journal is folded first — the invariant is busy-map equality
+// after folding, which is exactly what every query observes.
+func checkTables(t *testing.T, m *Mesh) {
+	t.Helper()
+	m.drainSAT()
+	wantRun := naiveRightRun(m.busy, m.w, m.l)
+	for i := range wantRun {
+		if m.rightRun[i] != wantRun[i] {
+			t.Fatalf("rightRun[%v] = %d, recompute says %d\n%s",
+				m.CoordOf(i), m.rightRun[i], wantRun[i], m)
+		}
+	}
+	for y := 0; y < m.l; y++ {
+		max := 0
+		for x := 0; x < m.w; x++ {
+			if r := wantRun[y*m.w+x]; r > max {
+				max = r
+			}
+		}
+		// A stale aggregate must still bound the true maximum from
+		// above; a fresh one must be exact and well-positioned, and
+		// rowMaxAt must repair staleness to exactness.
+		if m.rowStale[y] {
+			if m.rowMax[y] < max {
+				t.Fatalf("stale rowMax[%d] = %d below true max %d\n%s", y, m.rowMax[y], max, m)
+			}
+			if got := m.rowMaxAt(y); got != max {
+				t.Fatalf("rowMaxAt(%d) = %d after repair, recompute says %d\n%s", y, got, max, m)
+			}
+		}
+		if m.rowMax[y] != max {
+			t.Fatalf("rowMax[%d] = %d, recompute says %d\n%s", y, m.rowMax[y], max, m)
+		}
+		if max > 0 && wantRun[y*m.w+m.rowMaxPos[y]] != max {
+			t.Fatalf("rowMaxPos[%d] = %d does not point at a run of %d\n%s",
+				y, m.rowMaxPos[y], max, m)
+		}
+	}
+	wantSAT := naiveSAT(m.busy, m.w, m.l)
+	for i := range wantSAT {
+		if m.sat[i] != wantSAT[i] {
+			t.Fatalf("sat[%d] = %d, recompute says %d\n%s", i, m.sat[i], wantSAT[i], m)
+		}
+	}
+	busy := 0
+	for _, b := range m.busy {
+		if b {
+			busy++
+		}
+	}
+	if m.freeCount != m.Size()-busy {
+		t.Fatalf("freeCount = %d, busy map says %d", m.freeCount, m.Size()-busy)
+	}
+}
+
+// seedFitsAt is the seed's per-base probe: min rightRun over the rows.
+func seedFitsAt(run []int, meshW, x, y, w, l int) bool {
+	for yy := y; yy < y+l; yy++ {
+		if run[yy*meshW+x] < w {
+			return false
+		}
+	}
+	return true
+}
+
+// seedFirstFit is the seed's exhaustive row-major scan.
+func seedFirstFit(m *Mesh, w, l int) (Submesh, bool) {
+	if w <= 0 || l <= 0 || w > m.w || l > m.l {
+		return Submesh{}, false
+	}
+	run := naiveRightRun(m.busy, m.w, m.l)
+	for y := 0; y+l <= m.l; y++ {
+		for x := 0; x+w <= m.w; x++ {
+			if seedFitsAt(run, m.w, x, y, w, l) {
+				return SubAt(x, y, w, l), true
+			}
+		}
+	}
+	return Submesh{}, false
+}
+
+// seedBoundaryPressure is the seed's per-cell perimeter walk.
+func seedBoundaryPressure(m *Mesh, s Submesh) int {
+	score := 0
+	cell := func(x, y int) {
+		if x < 0 || x >= m.w || y < 0 || y >= m.l {
+			score++
+			return
+		}
+		if m.busy[y*m.w+x] {
+			score++
+		}
+	}
+	for x := s.X1; x <= s.X2; x++ {
+		cell(x, s.Y1-1)
+		cell(x, s.Y2+1)
+	}
+	for y := s.Y1; y <= s.Y2; y++ {
+		cell(s.X1-1, y)
+		cell(s.X2+1, y)
+	}
+	return score
+}
+
+// seedBestFit is the seed's exhaustive scored scan.
+func seedBestFit(m *Mesh, w, l int) (Submesh, bool) {
+	if w <= 0 || l <= 0 || w > m.w || l > m.l {
+		return Submesh{}, false
+	}
+	run := naiveRightRun(m.busy, m.w, m.l)
+	best := Submesh{}
+	bestScore := -1
+	for y := 0; y+l <= m.l; y++ {
+		for x := 0; x+w <= m.w; x++ {
+			if !seedFitsAt(run, m.w, x, y, w, l) {
+				continue
+			}
+			s := SubAt(x, y, w, l)
+			if score := seedBoundaryPressure(m, s); score > bestScore {
+				bestScore = score
+				best = s
+			}
+		}
+	}
+	if bestScore < 0 {
+		return Submesh{}, false
+	}
+	return best, true
+}
+
+// seedLargestFree is the seed's unpruned constrained-largest scan,
+// verbatim: every anchor, every height, no upper-bound skips.
+func seedLargestFree(m *Mesh, maxW, maxL, maxArea int) (Submesh, bool) {
+	if maxW <= 0 || maxL <= 0 || maxArea <= 0 {
+		return Submesh{}, false
+	}
+	if maxW > m.w {
+		maxW = m.w
+	}
+	if maxL > m.l {
+		maxL = m.l
+	}
+	run := naiveRightRun(m.busy, m.w, m.l)
+	var (
+		best      Submesh
+		bestArea  int
+		bestSkew  int
+		bestFound bool
+	)
+	for y := 0; y < m.l; y++ {
+		for x := 0; x < m.w; x++ {
+			minRun := m.w + 1
+			for l := 1; l <= maxL && y+l-1 < m.l; l++ {
+				r := run[(y+l-1)*m.w+x]
+				if r == 0 {
+					break
+				}
+				if r < minRun {
+					minRun = r
+				}
+				w := minRun
+				if w > maxW {
+					w = maxW
+				}
+				if w*l > maxArea {
+					w = maxArea / l
+				}
+				if w == 0 {
+					continue
+				}
+				area := w * l
+				skew := w - l
+				if skew < 0 {
+					skew = -skew
+				}
+				if area > bestArea || (area == bestArea && bestFound && skew < bestSkew) {
+					best = SubAt(x, y, w, l)
+					bestArea = area
+					bestSkew = skew
+					bestFound = true
+				}
+			}
+		}
+	}
+	return best, bestFound
+}
+
+// naiveBusyInRect counts busy cells by walking the rectangle.
+func naiveBusyInRect(m *Mesh, s Submesh) int {
+	n := 0
+	for y := s.Y1; y <= s.Y2; y++ {
+		for x := s.X1; x <= s.X2; x++ {
+			if m.busy[y*m.w+x] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// checkQueries cross-checks the O(1) queries and both searches against
+// the seed's scans on the current occupancy.
+func checkQueries(t *testing.T, m *Mesh, rng *rand.Rand) {
+	t.Helper()
+	for i := 0; i < 8; i++ {
+		x1, y1 := rng.Intn(m.w), rng.Intn(m.l)
+		s := Sub(x1, y1, x1+rng.Intn(m.w-x1), y1+rng.Intn(m.l-y1))
+		want := naiveBusyInRect(m, s)
+		if got := m.BusyInRect(s); got != want {
+			t.Fatalf("BusyInRect(%v) = %d, scan says %d\n%s", s, got, want, m)
+		}
+		if got := m.FreeInRect(s); got != s.Area()-want {
+			t.Fatalf("FreeInRect(%v) = %d, scan says %d", s, got, s.Area()-want)
+		}
+		if got := m.SubFree(s); got != (want == 0) {
+			t.Fatalf("SubFree(%v) = %v, scan says %v", s, got, want == 0)
+		}
+		if got := m.FitsAt(s.X1, s.Y1, s.W(), s.L()); got != (want == 0) {
+			t.Fatalf("FitsAt(%v) = %v, scan says %v", s, got, want == 0)
+		}
+	}
+	w, l := 1+rng.Intn(m.w), 1+rng.Intn(m.l)
+	gotFF, okFF := m.FirstFit(w, l)
+	wantFF, wantOkFF := seedFirstFit(m, w, l)
+	if okFF != wantOkFF || gotFF != wantFF {
+		t.Fatalf("FirstFit(%d,%d) = %v,%v; seed scan says %v,%v\n%s",
+			w, l, gotFF, okFF, wantFF, wantOkFF, m)
+	}
+	gotBF, okBF := m.BestFit(w, l)
+	wantBF, wantOkBF := seedBestFit(m, w, l)
+	if okBF != wantOkBF || gotBF != wantBF {
+		t.Fatalf("BestFit(%d,%d) = %v,%v; seed scan says %v,%v\n%s",
+			w, l, gotBF, okBF, wantBF, wantOkBF, m)
+	}
+	for _, caps := range [][3]int{{w, l, w * l}, {w, l, 1 + rng.Intn(w*l)}, {m.w, m.l, m.w * m.l}} {
+		gotLF, okLF := m.LargestFree(caps[0], caps[1], caps[2])
+		wantLF, wantOkLF := seedLargestFree(m, caps[0], caps[1], caps[2])
+		if okLF != wantOkLF || gotLF != wantLF {
+			t.Fatalf("LargestFree(%d,%d,%d) = %v,%v; seed scan says %v,%v\n%s",
+				caps[0], caps[1], caps[2], gotLF, okLF, wantLF, wantOkLF, m)
+		}
+	}
+}
+
+// TestIndexOracleRectOps drives random sub-mesh allocate/release
+// sequences, verifying the incremental tables and search results after
+// every step — including failed operations, which must not disturb the
+// index.
+func TestIndexOracleRectOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := New(16, 22)
+	var live []Submesh
+	for step := 0; step < 2500; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // allocate a random rectangle (may overlap: error path)
+			x, y := rng.Intn(m.w), rng.Intn(m.l)
+			s := SubAt(x, y, 1+rng.Intn(m.w-x), 1+rng.Intn(m.l-y))
+			if err := m.AllocateSub(s); err == nil {
+				live = append(live, s)
+			} else if m.SubFree(s) {
+				t.Fatalf("AllocateSub(%v) failed on free rect: %v", s, err)
+			}
+		case op < 7: // release a random live rectangle
+			if len(live) == 0 {
+				continue
+			}
+			k := rng.Intn(len(live))
+			if err := m.ReleaseSub(live[k]); err != nil {
+				t.Fatalf("ReleaseSub(%v): %v", live[k], err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		case op < 8: // doomed ops: out of bounds, double release
+			if err := m.AllocateSub(Sub(m.w-2, m.l-2, m.w+1, m.l+1)); err == nil {
+				t.Fatal("out-of-bounds AllocateSub succeeded")
+			}
+			if len(live) > 0 {
+				s := live[rng.Intn(len(live))]
+				if err := m.AllocateSub(s); err == nil {
+					t.Fatalf("double AllocateSub(%v) succeeded", s)
+				}
+			}
+		case op < 9: // Reset once in a while
+			if rng.Intn(20) == 0 {
+				m.Reset()
+				live = live[:0]
+			}
+		default: // clone must be independent and identical
+			c := m.Clone()
+			checkTables(t, c)
+			if c.String() != m.String() || c.FreeCount() != m.FreeCount() {
+				t.Fatal("clone differs from original")
+			}
+		}
+		checkTables(t, m)
+		if step%25 == 0 {
+			checkQueries(t, m, rng)
+		}
+	}
+}
+
+// TestIndexOracleCellOps drives random scattered (per-processor)
+// allocate/release sequences, covering the bulk-rebuild fallback and
+// the per-cell incremental path.
+func TestIndexOracleCellOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := New(11, 13) // odd sides: no alignment accidents
+	for step := 0; step < 1500; step++ {
+		if rng.Intn(2) == 0 {
+			free := m.FreeNodes()
+			if len(free) > 0 {
+				rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+				n := 1 + rng.Intn(len(free))
+				if err := m.Allocate(free[:n]); err != nil {
+					t.Fatalf("Allocate(%d free nodes): %v", n, err)
+				}
+			}
+		} else {
+			var busyNodes []Coord
+			for i, b := range m.busy {
+				if b {
+					busyNodes = append(busyNodes, m.CoordOf(i))
+				}
+			}
+			if len(busyNodes) > 0 {
+				rng.Shuffle(len(busyNodes), func(i, j int) {
+					busyNodes[i], busyNodes[j] = busyNodes[j], busyNodes[i]
+				})
+				n := 1 + rng.Intn(len(busyNodes))
+				if err := m.Release(busyNodes[:n]); err != nil {
+					t.Fatalf("Release(%d busy nodes): %v", n, err)
+				}
+			}
+		}
+		// Failed scattered ops must leave the index untouched.
+		if m.BusyCount() > 0 {
+			var c Coord
+			for i, b := range m.busy {
+				if b {
+					c = m.CoordOf(i)
+					break
+				}
+			}
+			if err := m.Allocate([]Coord{c}); err == nil {
+				t.Fatalf("Allocate(busy %v) succeeded", c)
+			}
+		}
+		if m.FreeCount() > 0 {
+			c := m.FreeNodes()[0]
+			if err := m.Release([]Coord{c}); err == nil {
+				t.Fatalf("Release(free %v) succeeded", c)
+			}
+			if err := m.Allocate([]Coord{c, c}); err == nil {
+				t.Fatal("duplicate Allocate succeeded")
+			}
+		}
+		if m.BusyCount() > 0 {
+			var c Coord
+			for i, b := range m.busy {
+				if b {
+					c = m.CoordOf(i)
+					break
+				}
+			}
+			if err := m.Release([]Coord{c, c}); err == nil {
+				t.Fatal("duplicate Release succeeded")
+			}
+		}
+		checkTables(t, m)
+		if step%25 == 0 {
+			checkQueries(t, m, rng)
+		}
+	}
+}
+
+// TestIndexJournalBursts mutates without any intervening rectangle
+// query, so the SAT journal accumulates: bursts below the fold
+// threshold exercise per-delta folding, longer ones the bulk recompute
+// and the overflow cap.
+func TestIndexJournalBursts(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	cap := New(16, 22).satCap
+	for _, burst := range []int{1, 2, 3, 4, 5, 9, cap - 1, cap, cap + 1, 3 * cap} {
+		m := New(16, 22)
+		var live []Submesh
+		for ops := 0; ops < burst; {
+			if len(live) > 6 && rng.Intn(2) == 0 {
+				k := rng.Intn(len(live))
+				if err := m.ReleaseSub(live[k]); err != nil {
+					t.Fatal(err)
+				}
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+				ops++
+				continue
+			}
+			x, y := rng.Intn(m.w), rng.Intn(m.l)
+			s := SubAt(x, y, 1+rng.Intn(4), 1+rng.Intn(4))
+			if m.InBounds(s.End()) && m.AllocateSub(s) == nil {
+				live = append(live, s)
+				ops++
+			}
+		}
+		if got := len(m.pending); got > m.satCap {
+			t.Fatalf("burst %d: journal length %d exceeds cap", burst, got)
+		}
+		checkTables(t, m)
+	}
+}
+
+// FuzzIndexOps interprets the fuzz input as a mutation program over a
+// small mesh and checks the index invariants after every instruction.
+func FuzzIndexOps(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 2, 2, 1, 0, 0, 0x80, 1, 1, 3, 3})
+	f.Add([]byte{0, 1, 1, 3, 4, 0, 0, 0, 7, 8, 0x80, 1, 1, 3, 4})
+	f.Add([]byte{0, 0, 0, 7, 8, 0x80, 0, 0, 7, 8, 0, 2, 3, 5, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := New(8, 9)
+		rng := rand.New(rand.NewSource(7))
+		for len(data) >= 5 {
+			op, x1, y1, x2, y2 := data[0], data[1], data[2], data[3], data[4]
+			data = data[5:]
+			s := Sub(int(x1)%10-1, int(y1)%11-1, int(x2)%10-1, int(y2)%11-1)
+			if op&0x80 == 0 {
+				m.AllocateSub(s) // errors are fine; state must stay sound
+			} else {
+				m.ReleaseSub(s)
+			}
+			checkTables(t, m)
+		}
+		checkQueries(t, m, rng)
+	})
+}

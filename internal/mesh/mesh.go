@@ -5,17 +5,77 @@ import "fmt"
 // Mesh is the occupancy model of a W x L mesh: which processors are
 // allocated, how many are free, and the searches over the free set.
 // It is not safe for concurrent use; a simulation owns one mesh.
+//
+// Occupancy is indexed incrementally — there is no per-decision
+// full-table rebuild anywhere. Three derived indexes back the queries:
+//
+//   - rightRun[y*w+x] is the number of consecutive free processors at
+//     (x,y),(x+1,y),... It is kept fresh eagerly: a mutation touching
+//     columns [x1,x2] of a row recomputes only that row from x2
+//     leftward, stopping as soon as a recomputed value left of x1
+//     matches the stored one (the run recurrence is a suffix chain, so
+//     everything further left is already correct). Cost: O(touched
+//     rows · W) worst case, typically the touched span plus the free
+//     run abutting it.
+//
+//   - sat is a summed-area table of busy counts anchored at the far
+//     corner: sat[y*(w+1)+x] counts the busy processors with X >= x
+//     and Y >= y. Any rectangle's busy count is then four lookups
+//     (BusyInRect), making SubFree, FitsAt and FreeInRect O(1). The
+//     table is maintained through a bounded journal: a mutation
+//     appends its rectangle delta in O(1), and rectangle queries first
+//     fold pending deltas in — each fold is a closed-form update of
+//     the entries x <= x2, y <= y2 (the far-corner anchor keeps that
+//     block small for the low placements the row-major searches
+//     favor), and once more than a few deltas are queued the fold
+//     recomputes the table in one pass instead, so a strategy that
+//     never queries rectangles pays O(size/journal-cap) amortized per
+//     mutation and one that queries after every mutation folds exactly
+//     its own delta. The journal is bounded by a constant, so queries
+//     stay O(1) worst case.
+//
+//   - rowMax[y] upper-bounds the widest free run of row y, letting the
+//     searches discard whole candidate rows in O(1). It is exact
+//     unless the row's recorded widest run was carved into (rowStale),
+//     and searches — never mutations — repair stale rows.
+//
+// The invariants (checked exhaustively against a naive recompute
+// oracle in index_test.go) are, for all in-range x, y:
+//
+//	rightRun[y*w+x] == 0            if busy[y*w+x]
+//	rightRun[y*w+x] == 1 + rightRun[y*w+x+1] otherwise (0 past the edge)
+//	rowMax[y] >= max over x of rightRun[y*w+x], with equality unless rowStale[y]
+//	sat[y*(w+1)+x] + Σ pending overlaps == Σ busy[yy*w+xx] for xx >= x, yy >= y
+//	sat[·*(w+1)+w] == sat[l*(w+1)+·] == 0
 type Mesh struct {
 	w, l int
 	busy []bool // row-major: index = y*w + x
 
 	freeCount int
 
-	// rightRun[y*w+x] is the number of consecutive free processors at
-	// (x,y),(x+1,y),... It backs the rectangle searches and is rebuilt
-	// lazily after occupancy changes.
 	rightRun []int
-	dirty    bool
+	// rowMax[y] bounds the widest free run in row y — the row-level
+	// aggregate of rightRun. A search for width w skips every window
+	// containing a row with rowMax < w without probing a single base.
+	// rowMaxPos[y] is the base of a run achieving it. A mutation whose
+	// rewritten span misses that base cannot have shrunk the widest
+	// run, so the aggregate update is O(1); carving into the widest
+	// run leaves the old value behind as a valid upper bound and marks
+	// the row stale (rowStale), and only searches — never mutations —
+	// re-derive stale rows, so mutation-only strategies pay nothing
+	// for exactness they do not use.
+	rowMax    []int
+	rowMaxPos []int
+	rowStale  []bool
+	sat       []int // (w+1) x (l+1), see type comment
+	pending   []satDelta
+	satCap    int // journal bound, scaled to the mesh (see New)
+}
+
+// satDelta is one occupancy change not yet folded into sat.
+type satDelta struct {
+	x1, y1, x2, y2 int
+	sign           int // +1 allocate, -1 release
 }
 
 // New returns an empty (fully free) w x l mesh.
@@ -23,14 +83,112 @@ func New(w, l int) *Mesh {
 	if w <= 0 || l <= 0 {
 		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", w, l))
 	}
-	return &Mesh{
+	m := &Mesh{
 		w:         w,
 		l:         l,
 		busy:      make([]bool, w*l),
 		freeCount: w * l,
 		rightRun:  make([]int, w*l),
-		dirty:     true,
+		rowMax:    make([]int, l),
+		rowMaxPos: make([]int, l),
+		rowStale:  make([]bool, l),
+		sat:       make([]int, (w+1)*(l+1)),
+		// Scaling the journal bound with the mesh keeps the amortized
+		// overflow cost at O(size)/(size/4) ≈ a few operations per
+		// mutation, so strategies that never query rectangles pay a
+		// small constant tax instead of a per-mutation table update.
+		satCap: max(64, w*l/4),
 	}
+	m.resetTables()
+	return m
+}
+
+// resetTables sets the index tables to the all-free state.
+func (m *Mesh) resetTables() {
+	for y := 0; y < m.l; y++ {
+		for x := 0; x < m.w; x++ {
+			m.rightRun[y*m.w+x] = m.w - x
+		}
+		m.rowMax[y] = m.w
+		m.rowMaxPos[y] = 0
+		m.rowStale[y] = false
+	}
+	for i := range m.sat {
+		m.sat[i] = 0
+	}
+	m.pending = m.pending[:0]
+}
+
+// queueSAT journals one rectangle's occupancy delta for the SAT; the
+// caller must have applied the busy flips already. The append is O(1);
+// a full journal folds by one recompute instead — which, because the
+// busy map is current, covers the new delta too, so nothing is
+// appended and the recompute cost is amortized over at least satCap
+// mutations.
+func (m *Mesh) queueSAT(x1, y1, x2, y2, sign int) {
+	if len(m.pending) >= m.satCap {
+		m.recomputeSAT()
+		return
+	}
+	m.pending = append(m.pending, satDelta{x1, y1, x2, y2, sign})
+}
+
+// drainSAT folds every journaled delta into the SAT. A handful of
+// deltas fold individually (each touches only the block x <= x2,
+// y <= y2); more than that and one recompute pass is cheaper.
+func (m *Mesh) drainSAT() {
+	switch n := len(m.pending); {
+	case n == 0:
+	case n <= 4:
+		for _, d := range m.pending {
+			m.foldSAT(d)
+		}
+		m.pending = m.pending[:0]
+	default:
+		m.recomputeSAT()
+	}
+}
+
+// foldSAT applies one rectangle delta: the SAT entry at (x,y) counts
+// the quadrant X >= x, Y >= y, so it gains sign times the overlap of
+// the rectangle with that quadrant — zero beyond (x2, y2).
+func (m *Mesh) foldSAT(d satDelta) {
+	stride := m.w + 1
+	rw := d.x2 - d.x1 + 1
+	for y := 0; y <= d.y2; y++ {
+		rh := d.y2 + 1 - y
+		if y < d.y1 {
+			rh = d.y2 - d.y1 + 1
+		}
+		base := y * stride
+		full := d.sign * rh * rw
+		for x := 0; x <= d.x1; x++ {
+			m.sat[base+x] += full
+		}
+		step := d.sign * rh
+		acc := full - step
+		for x := d.x1 + 1; x <= d.x2; x++ {
+			m.sat[base+x] += acc
+			acc -= step
+		}
+	}
+}
+
+// recomputeSAT rebuilds the SAT from the busy map in one pass and
+// clears the journal. Reached only through journal overflow or bulk
+// folds — never per allocation decision.
+func (m *Mesh) recomputeSAT() {
+	stride := m.w + 1
+	for y := m.l - 1; y >= 0; y-- {
+		for x := m.w - 1; x >= 0; x-- {
+			b := 0
+			if m.busy[y*m.w+x] {
+				b = 1
+			}
+			m.sat[y*stride+x] = b + m.sat[(y+1)*stride+x] + m.sat[y*stride+x+1] - m.sat[(y+1)*stride+x+1]
+		}
+	}
+	m.pending = m.pending[:0]
 }
 
 // W returns the mesh width.
@@ -62,6 +220,190 @@ func (m *Mesh) CoordOf(i int) Coord { return Coord{i % m.w, i / m.w} }
 // Busy reports whether processor c is allocated.
 func (m *Mesh) Busy(c Coord) bool { return m.busy[m.Index(c)] }
 
+// busyInRect returns the busy count in the inclusive rectangle
+// (x1,y1)-(x2,y2) in four SAT lookups. The rectangle is assumed in
+// bounds and valid, and the journal drained (drainSAT).
+func (m *Mesh) busyInRect(x1, y1, x2, y2 int) int {
+	s := m.sat
+	stride := m.w + 1
+	return s[y1*stride+x1] - s[y1*stride+x2+1] - s[(y2+1)*stride+x1] + s[(y2+1)*stride+x2+1]
+}
+
+// scanBusyRect counts busy cells by walking the rectangle — cheaper
+// than a SAT fold for tiny rectangles, and journal-independent.
+func (m *Mesh) scanBusyRect(x1, y1, x2, y2 int) int {
+	n := 0
+	for y := y1; y <= y2; y++ {
+		row := y * m.w
+		for x := x1; x <= x2; x++ {
+			if m.busy[row+x] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// rectBusy dispatches a rectangle busy count: tiny rectangles are read
+// straight off the busy map (a constant-bounded scan), everything else
+// off the summed-area table after folding the journal.
+func (m *Mesh) rectBusy(x1, y1, x2, y2 int) int {
+	if (x2-x1+1)*(y2-y1+1) <= 8 {
+		return m.scanBusyRect(x1, y1, x2, y2)
+	}
+	m.drainSAT()
+	return m.busyInRect(x1, y1, x2, y2)
+}
+
+// BusyInRect returns the number of allocated processors inside s in
+// O(1). Out-of-range or invalid sub-meshes return 0.
+func (m *Mesh) BusyInRect(s Submesh) int {
+	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
+		return 0
+	}
+	return m.rectBusy(s.X1, s.Y1, s.X2, s.Y2)
+}
+
+// FreeInRect returns the number of free processors inside s in O(1).
+// Out-of-range or invalid sub-meshes return 0.
+func (m *Mesh) FreeInRect(s Submesh) int {
+	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
+		return 0
+	}
+	return s.Area() - m.rectBusy(s.X1, s.Y1, s.X2, s.Y2)
+}
+
+// FitsAt reports in O(1) whether the w x l sub-mesh based at (x,y) lies
+// in bounds and is entirely free.
+func (m *Mesh) FitsAt(x, y, w, l int) bool {
+	if w <= 0 || l <= 0 || x < 0 || y < 0 || x+w > m.w || y+l > m.l {
+		return false
+	}
+	return m.rectBusy(x, y, x+w-1, y+l-1) == 0
+}
+
+// updateRowRuns restores the rightRun and rowMax invariants for row y
+// after the busy state of columns [x1,x2] changed. It recomputes from
+// x2 leftward, stopping at the first unchanged value left of the
+// touched span. The row aggregate then updates in O(1): a shrunken
+// run's base is always inside the rewritten span (its base value is
+// its length), so if the recorded widest-run base was not rewritten,
+// the widest run still stands; only carving into it forces a rescan.
+func (m *Mesh) updateRowRuns(y, x1, x2 int) {
+	row := y * m.w
+	run := 0
+	if x2+1 < m.w {
+		run = m.rightRun[row+x2+1] // columns right of x2 are untouched
+	}
+	low := x2 + 1
+	maxWritten, maxWrittenPos := -1, 0
+	for x := x2; x >= 0; x-- {
+		if m.busy[row+x] {
+			run = 0
+		} else {
+			run++
+		}
+		if x < x1 && m.rightRun[row+x] == run {
+			break
+		}
+		m.rightRun[row+x] = run
+		low = x
+		if run > maxWritten {
+			maxWritten, maxWrittenPos = run, x
+		}
+	}
+	switch pos := m.rowMaxPos[y]; {
+	case maxWritten >= m.rowMax[y]:
+		m.rowMax[y], m.rowMaxPos[y] = maxWritten, maxWrittenPos
+		m.rowStale[y] = false
+	case pos >= low && pos <= x2:
+		// The recorded widest run was rewritten and nothing written
+		// matches or beats it. Runs only ever shrink under the cells
+		// just made busy, so the recorded value stays a valid upper
+		// bound; leave the exact re-derivation (rowMaxRescan) to the
+		// next search that cares about this row.
+		m.rowStale[y] = true
+	}
+}
+
+// rowMaxRescan re-derives row y's exact widest run by hopping run to
+// run. Called by searches on stale rows only.
+func (m *Mesh) rowMaxRescan(y int) {
+	row := y * m.w
+	max, maxPos := 0, 0
+	for x := 0; x < m.w; {
+		r := m.rightRun[row+x]
+		if r > max {
+			max, maxPos = r, x
+		}
+		x += r + 1 // land past the run-ending busy processor
+	}
+	m.rowMax[y], m.rowMaxPos[y], m.rowStale[y] = max, maxPos, false
+}
+
+// rowMaxAt returns the exact widest free run of row y, repairing a
+// stale aggregate first.
+func (m *Mesh) rowMaxAt(y int) int {
+	if m.rowStale[y] {
+		m.rowMaxRescan(y)
+	}
+	return m.rowMax[y]
+}
+
+// flipRect marks the (validated) rectangle busy or free and restores
+// the index invariants: busy map and rightRun eagerly, SAT via the
+// journal.
+func (m *Mesh) flipRect(x1, y1, x2, y2 int, toBusy bool) {
+	for y := y1; y <= y2; y++ {
+		row := y * m.w
+		for x := x1; x <= x2; x++ {
+			m.busy[row+x] = toBusy
+		}
+	}
+	sign := 1
+	if !toBusy {
+		sign = -1
+	}
+	m.queueSAT(x1, y1, x2, y2, sign)
+	for y := y1; y <= y2; y++ {
+		m.updateRowRuns(y, x1, x2)
+	}
+}
+
+// noteCells restores the index invariants after the busy state of the
+// given (already flipped) cells changed by sign (+1 busy, -1 free):
+// one journaled 1x1 SAT delta per cell, one rightRun repair per
+// touched row over that row's touched span.
+func (m *Mesh) noteCells(nodes []Coord, sign int) {
+	// One overflow decision for the whole batch: the busy map already
+	// holds every flip, so a recompute covers all of them at once.
+	if len(m.pending)+len(nodes) > m.satCap {
+		m.recomputeSAT()
+	} else {
+		for _, c := range nodes {
+			m.pending = append(m.pending, satDelta{c.X, c.Y, c.X, c.Y, sign})
+		}
+	}
+	spans := make(map[int][2]int, len(nodes))
+	for _, c := range nodes {
+		s, ok := spans[c.Y]
+		if !ok {
+			spans[c.Y] = [2]int{c.X, c.X}
+			continue
+		}
+		if c.X < s[0] {
+			s[0] = c.X
+		}
+		if c.X > s[1] {
+			s[1] = c.X
+		}
+		spans[c.Y] = s
+	}
+	for y, s := range spans {
+		m.updateRowRuns(y, s[0], s[1])
+	}
+}
+
 // Allocate marks the processors busy. It returns an error — without
 // side effects — if any is out of bounds or already allocated; a
 // strategy asking for an occupied processor is a bug, and catching it
@@ -75,44 +417,50 @@ func (m *Mesh) Allocate(nodes []Coord) error {
 			return fmt.Errorf("mesh: allocate already-busy %v", c)
 		}
 	}
-	// Reject duplicate coordinates inside one request.
+	// Reject duplicate coordinates inside one request: every node was
+	// free above, so hitting a set flag while marking means this very
+	// request set it.
 	for i, c := range nodes {
-		m.busy[m.Index(c)] = true
-		for j := i + 1; j < len(nodes); j++ {
-			if nodes[j] == c {
-				// Roll back what we set so far.
-				for k := 0; k <= i; k++ {
-					m.busy[m.Index(nodes[k])] = false
-				}
-				return fmt.Errorf("mesh: duplicate coordinate %v in request", c)
+		idx := m.Index(c)
+		if m.busy[idx] {
+			for k := 0; k < i; k++ {
+				m.busy[m.Index(nodes[k])] = false
 			}
+			return fmt.Errorf("mesh: duplicate coordinate %v in request", c)
 		}
+		m.busy[idx] = true
 	}
 	m.freeCount -= len(nodes)
-	m.dirty = true
+	m.noteCells(nodes, 1)
 	return nil
 }
 
-// AllocateSub marks an entire sub-mesh busy.
+// AllocateSub marks an entire sub-mesh busy. The overlap check walks
+// the rectangle it is about to write anyway; the index update touches
+// only the affected rows plus one journaled SAT delta.
 func (m *Mesh) AllocateSub(s Submesh) error {
 	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
 		return fmt.Errorf("mesh: allocate invalid sub-mesh %v", s)
 	}
+	if m.scanBusyRect(s.X1, s.Y1, s.X2, s.Y2) != 0 {
+		return fmt.Errorf("mesh: sub-mesh %v overlaps busy %v", s, m.firstInRect(s, true))
+	}
+	m.flipRect(s.X1, s.Y1, s.X2, s.Y2, true)
+	m.freeCount -= s.Area()
+	return nil
+}
+
+// firstInRect returns the row-major first cell of s whose busy state
+// matches want. It only runs on error paths, for diagnostics.
+func (m *Mesh) firstInRect(s Submesh, want bool) Coord {
 	for y := s.Y1; y <= s.Y2; y++ {
 		for x := s.X1; x <= s.X2; x++ {
-			if m.busy[y*m.w+x] {
-				return fmt.Errorf("mesh: sub-mesh %v overlaps busy %v", s, Coord{x, y})
+			if m.busy[y*m.w+x] == want {
+				return Coord{x, y}
 			}
 		}
 	}
-	for y := s.Y1; y <= s.Y2; y++ {
-		for x := s.X1; x <= s.X2; x++ {
-			m.busy[y*m.w+x] = true
-		}
-	}
-	m.freeCount -= s.Area()
-	m.dirty = true
-	return nil
+	panic(fmt.Sprintf("mesh: no cell with busy=%v in %v", want, s))
 }
 
 // Release marks the processors free. Releasing a free processor is an
@@ -126,52 +474,89 @@ func (m *Mesh) Release(nodes []Coord) error {
 			return fmt.Errorf("mesh: release already-free %v", c)
 		}
 	}
-	for _, c := range nodes {
-		m.busy[m.Index(c)] = false
+	// Reject duplicate coordinates inside one request, mirroring
+	// Allocate: every node was busy above, so hitting a cleared flag
+	// while clearing means this very request cleared it.
+	for i, c := range nodes {
+		idx := m.Index(c)
+		if !m.busy[idx] {
+			for k := 0; k < i; k++ {
+				m.busy[m.Index(nodes[k])] = true
+			}
+			return fmt.Errorf("mesh: duplicate coordinate %v in request", c)
+		}
+		m.busy[idx] = false
 	}
 	m.freeCount += len(nodes)
-	m.dirty = true
+	m.noteCells(nodes, -1)
 	return nil
 }
 
-// ReleaseSub marks an entire sub-mesh free.
+// ReleaseSub marks an entire sub-mesh free, directly by rectangle (no
+// per-node materialization) with the same error checking as Release:
+// out-of-bounds or already-free processors are reported without side
+// effects. Invalid (empty) sub-meshes release nothing.
 func (m *Mesh) ReleaseSub(s Submesh) error {
-	return m.Release(s.Nodes())
+	if !s.Valid() {
+		return nil
+	}
+	if !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
+		for y := s.Y1; y <= s.Y2; y++ {
+			for x := s.X1; x <= s.X2; x++ {
+				if !m.InBounds(Coord{x, y}) {
+					return fmt.Errorf("mesh: release out of bounds %v", Coord{x, y})
+				}
+			}
+		}
+	}
+	if m.scanBusyRect(s.X1, s.Y1, s.X2, s.Y2) != s.Area() {
+		return fmt.Errorf("mesh: release already-free %v", m.firstInRect(s, false))
+	}
+	m.flipRect(s.X1, s.Y1, s.X2, s.Y2, false)
+	m.freeCount += s.Area()
+	return nil
 }
 
 // SubFree reports whether every processor of s is free (paper
-// Definition 3). Out-of-range sub-meshes are not free.
+// Definition 3) in O(1). Out-of-range sub-meshes are not free.
+// Shallow rectangles are answered by a constant-bounded number of
+// rightRun probes (one per row), which needs no journal fold; tall
+// ones by the summed-area table.
 func (m *Mesh) SubFree(s Submesh) bool {
 	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
 		return false
 	}
-	for y := s.Y1; y <= s.Y2; y++ {
-		for x := s.X1; x <= s.X2; x++ {
-			if m.busy[y*m.w+x] {
+	if w := s.W(); s.L() <= 8 {
+		for y := s.Y1; y <= s.Y2; y++ {
+			if m.rightRun[y*m.w+s.X1] < w {
 				return false
 			}
 		}
+		return true
 	}
-	return true
+	return m.rectBusy(s.X1, s.Y1, s.X2, s.Y2) == 0
 }
 
 // FreeNodes returns the free processors in row-major order.
 func (m *Mesh) FreeNodes() []Coord {
 	out := make([]Coord, 0, m.freeCount)
-	for i, b := range m.busy {
-		if !b {
-			out = append(out, m.CoordOf(i))
-		}
+	for c := range m.FreeSeq() {
+		out = append(out, c)
 	}
 	return out
 }
 
 // Clone returns an independent copy of the mesh occupancy.
 func (m *Mesh) Clone() *Mesh {
+	m.drainSAT()
 	n := New(m.w, m.l)
 	copy(n.busy, m.busy)
+	copy(n.rightRun, m.rightRun)
+	copy(n.rowMax, m.rowMax)
+	copy(n.rowMaxPos, m.rowMaxPos)
+	copy(n.rowStale, m.rowStale)
+	copy(n.sat, m.sat)
 	n.freeCount = m.freeCount
-	n.dirty = true
 	return n
 }
 
@@ -181,7 +566,7 @@ func (m *Mesh) Reset() {
 		m.busy[i] = false
 	}
 	m.freeCount = m.Size()
-	m.dirty = true
+	m.resetTables()
 }
 
 // String renders the occupancy as an ASCII grid, row y = L-1 at the
@@ -199,23 +584,4 @@ func (m *Mesh) String() string {
 		b = append(b, '\n')
 	}
 	return string(b)
-}
-
-func (m *Mesh) refresh() {
-	if !m.dirty {
-		return
-	}
-	for y := 0; y < m.l; y++ {
-		run := 0
-		for x := m.w - 1; x >= 0; x-- {
-			i := y*m.w + x
-			if m.busy[i] {
-				run = 0
-			} else {
-				run++
-			}
-			m.rightRun[i] = run
-		}
-	}
-	m.dirty = false
 }

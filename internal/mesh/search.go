@@ -1,10 +1,80 @@
 package mesh
 
+import "iter"
+
 // This file implements the free-rectangle searches used by the
-// allocation strategies. All of them run on the lazily maintained
-// rightRun table: rightRun[x,y] is the count of consecutive free
-// processors starting at (x,y) going right, so a w x l sub-mesh based at
-// (x,y) is free iff min(rightRun[x,y..y+l-1]) >= w.
+// allocation strategies. They run on the incrementally maintained
+// rightRun table, probing rows top-down and stopping at the first
+// blocking row — and where the seed's scan then slid one base to the
+// right, the blocker's free run tells us every base in [x, x+run] is
+// blocked by the same busy processor, so the scan jumps past all of
+// them at once.
+
+// blockedUntil returns 0 when the w x l sub-mesh based at (x,y) is
+// free, and otherwise the number of bases to skip: the first blocking
+// row's busy processor at x+run blocks every base in [x, x+run].
+func (m *Mesh) blockedUntil(x, y, w, l int) int {
+	for yy := y; yy < y+l; yy++ {
+		if r := m.rightRun[yy*m.w+x]; r < w {
+			return r + 1
+		}
+	}
+	return 0
+}
+
+// CandidatesRow yields, left to right, every base x in row y where the
+// w x l sub-mesh based at (x,y) is entirely free. Busy spans are
+// skipped in one jump per blocking processor.
+func (m *Mesh) CandidatesRow(y, w, l int) iter.Seq[int] {
+	return func(yield func(int) bool) {
+		if w <= 0 || l <= 0 || y < 0 || y+l > m.l {
+			return
+		}
+		for x := 0; x+w <= m.w; {
+			skip := m.blockedUntil(x, y, w, l)
+			if skip == 0 {
+				if !yield(x) {
+					return
+				}
+				x++
+				continue
+			}
+			x += skip
+		}
+	}
+}
+
+// nextWindowRow advances the base row past every window that contains
+// a row too narrow for width w (rowMax < w): given base y whose window
+// rows (y..y+l-1) above the newly entered bottom row are known clean
+// when fresh is false, it returns the next viable base row, or m.l when
+// none remains. Amortized O(1) per base row.
+func (m *Mesh) nextWindowRow(y, w, l int, fresh bool) int {
+	for y+l <= m.l {
+		if !fresh {
+			// Only row y+l-1 is new to the window; the rest was
+			// checked when the previous base row was cleared.
+			if m.rowMaxAt(y+l-1) >= w {
+				return y
+			}
+			y += l
+			fresh = true
+			continue
+		}
+		bad := -1
+		for yy := y + l - 1; yy >= y; yy-- {
+			if m.rowMaxAt(yy) < w {
+				bad = yy
+				break
+			}
+		}
+		if bad < 0 {
+			return y
+		}
+		y = bad + 1
+	}
+	return m.l
+}
 
 // FirstFit returns the first (row-major base order) free w x l sub-mesh,
 // the classic contiguous first-fit search.
@@ -12,26 +82,17 @@ func (m *Mesh) FirstFit(w, l int) (Submesh, bool) {
 	if w <= 0 || l <= 0 || w > m.w || l > m.l {
 		return Submesh{}, false
 	}
-	m.refresh()
-	for y := 0; y+l <= m.l; y++ {
-		for x := 0; x+w <= m.w; x++ {
-			if m.fitsAt(x, y, w, l) {
-				return SubAt(x, y, w, l), true
-			}
+	fresh := true
+	for y := 0; ; y++ {
+		y = m.nextWindowRow(y, w, l, fresh)
+		if y+l > m.l {
+			return Submesh{}, false
 		}
-	}
-	return Submesh{}, false
-}
-
-// fitsAt reports whether the w x l sub-mesh based at (x,y) is free,
-// assuming the rightRun table is fresh and the rectangle is in bounds.
-func (m *Mesh) fitsAt(x, y, w, l int) bool {
-	for yy := y; yy < y+l; yy++ {
-		if m.rightRun[yy*m.w+x] < w {
-			return false
+		for x := range m.CandidatesRow(y, w, l) {
+			return SubAt(x, y, w, l), true
 		}
+		fresh = false
 	}
-	return true
 }
 
 // BestFit returns the free w x l sub-mesh whose placement touches the
@@ -42,14 +103,16 @@ func (m *Mesh) BestFit(w, l int) (Submesh, bool) {
 	if w <= 0 || l <= 0 || w > m.w || l > m.l {
 		return Submesh{}, false
 	}
-	m.refresh()
+	m.drainSAT() // boundaryPressure reads the SAT per candidate
 	best := Submesh{}
 	bestScore := -1
-	for y := 0; y+l <= m.l; y++ {
-		for x := 0; x+w <= m.w; x++ {
-			if !m.fitsAt(x, y, w, l) {
-				continue
-			}
+	fresh := true
+	for y := 0; ; y++ {
+		y = m.nextWindowRow(y, w, l, fresh)
+		if y+l > m.l {
+			break
+		}
+		for x := range m.CandidatesRow(y, w, l) {
 			s := SubAt(x, y, w, l)
 			score := m.boundaryPressure(s)
 			if score > bestScore {
@@ -57,6 +120,7 @@ func (m *Mesh) BestFit(w, l int) (Submesh, bool) {
 				best = s
 			}
 		}
+		fresh = false
 	}
 	if bestScore < 0 {
 		return Submesh{}, false
@@ -65,25 +129,30 @@ func (m *Mesh) BestFit(w, l int) (Submesh, bool) {
 }
 
 // boundaryPressure counts perimeter positions of s that abut the mesh
-// border or a busy processor.
+// border or a busy processor. Each mesh-side strip is one O(1)
+// summed-area query; strips falling off the mesh count whole as
+// border. Corners are not counted, matching the four perimeter edges.
 func (m *Mesh) boundaryPressure(s Submesh) int {
 	score := 0
-	cell := func(x, y int) {
-		if x < 0 || x >= m.w || y < 0 || y >= m.l {
-			score++ // mesh border
-			return
-		}
-		if m.busy[y*m.w+x] {
-			score++
-		}
+	if s.Y1 == 0 {
+		score += s.W()
+	} else {
+		score += m.busyInRect(s.X1, s.Y1-1, s.X2, s.Y1-1)
 	}
-	for x := s.X1; x <= s.X2; x++ {
-		cell(x, s.Y1-1)
-		cell(x, s.Y2+1)
+	if s.Y2 == m.l-1 {
+		score += s.W()
+	} else {
+		score += m.busyInRect(s.X1, s.Y2+1, s.X2, s.Y2+1)
 	}
-	for y := s.Y1; y <= s.Y2; y++ {
-		cell(s.X1-1, y)
-		cell(s.X2+1, y)
+	if s.X1 == 0 {
+		score += s.L()
+	} else {
+		score += m.busyInRect(s.X1-1, s.Y1, s.X1-1, s.Y2)
+	}
+	if s.X2 == m.w-1 {
+		score += s.L()
+	} else {
+		score += m.busyInRect(s.X2+1, s.Y1, s.X2+1, s.Y2)
 	}
 	return score
 }
@@ -104,7 +173,29 @@ func (m *Mesh) LargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
 	if maxL > m.l {
 		maxL = m.l
 	}
-	m.refresh()
+	// Best conceivable candidate under the caps, occupancy aside: the
+	// search can stop the moment it records a candidate this good,
+	// since later candidates can at best tie (and first-found wins).
+	// idealArea = max over heights of the capped width times height;
+	// idealSkew = the squarest (w,l) factoring of that area.
+	idealArea, idealSkew := 0, 0
+	for l := 1; l <= maxL; l++ {
+		w := maxW
+		if w*l > maxArea {
+			w = maxArea / l
+		}
+		if w*l > idealArea {
+			idealArea = w * l
+		}
+	}
+	idealSkew = idealArea // worse than any real candidate's skew
+	for l := 1; l <= maxL; l++ {
+		if idealArea%l == 0 {
+			if w := idealArea / l; w <= maxW && abs(w-l) < idealSkew {
+				idealSkew = abs(w - l)
+			}
+		}
+	}
 	var (
 		best      Submesh
 		bestArea  int
@@ -112,12 +203,31 @@ func (m *Mesh) LargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
 		bestFound bool
 	)
 	for y := 0; y < m.l; y++ {
+		lCap := maxL
+		if rest := m.l - y; rest < lCap {
+			lCap = rest
+		}
 		for x := 0; x < m.w; x++ {
+			// Anchor upper bound: no rectangle based at (x,y) can beat
+			// min(first-row run, maxW) · lCap clipped by the area cap.
+			// A strictly smaller bound than the best so far skips the
+			// anchor in O(1); equal bounds still scan, so area/skew
+			// tie-breaking is identical to the exhaustive search.
+			wCap := m.rightRun[y*m.w+x]
+			if wCap == 0 {
+				continue
+			}
+			if wCap > maxW {
+				wCap = maxW
+			}
+			if ub := min(wCap*lCap, maxArea); ub < bestArea {
+				continue
+			}
 			// Grow the rectangle downward from (x,y), tracking the
 			// minimum free run; the widest rectangle of each height
 			// based here is minRun clipped by the caps.
-			minRun := m.w + 1
-			for l := 1; l <= maxL && y+l-1 < m.l; l++ {
+			minRun := wCap
+			for l := 1; l <= lCap; l++ {
 				run := m.rightRun[(y+l-1)*m.w+x]
 				if run == 0 {
 					break
@@ -125,10 +235,11 @@ func (m *Mesh) LargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
 				if run < minRun {
 					minRun = run
 				}
-				w := minRun
-				if w > maxW {
-					w = maxW
+				// Continuation bound: heights below can only narrow.
+				if ub := min(minRun*lCap, maxArea); ub < bestArea {
+					break
 				}
+				w := minRun
 				if w*l > maxArea {
 					w = maxArea / l
 				}
@@ -142,6 +253,9 @@ func (m *Mesh) LargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
 					bestArea = area
 					bestSkew = skew
 					bestFound = true
+					if bestArea == idealArea && bestSkew == idealSkew {
+						return best, true
+					}
 				}
 			}
 		}
@@ -152,4 +266,28 @@ func (m *Mesh) LargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
 // LargestFreeAnywhere returns the unconstrained largest free sub-mesh.
 func (m *Mesh) LargestFreeAnywhere() (Submesh, bool) {
 	return m.LargestFree(m.w, m.l, m.Size())
+}
+
+// FreeSeq yields the free processors in row-major order, jumping
+// through the rightRun table so busy processors cost one step each and
+// free runs are emitted directly.
+func (m *Mesh) FreeSeq() iter.Seq[Coord] {
+	return func(yield func(Coord) bool) {
+		for y := 0; y < m.l; y++ {
+			row := y * m.w
+			for x := 0; x < m.w; {
+				r := m.rightRun[row+x]
+				if r == 0 {
+					x++
+					continue
+				}
+				for i := 0; i < r; i++ {
+					if !yield(Coord{x + i, y}) {
+						return
+					}
+				}
+				x += r + 1 // the processor ending the run is busy
+			}
+		}
+	}
 }

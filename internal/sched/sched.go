@@ -6,7 +6,10 @@
 // fails for the current head (no bypassing in either strategy).
 package sched
 
-import "container/heap"
+import (
+	"container/heap"
+	"slices"
+)
 
 // Queue is a scheduling discipline over queued items of type T.
 type Queue[T any] interface {
@@ -28,9 +31,14 @@ type Queue[T any] interface {
 	Len() int
 }
 
-// fcfs is a FIFO queue.
+// fcfs is a FIFO queue over a slice with a head index: Pop advances
+// the head instead of reslicing, so the slots it vacates are reused by
+// PushFront without any allocation or copying. The backfilling
+// scheduler's pop-examine-reinsert cycle on the queue head — the
+// discipline's hottest path — therefore never touches the allocator.
 type fcfs[T any] struct {
 	items []T
+	head  int
 }
 
 // NewFCFS returns the paper's First-Come-First-Served discipline: jobs
@@ -42,30 +50,49 @@ func (q *fcfs[T]) Name() string { return "FCFS" }
 func (q *fcfs[T]) Push(v T) { q.items = append(q.items, v) }
 
 func (q *fcfs[T]) PushFront(v T) {
-	q.items = append([]T{v}, q.items...)
+	if q.head > 0 {
+		q.head--
+		q.items[q.head] = v
+		return
+	}
+	// No vacated slot in front (PushFront without a preceding Pop):
+	// shift in place, growing only when capacity demands it.
+	q.items = slices.Insert(q.items, 0, v)
 }
 
 func (q *fcfs[T]) Peek() (T, bool) {
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		var zero T
 		return zero, false
 	}
-	return q.items[0], true
+	return q.items[q.head], true
 }
 
 func (q *fcfs[T]) Pop() (T, bool) {
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		var zero T
 		return zero, false
 	}
-	v := q.items[0]
+	v := q.items[q.head]
 	var zero T
-	q.items[0] = zero // release reference
-	q.items = q.items[1:]
+	q.items[q.head] = zero // release reference
+	q.head++
+	if q.head == len(q.items) {
+		// Empty: recycle the whole backing array.
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head*2 >= len(q.items) {
+		// Keep the dead prefix bounded to half the slice: compact in
+		// place, amortized O(1) per Pop.
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
 	return v, true
 }
 
-func (q *fcfs[T]) Len() int { return len(q.items) }
+func (q *fcfs[T]) Len() int { return len(q.items) - q.head }
 
 // priority is a key-ordered queue with FIFO tie-break.
 type priority[T any] struct {

@@ -65,6 +65,66 @@ func TestFCFSPushFrontRestoresHead(t *testing.T) {
 	}
 }
 
+func TestFCFSPushFrontWithoutPop(t *testing.T) {
+	// PushFront with no vacated head slot must still prepend.
+	q := NewFCFS[job]()
+	q.Push(job{id: 2})
+	q.PushFront(job{id: 1})
+	q.PushFront(job{id: 0})
+	for want := 0; want <= 2; want++ {
+		v, ok := q.Pop()
+		if !ok || v.id != want {
+			t.Fatalf("Pop = %+v, want id %d", v, want)
+		}
+	}
+}
+
+func TestFCFSPopPushFrontAllocFree(t *testing.T) {
+	// The backfilling scheduler's hottest re-queue path — pop the head,
+	// examine it, reinsert it — must not allocate.
+	q := NewFCFS[job]()
+	for i := 0; i < 16; i++ {
+		q.Push(job{id: i})
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		v, _ := q.Pop()
+		q.PushFront(v)
+	})
+	if allocs != 0 {
+		t.Fatalf("pop+PushFront allocates %v times per cycle, want 0", allocs)
+	}
+}
+
+func TestFCFSLongChurnKeepsOrder(t *testing.T) {
+	// Interleaved push/pop churn exercises head advancement and the
+	// compaction path; FIFO order must hold throughout.
+	q := NewFCFS[job]()
+	next, expect := 0, 0
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 7; i++ {
+			q.Push(job{id: next})
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			v, ok := q.Pop()
+			if !ok || v.id != expect {
+				t.Fatalf("Pop = %+v (ok=%v), want id %d", v, ok, expect)
+			}
+			expect++
+		}
+		if got := q.Len(); got != next-expect {
+			t.Fatalf("Len = %d, want %d", got, next-expect)
+		}
+	}
+	for expect < next {
+		v, ok := q.Pop()
+		if !ok || v.id != expect {
+			t.Fatalf("drain Pop = %+v, want id %d", v, expect)
+		}
+		expect++
+	}
+}
+
 func TestPriorityPushFrontKeepsKeyOrder(t *testing.T) {
 	q := NewSSD(func(j job) float64 { return j.demand })
 	q.Push(job{id: 1, demand: 10})

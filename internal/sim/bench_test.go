@@ -1,0 +1,44 @@
+package sim
+
+// End-to-end allocation-path benchmarks: a zero-communication workload
+// makes every simulation event an arrival, allocation attempt or
+// release, so these runs time the scheduler → strategy → occupancy
+// index stack at production mesh scale with no packet simulation in
+// the way.
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// benchAllocHeavy completes jobs zero-message jobs per iteration on a
+// w x l mesh under the named strategy at ~50-60 % offered load.
+func benchAllocHeavy(b *testing.B, w, l int, strategy string, jobs int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.MeshW, cfg.MeshL = w, l
+		cfg.Strategy = strategy
+		cfg.MaxCompleted = jobs
+		cfg.WarmupJobs = jobs / 10
+		// Offered load ≈ computeMean·E[size]/(rate⁻¹·W·L) ≈ 0.44,
+		// independent of mesh size for half-side uniform requests.
+		src := workload.NewAllocStress(stats.NewStream(11), w, l, 0.07, 100)
+		res, err := Run(cfg, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed == 0 {
+			b.Fatal("benchmark run completed no jobs")
+		}
+	}
+}
+
+// Only cases not already covered by the root bench_test.go AllocHeavy
+// suite, so the two harnesses do not double-run in CI.
+
+func BenchmarkAllocHeavyGABL16x22(b *testing.B)     { benchAllocHeavy(b, 16, 22, "GABL", 2000) }
+func BenchmarkAllocHeavyPaging256x256(b *testing.B) { benchAllocHeavy(b, 256, 256, "Paging(2)", 800) }

@@ -341,14 +341,14 @@ func (s *Simulator) start(j *jobState, a alloc.Allocation) {
 	j.allocAt = now
 	s.busyInt.Observe(now, float64(s.mesh.BusyCount()))
 
-	nodes := a.Nodes()
-	n := len(nodes)
-	senders := s.cfg.Pattern.senders(n)
+	senders := s.cfg.Pattern.senders(a.Size())
 	if senders == 0 || j.job.Messages == 0 {
-		// No communication partner: residence is the compute demand.
+		// No communication partner: residence is the compute demand,
+		// and the per-processor node list is never needed.
 		s.eng.Schedule(j.job.Compute, func() { s.complete(j) })
 		return
 	}
+	nodes := a.Nodes()
 	// Communication phase (paper §5, ProcSimity patterns; the paper
 	// uses all-to-all): each sending processor issues Messages
 	// packets. Sends are blocking — a processor issues its next packet

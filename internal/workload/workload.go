@@ -182,6 +182,58 @@ func (s *Stochastic) Next() (Job, bool) {
 	return j, true
 }
 
+// AllocStress is a communication-free job stream for allocation-path
+// studies and benchmarks: Poisson arrivals, uniform request sides up
+// to half of each mesh side (the contention regime the paper's
+// full-side uniform workload spends its time in), exponential compute
+// residence and zero messages. With no packets to simulate, every
+// event in a run exercises the scheduler → allocator → occupancy-index
+// path, so end-to-end time measures allocation cost alone.
+type AllocStress struct {
+	rng         *stats.Stream
+	meshW       int
+	meshL       int
+	mean        float64 // mean inter-arrival time
+	computeMean float64
+	next        int
+	clock       float64
+}
+
+// NewAllocStress builds the allocation-stress source. arrivalRate is
+// jobs per time unit; computeMean is the mean residence time.
+func NewAllocStress(rng *stats.Stream, meshW, meshL int, arrivalRate, computeMean float64) *AllocStress {
+	if arrivalRate <= 0 {
+		panic("workload: arrival rate must be positive")
+	}
+	if computeMean <= 0 {
+		panic("workload: compute mean must be positive")
+	}
+	return &AllocStress{
+		rng:         rng,
+		meshW:       meshW,
+		meshL:       meshL,
+		mean:        1 / arrivalRate,
+		computeMean: computeMean,
+	}
+}
+
+// Name implements Source.
+func (s *AllocStress) Name() string { return "alloc-stress" }
+
+// Next implements Source.
+func (s *AllocStress) Next() (Job, bool) {
+	s.clock += s.rng.Exp(s.mean)
+	j := Job{
+		ID:      s.next,
+		Arrival: s.clock,
+		W:       s.rng.UniformInt(1, max(2, s.meshW/2)),
+		L:       s.rng.UniformInt(1, max(2, s.meshL/2)),
+		Compute: s.rng.Exp(s.computeMean),
+	}
+	s.next++
+	return j, true
+}
+
 // SliceSource replays a fixed job slice, e.g. a trace.
 type SliceSource struct {
 	name string
