@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/network"
 	"repro/internal/stats"
 )
 
@@ -48,6 +49,7 @@ func main() {
 		ablOnly = flag.Bool("ablations", false, "run only the ablation studies")
 		plot    = flag.Bool("plot", false, "render ASCII charts alongside tables")
 		csvDir  = flag.String("csv", "", "write one CSV per experiment into this directory")
+		topo    = flag.String("topology", "", "override interconnect topology for every experiment: mesh, torus")
 	)
 	flag.Parse()
 
@@ -76,6 +78,16 @@ func main() {
 		exps = core.Ablations()
 	default:
 		exps = append(core.Figures(), core.Ablations()...)
+	}
+	if *topo != "" {
+		t, err := network.ParseTopology(*topo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		for i := range exps {
+			exps[i].Topology = t
+		}
 	}
 
 	for _, e := range exps {

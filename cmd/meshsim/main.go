@@ -13,7 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -23,7 +25,9 @@ import (
 
 func main() {
 	var (
-		strategy  = flag.String("strategy", "GABL", "allocation strategy: GABL, Paging(0), MBS, FirstFit, BestFit, Random")
+		// The accepted strategy names come from the registry the factory
+		// itself uses, so this usage text cannot drift from reality.
+		strategy  = flag.String("strategy", "GABL", "allocation strategy: "+strings.Join(alloc.Strategies(), ", "))
 		scheduler = flag.String("scheduler", "FCFS", "job scheduler: FCFS, SSD, SJF, LJF")
 		wl        = flag.String("workload", "uniform", "workload: uniform, exp, real, trace")
 		traceFile = flag.String("trace", "", "trace file (native format) for -workload trace")
@@ -38,7 +42,7 @@ func main() {
 		numMes    = flag.Float64("nummes", core.NumMes, "mean messages per processor")
 		think     = flag.Float64("think", 0, "mean compute gap between sends")
 		backfill  = flag.Int("backfill", 0, "aggressive backfilling depth (0 = paper semantics)")
-		topology  = flag.String("topology", "mesh", "interconnect topology: mesh, torus")
+		topology  = flag.String("topology", "mesh", "interconnect topology: mesh, torus (torus wraps routing AND placement)")
 		pattern   = flag.String("pattern", "all-to-all", "communication pattern: all-to-all, one-to-all, all-to-one, random-pairs, near-neighbour")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
@@ -94,7 +98,7 @@ func main() {
 	fmt.Printf("packet latency      %.2f (over %d packets)\n", res.MeanLatency, res.PacketCount)
 	fmt.Printf("packet blocking     %.2f\n", res.MeanBlocking)
 	fmt.Printf("queue wait          %.1f (mean queue length %.1f)\n", res.MeanWait, res.MeanQueueLen)
-	fmt.Printf("sub-meshes per job  %.2f\n", res.MeanPieces)
+	fmt.Printf("sub-meshes per job  %.2f (topology %s)\n", res.MeanPieces, cfg.Network.Topology)
 	if res.Saturated {
 		fmt.Println("NOTE: run hit the backlog bound (saturated load); means are saturation values")
 	}

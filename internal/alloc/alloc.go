@@ -33,7 +33,24 @@ func (r Request) String() string { return fmt.Sprintf("%dx%d", r.W, r.L) }
 
 // Allocation is the set of disjoint sub-meshes granted to one job.
 type Allocation struct {
+	// Pieces are the planar rectangles committed to the mesh. On a
+	// torus a single logical placement that crosses a wrap-around seam
+	// is stored as its 2-4 planar pieces (mesh.SplitWrap).
 	Pieces []mesh.Submesh
+	// Logical is the number of logical placements the pieces realise.
+	// Zero means every piece is its own placement — the planar case,
+	// where the two counts coincide.
+	Logical int
+}
+
+// PieceCount returns the number of logical placements: what the
+// contiguity metrics should count. A torus placement wrapping a seam
+// counts once even though it is committed as several planar pieces.
+func (a Allocation) PieceCount() int {
+	if a.Logical > 0 {
+		return a.Logical
+	}
+	return len(a.Pieces)
 }
 
 // Size returns the total processors allocated.
@@ -55,8 +72,9 @@ func (a Allocation) Nodes() []mesh.Coord {
 	return out
 }
 
-// Contiguous reports whether the allocation is a single sub-mesh.
-func (a Allocation) Contiguous() bool { return len(a.Pieces) == 1 }
+// Contiguous reports whether the allocation is a single (possibly
+// seam-crossing) sub-mesh.
+func (a Allocation) Contiguous() bool { return a.PieceCount() == 1 }
 
 // Allocator is a processor allocation strategy bound to a mesh.
 type Allocator interface {
@@ -95,6 +113,15 @@ func commit(m *mesh.Mesh, pieces []mesh.Submesh) Allocation {
 		}
 	}
 	return Allocation{Pieces: pieces}
+}
+
+// commitWhole commits one logical — possibly wrap-around seam-crossing
+// — sub-mesh: its planar pieces (mesh.SplitWrap) are allocated and the
+// allocation counts as a single placement.
+func commitWhole(m *mesh.Mesh, s mesh.Submesh) Allocation {
+	a := commit(m, m.SplitWrap(s))
+	a.Logical = 1
+	return a
 }
 
 // release frees every piece, panicking on double release. Pieces are

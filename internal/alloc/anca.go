@@ -40,7 +40,7 @@ func (a *ANCA) Allocate(req Request) (Allocation, bool) {
 	frames := []Request{req}
 	for level := 0; level <= a.maxLevels; level++ {
 		if pieces, ok := a.tryLevel(frames); ok {
-			return Allocation{Pieces: pieces}, true
+			return Allocation{Pieces: pieces, Logical: len(frames)}, true
 		}
 		next, splittable := splitFrames(frames)
 		if !splittable {
@@ -62,7 +62,8 @@ func (a *ANCA) Allocate(req Request) (Allocation, bool) {
 }
 
 // tryLevel attempts to place every frame contiguously; on any failure
-// the already-placed frames are rolled back.
+// the already-placed frames are rolled back. A frame placed across a
+// torus seam occupies several planar pieces, all tracked for rollback.
 func (a *ANCA) tryLevel(frames []Request) ([]mesh.Submesh, bool) {
 	var placed []mesh.Submesh
 	for _, f := range frames {
@@ -78,10 +79,12 @@ func (a *ANCA) tryLevel(frames []Request) ([]mesh.Submesh, bool) {
 			}
 			return nil, false
 		}
-		if err := a.m.AllocateSub(s); err != nil {
-			panic("alloc: anca placed busy frame: " + err.Error())
+		for _, part := range a.m.SplitWrap(s) {
+			if err := a.m.AllocateSub(part); err != nil {
+				panic("alloc: anca placed busy frame: " + err.Error())
+			}
+			placed = append(placed, part)
 		}
-		placed = append(placed, s)
 	}
 	return placed, true
 }

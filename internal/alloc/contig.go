@@ -58,11 +58,11 @@ func (c *Contiguous) Allocate(req Request) (Allocation, bool) {
 		search = c.m.BestFit
 	}
 	if s, ok := search(req.W, req.L); ok {
-		return commit(c.m, []mesh.Submesh{s}), true
+		return commitWhole(c.m, s), true
 	}
 	if c.rotate && req.W != req.L {
 		if s, ok := search(req.L, req.W); ok {
-			return commit(c.m, []mesh.Submesh{s}), true
+			return commitWhole(c.m, s), true
 		}
 	}
 	return Allocation{}, false
@@ -114,44 +114,57 @@ func (r *Random) Allocate(req Request) (Allocation, bool) {
 // Release implements Allocator.
 func (r *Random) Release(a Allocation) { release(r.m, a) }
 
-// ByName constructs the named strategy on m; rng is used only by
-// "Random". Recognised names: GABL, Paging(0), Paging(1), MBS,
-// FirstFit, BestFit, Random. It is the strategy factory used by the
-// command-line tools.
-func ByName(name string, m *mesh.Mesh, rng *stats.Stream) (Allocator, error) {
-	switch name {
-	case "GABL":
-		return NewGABL(m), nil
-	case "GABL(no-rotate)":
-		return NewGABLNoRotate(m), nil
-	case "MBS":
-		return NewMBS(m), nil
-	case "Paging(0)":
-		return NewPaging(m, 0, RowMajor)
-	case "Paging(0,snake)":
-		return NewPaging(m, 0, SnakeLike)
-	case "Paging(0,shuffled)":
-		return NewPaging(m, 0, ShuffledRowMajor)
-	case "Paging(0,shuffled-snake)":
-		return NewPaging(m, 0, ShuffledSnakeLike)
-	case "Paging(1)":
-		return NewPaging(m, 1, RowMajor)
-	case "Paging(2)":
-		return NewPaging(m, 2, RowMajor)
-	case "FirstFit":
-		return NewFirstFit(m, true), nil
-	case "BestFit":
-		return NewBestFit(m, true), nil
-	case "ANCA":
-		return NewANCA(m), nil
-	case "FrameSliding":
-		return NewFrameSliding(m, true), nil
-	case "Random":
+// strategyEntry pairs a registered strategy name with its factory; rng
+// reaches only the strategies that draw randomness.
+type strategyEntry struct {
+	name  string
+	build func(m *mesh.Mesh, rng *stats.Stream) (Allocator, error)
+}
+
+// registry lists every strategy ByName recognises, in the order
+// Strategies reports them. The command-line tools derive their usage
+// text from this list, so the documented names cannot drift from the
+// accepted ones.
+var registry = []strategyEntry{
+	{"GABL", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewGABL(m), nil }},
+	{"GABL(no-rotate)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewGABLNoRotate(m), nil }},
+	{"MBS", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewMBS(m), nil }},
+	{"Paging(0)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 0, RowMajor) }},
+	{"Paging(0,snake)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 0, SnakeLike) }},
+	{"Paging(0,shuffled)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 0, ShuffledRowMajor) }},
+	{"Paging(0,shuffled-snake)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 0, ShuffledSnakeLike) }},
+	{"Paging(1)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 1, RowMajor) }},
+	{"Paging(2)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 2, RowMajor) }},
+	{"FirstFit", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewFirstFit(m, true), nil }},
+	{"BestFit", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewBestFit(m, true), nil }},
+	{"ANCA", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewANCA(m), nil }},
+	{"FrameSliding", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewFrameSliding(m, true), nil }},
+	{"Random", func(m *mesh.Mesh, rng *stats.Stream) (Allocator, error) {
 		if rng == nil {
 			rng = stats.NewStream(1)
 		}
 		return NewRandom(m, rng), nil
-	default:
-		return nil, fmt.Errorf("alloc: unknown strategy %q", name)
+	}},
+}
+
+// Strategies returns every registered strategy name in registry order
+// — the authoritative list for usage text and documentation.
+func Strategies() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
 	}
+	return out
+}
+
+// ByName constructs the named strategy on m; rng is used only by
+// "Random". Recognised names are exactly Strategies(). It is the
+// strategy factory used by the command-line tools.
+func ByName(name string, m *mesh.Mesh, rng *stats.Stream) (Allocator, error) {
+	for _, e := range registry {
+		if e.name == name {
+			return e.build(m, rng)
+		}
+	}
+	return nil, fmt.Errorf("alloc: unknown strategy %q", name)
 }

@@ -39,11 +39,11 @@ func (f *FrameSliding) Allocate(req Request) (Allocation, bool) {
 		return Allocation{}, false
 	}
 	if s, ok := f.slide(req.W, req.L); ok {
-		return commit(f.m, []mesh.Submesh{s}), true
+		return commitWhole(f.m, s), true
 	}
 	if f.rotate && req.W != req.L {
 		if s, ok := f.slide(req.L, req.W); ok {
-			return commit(f.m, []mesh.Submesh{s}), true
+			return commitWhole(f.m, s), true
 		}
 	}
 	return Allocation{}, false
@@ -51,13 +51,19 @@ func (f *FrameSliding) Allocate(req Request) (Allocation, bool) {
 
 // slide scans candidate bases with strides (w, l) from origin (0,0).
 // Each probe is a single O(1) summed-area query on the mesh index, so
-// a full slide costs O((W/w)·(L/l)) regardless of frame size.
+// a full slide costs O((W/w)·(L/l)) regardless of frame size. On a
+// torus the stride pattern keeps going past the edges: the last frame
+// of a row or column wraps around the seam instead of being dropped.
 func (f *FrameSliding) slide(w, l int) (mesh.Submesh, bool) {
 	if w <= 0 || l <= 0 || w > f.m.W() || l > f.m.L() {
 		return mesh.Submesh{}, false
 	}
-	for y := 0; y+l <= f.m.L(); y += l {
-		for x := 0; x+w <= f.m.W(); x += w {
+	ymax, xmax := f.m.L()-l, f.m.W()-w
+	if f.m.Torus() {
+		ymax, xmax = f.m.L()-1, f.m.W()-1
+	}
+	for y := 0; y <= ymax; y += l {
+		for x := 0; x <= xmax; x += w {
 			s := mesh.SubAt(x, y, w, l)
 			if f.m.SubFree(s) {
 				return s, true

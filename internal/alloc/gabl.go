@@ -65,21 +65,25 @@ func (g *GABL) Allocate(req Request) (Allocation, bool) {
 	// Step 1: whole-request contiguous allocation.
 	if s, ok := g.m.FirstFit(req.W, req.L); ok {
 		g.busyLen++
-		return commit(g.m, []mesh.Submesh{s}), true
+		return commitWhole(g.m, s), true
 	}
 	if g.rotate && req.W != req.L {
 		if s, ok := g.m.FirstFit(req.L, req.W); ok {
 			g.busyLen++
-			return commit(g.m, []mesh.Submesh{s}), true
+			return commitWhole(g.m, s), true
 		}
 	}
 
 	// Step 2: greedy carving. Piece sides are capped by the previous
 	// piece (initially the request's own sides, per the paper: the
-	// first piece must fit inside S(a, b)); areas by what is owed.
+	// first piece must fit inside S(a, b)); areas by what is owed. On a
+	// torus a carved piece may cross a wrap-around seam: it is one
+	// logical piece (one entry on the busy list, one cap update)
+	// committed as its planar SplitWrap parts.
 	capW, capL := req.W, req.L
 	remaining := p
 	var pieces []mesh.Submesh
+	logical := 0
 	for remaining > 0 {
 		s, ok := g.m.LargestFree(capW, capL, remaining)
 		if !ok {
@@ -87,19 +91,22 @@ func (g *GABL) Allocate(req Request) (Allocation, bool) {
 			// free sub-mesh always qualifies.
 			panic("alloc: gabl found no piece despite free processors")
 		}
-		if err := g.m.AllocateSub(s); err != nil {
-			panic("alloc: gabl proposed busy piece: " + err.Error())
+		for _, part := range g.m.SplitWrap(s) {
+			if err := g.m.AllocateSub(part); err != nil {
+				panic("alloc: gabl proposed busy piece: " + err.Error())
+			}
+			pieces = append(pieces, part)
 		}
-		pieces = append(pieces, s)
+		logical++
 		remaining -= s.Area()
 		capW, capL = s.W(), s.L()
 	}
-	g.busyLen += len(pieces)
-	return Allocation{Pieces: pieces}, true
+	g.busyLen += logical
+	return Allocation{Pieces: pieces, Logical: logical}, true
 }
 
 // Release implements Allocator.
 func (g *GABL) Release(a Allocation) {
-	g.busyLen -= len(a.Pieces)
+	g.busyLen -= a.PieceCount()
 	release(g.m, a)
 }

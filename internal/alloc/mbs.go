@@ -18,6 +18,10 @@ import (
 // free, at the price of contiguity: only requests of size exactly 4^n
 // are sought as a single contiguous block, which is why MBS degrades on
 // the real trace's non-power-of-two job sizes.
+//
+// MBS is topology-independent: buddy blocks are axis-aligned
+// power-of-two tiles that never cross a torus wrap-around seam, so the
+// strategy behaves identically on both fabrics.
 type MBS struct {
 	m    *mesh.Mesh
 	kmax int

@@ -39,6 +39,10 @@ func (ix Indexing) String() string {
 // Page occupancy is read straight off the mesh's O(1) rectangle
 // queries rather than a shadow bitmap, so the strategy can never drift
 // out of sync with the occupancy it allocates from.
+//
+// Paging is topology-independent: pages are axis-aligned tiles that
+// never cross a torus wrap-around seam, so the strategy behaves
+// identically on both fabrics (only the routing underneath changes).
 type Paging struct {
 	m         *mesh.Mesh
 	side      int   // page side length, 2^size_index

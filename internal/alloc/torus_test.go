@@ -1,0 +1,186 @@
+package alloc
+
+// Wrap-around placement behaviour of the strategies on a torus mesh:
+// seam-crossing placements commit as planar pieces but count as one
+// logical placement, releases restore the occupancy exactly, and the
+// page/buddy strategies keep working unchanged (their blocks are
+// aligned and never wrap).
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+// blockColumns marks the given column range busy across every row.
+func blockColumns(t *testing.T, m *mesh.Mesh, x1, x2 int) {
+	t.Helper()
+	if err := m.AllocateSub(mesh.Sub(x1, 0, x2, m.L()-1)); err != nil {
+		t.Fatalf("blockColumns: %v", err)
+	}
+}
+
+func TestFirstFitWrapsSeamOnTorus(t *testing.T) {
+	m := mesh.NewTorus(8, 4)
+	blockColumns(t, m, 2, 5)
+	ff := NewFirstFit(m, false)
+	a, ok := ff.Allocate(Request{W: 4, L: 2})
+	if !ok {
+		t.Fatalf("torus FirstFit failed; only the seam placement fits\n%s", m)
+	}
+	if a.PieceCount() != 1 || !a.Contiguous() {
+		t.Fatalf("wrapped placement PieceCount = %d, want 1 logical", a.PieceCount())
+	}
+	if len(a.Pieces) != 2 {
+		t.Fatalf("wrapped placement committed as %d planar pieces, want 2", len(a.Pieces))
+	}
+	if a.Size() != 8 {
+		t.Fatalf("allocation size %d, want 8", a.Size())
+	}
+	ff.Release(a)
+	if m.FreeCount() != 8*4-4*4 {
+		t.Fatalf("free count %d after release, want %d", m.FreeCount(), 8*4-4*4)
+	}
+
+	// The same occupancy on a planar mesh cannot place the request.
+	p := mesh.New(8, 4)
+	blockColumns(t, p, 2, 5)
+	if _, ok := NewFirstFit(p, false).Allocate(Request{W: 4, L: 2}); ok {
+		t.Fatal("planar FirstFit placed a request that needs the seam")
+	}
+}
+
+func TestGABLWrapsSeamOnTorus(t *testing.T) {
+	m := mesh.NewTorus(8, 4)
+	blockColumns(t, m, 2, 5)
+	g := NewGABL(m)
+	// 4x4 = 16 > the 8 free-in-one-piece processors: contiguous step
+	// fails, carving must cover the seam-crossing free band.
+	a, ok := g.Allocate(Request{W: 4, L: 4})
+	if !ok {
+		t.Fatal("torus GABL failed with exactly enough free processors")
+	}
+	if a.Size() != 16 {
+		t.Fatalf("allocation size %d, want 16", a.Size())
+	}
+	if a.PieceCount() != 1 {
+		// The free space is one wrapped 4x4 block: greedy carving takes
+		// it whole as a single seam-crossing logical piece.
+		t.Fatalf("torus GABL used %d logical pieces, want 1\n%s", a.PieceCount(), m)
+	}
+	if g.BusyListLen() != 1 {
+		t.Fatalf("busy list length %d, want 1", g.BusyListLen())
+	}
+	if m.FreeCount() != 0 {
+		t.Fatalf("free count %d after filling, want 0", m.FreeCount())
+	}
+	g.Release(a)
+	if g.BusyListLen() != 0 || m.FreeCount() != 16 {
+		t.Fatalf("release left busyLen %d, free %d", g.BusyListLen(), m.FreeCount())
+	}
+}
+
+func TestANCAWrapsSeamOnTorus(t *testing.T) {
+	m := mesh.NewTorus(8, 4)
+	blockColumns(t, m, 2, 5)
+	a := NewANCA(m)
+	al, ok := a.Allocate(Request{W: 4, L: 2})
+	if !ok {
+		t.Fatal("torus ANCA failed")
+	}
+	if al.PieceCount() != 1 {
+		t.Fatalf("ANCA level-0 wrapped frame counts %d logical pieces, want 1", al.PieceCount())
+	}
+	a.Release(al)
+	if m.FreeCount() != 16 {
+		t.Fatalf("free count %d after release, want 16", m.FreeCount())
+	}
+}
+
+func TestFrameSlidingWrapsSeamOnTorus(t *testing.T) {
+	// Width 3 does not divide the ring: the frame based at x=6 covers
+	// {6,7,0} and only exists on the torus.
+	m := mesh.NewTorus(8, 2)
+	blockColumns(t, m, 1, 5)
+	fs := NewFrameSliding(m, false)
+	a, ok := fs.Allocate(Request{W: 3, L: 2})
+	if !ok {
+		t.Fatalf("torus FrameSliding failed; the wrapping frame is free\n%s", m)
+	}
+	if a.PieceCount() != 1 || len(a.Pieces) != 2 {
+		t.Fatalf("wrapped frame: logical %d pieces %d, want 1 and 2", a.PieceCount(), len(a.Pieces))
+	}
+	fs.Release(a)
+
+	p := mesh.New(8, 2)
+	blockColumns(t, p, 1, 5)
+	if _, ok := NewFrameSliding(p, false).Allocate(Request{W: 3, L: 2}); ok {
+		t.Fatal("planar FrameSliding placed the wrapping frame")
+	}
+}
+
+func TestPagingAndMBSUnchangedOnTorus(t *testing.T) {
+	// Page and buddy blocks are axis-aligned and never wrap: both
+	// strategies must behave on a torus exactly as on a mesh.
+	for _, name := range []string{"Paging(0)", "Paging(1)", "MBS"} {
+		tor := mesh.NewTorus(8, 8)
+		pla := mesh.New(8, 8)
+		at, err := ByName(name, tor, stats.NewStream(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap, err := ByName(name, pla, stats.NewStream(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var liveT, liveP []Allocation
+		for _, req := range []Request{{3, 3}, {2, 5}, {4, 4}, {1, 1}} {
+			rt, okT := at.Allocate(req)
+			rp, okP := ap.Allocate(req)
+			if okT != okP {
+				t.Fatalf("%s: torus ok=%v, planar ok=%v for %v", name, okT, okP, req)
+			}
+			if !okT {
+				continue
+			}
+			if len(rt.Pieces) != len(rp.Pieces) {
+				t.Fatalf("%s: torus %d pieces, planar %d for %v", name, len(rt.Pieces), len(rp.Pieces), req)
+			}
+			for i := range rt.Pieces {
+				if rt.Pieces[i] != rp.Pieces[i] {
+					t.Fatalf("%s: piece %d differs: torus %v planar %v", name, i, rt.Pieces[i], rp.Pieces[i])
+				}
+			}
+			liveT = append(liveT, rt)
+			liveP = append(liveP, rp)
+		}
+		for i := range liveT {
+			at.Release(liveT[i])
+			ap.Release(liveP[i])
+		}
+		if tor.FreeCount() != pla.FreeCount() {
+			t.Fatalf("%s: free counts diverged", name)
+		}
+	}
+}
+
+func TestStrategiesRegistryMatchesByName(t *testing.T) {
+	names := Strategies()
+	if len(names) == 0 {
+		t.Fatal("empty strategy registry")
+	}
+	for _, n := range names {
+		m := mesh.New(16, 16)
+		a, err := ByName(n, m, stats.NewStream(1))
+		if err != nil {
+			t.Fatalf("registered strategy %q fails to build: %v", n, err)
+		}
+		if a == nil {
+			t.Fatalf("registered strategy %q built nil", n)
+		}
+	}
+	if _, err := ByName("NoSuchStrategy", mesh.New(4, 4), nil); err == nil {
+		t.Fatal("ByName accepted an unregistered name")
+	}
+}

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/network"
+
 // This file indexes every figure of the paper's evaluation (§5) as a
 // runnable experiment, plus the ablation studies listed in DESIGN.md §4.
 //
@@ -20,6 +22,12 @@ type Experiment struct {
 	Workload Workload // which job stream drives it
 	Loads    []float64
 	Combos   []Combo
+
+	// Topology selects the interconnect fabric: the zero value is the
+	// paper's 2D mesh; TorusTopology adds wrap-around links and lets
+	// the allocators place sub-meshes across the seams, so experiments
+	// can compare contiguity on both fabrics.
+	Topology network.Topology
 
 	// Jobs is the completed-job count per run (paper: 1000); Warmup
 	// jobs are excluded from the statistics.
@@ -139,6 +147,23 @@ func Ablations() []Experiment {
 			ID:     "ablA5",
 			Title:  "Contiguous baselines: external fragmentation cost",
 			Metric: Turnaround, Workload: StochasticUniform, Loads: midUnif,
+			Combos: combos(
+				Combo{"GABL", "FCFS"},
+				Combo{"FirstFit", "FCFS"},
+				Combo{"BestFit", "FCFS"},
+			),
+			Jobs: 500, Warmup: 50,
+		},
+		// The paper's stated future work (§6): the same strategies on a
+		// torus. Wrap-around placement widens every contiguous search's
+		// candidate space (less external fragmentation) and the wrap
+		// links shorten scattered jobs' paths; run ablA6 next to ablA3
+		// or ablA5 to compare fabrics cell by cell.
+		{
+			ID:     "ablA6",
+			Title:  "Torus fabric: wrap-around placement and routing",
+			Metric: Turnaround, Workload: StochasticUniform, Loads: midUnif,
+			Topology: network.TorusTopology,
 			Combos: combos(
 				Combo{"GABL", "FCFS"},
 				Combo{"FirstFit", "FCFS"},

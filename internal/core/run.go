@@ -116,6 +116,7 @@ func runCell(exp Experiment, c Combo, load float64, jobs int, rep stats.Replicat
 		cfg := sim.DefaultConfig()
 		cfg.Strategy = c.Strategy
 		cfg.Scheduler = c.Scheduler
+		cfg.Network.Topology = exp.Topology
 		cfg.MaxCompleted = jobs
 		cfg.WarmupJobs = exp.Warmup
 		cfg.MaxQueued = 4 * jobs
@@ -192,7 +193,7 @@ func (s Series) RankingLastLoad() []Combo {
 // load axis, one line per combo.
 func (s Series) ToTable() *report.Table {
 	t := &report.Table{
-		Title:  fmt.Sprintf("%s — %s", s.Experiment.ID, s.Experiment.Title),
+		Title:  fmt.Sprintf("%s — %s [%s]", s.Experiment.ID, s.Experiment.Title, s.Experiment.Topology),
 		XLabel: "load",
 		YLabel: s.Experiment.Metric.String(),
 		X:      append([]float64(nil), s.Experiment.Loads...),
@@ -213,11 +214,13 @@ func (s Series) ToTable() *report.Table {
 }
 
 // Table renders the series as an aligned text table: one row per load,
-// one column per combo, mirroring the paper's figure series.
+// one column per combo, mirroring the paper's figure series. The
+// header records which fabric the cells were measured on, so mesh and
+// torus series stay distinguishable side by side.
 func (s Series) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %s (%s, %s)\n", s.Experiment.ID, s.Experiment.Title,
-		s.Experiment.Metric, s.Experiment.Workload)
+	fmt.Fprintf(&b, "%s — %s (%s, %s, %s)\n", s.Experiment.ID, s.Experiment.Title,
+		s.Experiment.Metric, s.Experiment.Workload, s.Experiment.Topology)
 	fmt.Fprintf(&b, "%-10s", "load")
 	for _, c := range s.Experiment.Combos {
 		fmt.Fprintf(&b, " %16s", c)

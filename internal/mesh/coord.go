@@ -1,18 +1,7 @@
-// Package mesh models a W x L 2D mesh of processors: coordinates,
-// rectangular sub-meshes, an occupancy map with allocation bookkeeping,
-// and the free-sub-mesh searches (first-fit, best-fit, constrained
-// largest-free) that the allocation strategies are built on.
-//
-// Occupancy is backed by an incrementally maintained free-space index
-// — a free-run table, per-row run aggregates, and a journaled
-// summed-area table of busy counts — shared by every strategy; no
-// operation rebuilds a full table per allocation decision. See the
-// Mesh type for the invariants and maintenance costs.
-//
-// Coordinates follow the paper: processor (x, y) with 0 <= x < W,
-// 0 <= y < L; a sub-mesh S(w, l) is written (x, y, x', y') where (x, y)
-// is its base and (x', y') its end (paper Definition 1).
 package mesh
+
+// This file defines the geometry vocabulary: coordinates and
+// rectangular sub-meshes. The package documentation lives in doc.go.
 
 import "fmt"
 

@@ -1,0 +1,44 @@
+// Package mesh models a W x L 2D grid of processors — planar mesh or
+// wrap-around torus — with coordinates, rectangular sub-meshes, an
+// occupancy map with allocation bookkeeping, and the free-sub-mesh
+// searches (first-fit, best-fit, constrained largest-free) that the
+// allocation strategies are built on.
+//
+// # Occupancy index
+//
+// Occupancy is backed by an incrementally maintained free-space index:
+//
+//   - a free-run table (rightRun) giving, per processor, the length of
+//     the free run starting there;
+//   - lazily repaired per-row max-run aggregates (rowMax) that let the
+//     searches discard whole rows in O(1);
+//   - a journaled far-corner summed-area table (sat) answering any
+//     rectangle's busy count in four lookups.
+//
+// The index is shared by every strategy; no operation rebuilds a full
+// table per allocation decision. See the Mesh type for the exact
+// invariants and maintenance costs, and docs/occupancy-index.md at the
+// repository root for a narrative walkthrough with diagrams.
+//
+// # Topologies
+//
+// New builds a planar mesh; NewTorus builds a torus whose x and y
+// extents wrap around. The index tables are planar on both topologies
+// — wrap-around semantics are resolved at query time: a free run
+// reaching the x = W-1 edge continues at x = 0 (capped at W), and a
+// query rectangle crossing a seam is split into two or four planar
+// rectangles, each answered by the planar machinery (see torus.go).
+// The searches widen their candidate space accordingly, so on a torus
+// FirstFit, BestFit and LargestFree may return sub-meshes whose end
+// coordinates exceed the planar bounds (X2 >= W or Y2 >= L, extents
+// taken modulo the ring sizes); SplitWrap resolves such a placement
+// into the planar pieces that mutations understand. Mutations are
+// always planar, which keeps the maintenance invariants identical on
+// both topologies.
+//
+// # Coordinates
+//
+// Coordinates follow the paper: processor (x, y) with 0 <= x < W,
+// 0 <= y < L; a sub-mesh S(w, l) is written (x, y, x', y') where (x, y)
+// is its base and (x', y') its end (paper Definition 1).
+package mesh

@@ -289,6 +289,317 @@ func checkQueries(t *testing.T, m *Mesh, rng *rand.Rand) {
 	}
 }
 
+// naiveTorusRun computes wrap-around free runs: the run at (x,y) is
+// the count of consecutive free processors x, x+1 mod w, ... capped at
+// the ring size w.
+func naiveTorusRun(busy []bool, w, l int) []int {
+	out := make([]int, w*l)
+	for y := 0; y < l; y++ {
+		for x := 0; x < w; x++ {
+			r := 0
+			for r < w && !busy[y*w+(x+r)%w] {
+				r++
+			}
+			out[y*w+x] = r
+		}
+	}
+	return out
+}
+
+// naiveTorusFits walks every cell of the wrapped rw x rl rectangle
+// based at (x, y) modulo the ring sizes.
+func naiveTorusFits(m *Mesh, x, y, rw, rl int) bool {
+	for j := 0; j < rl; j++ {
+		for i := 0; i < rw; i++ {
+			if m.busy[((y+j)%m.l)*m.w+(x+i)%m.w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// naiveTorusBusy counts busy cells of the wrapped rectangle.
+func naiveTorusBusy(m *Mesh, x, y, rw, rl int) int {
+	n := 0
+	for j := 0; j < rl; j++ {
+		for i := 0; i < rw; i++ {
+			if m.busy[((y+j)%m.l)*m.w+(x+i)%m.w] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// naiveTorusFirstFit scans every grid base in row-major order over the
+// wrapped candidate space.
+func naiveTorusFirstFit(m *Mesh, w, l int) (Submesh, bool) {
+	if w <= 0 || l <= 0 || w > m.w || l > m.l {
+		return Submesh{}, false
+	}
+	for y := 0; y < m.l; y++ {
+		for x := 0; x < m.w; x++ {
+			if naiveTorusFits(m, x, y, w, l) {
+				return SubAt(x, y, w, l), true
+			}
+		}
+	}
+	return Submesh{}, false
+}
+
+// naiveTorusPressure counts busy perimeter neighbours of the wrapped
+// candidate; a side spanning its whole ring has no perimeter there.
+func naiveTorusPressure(m *Mesh, x, y, rw, rl int) int {
+	score := 0
+	cell := func(cx, cy int) {
+		if m.busy[((cy+m.l)%m.l)*m.w+(cx+m.w)%m.w] {
+			score++
+		}
+	}
+	if rl < m.l {
+		for i := 0; i < rw; i++ {
+			cell(x+i, y-1)
+			cell(x+i, y+rl)
+		}
+	}
+	if rw < m.w {
+		for j := 0; j < rl; j++ {
+			cell(x-1, y+j)
+			cell(x+rw, y+j)
+		}
+	}
+	return score
+}
+
+// naiveTorusBestFit is the exhaustive scored scan over the wrapped
+// candidate space.
+func naiveTorusBestFit(m *Mesh, w, l int) (Submesh, bool) {
+	if w <= 0 || l <= 0 || w > m.w || l > m.l {
+		return Submesh{}, false
+	}
+	best := Submesh{}
+	bestScore := -1
+	for y := 0; y < m.l; y++ {
+		for x := 0; x < m.w; x++ {
+			if !naiveTorusFits(m, x, y, w, l) {
+				continue
+			}
+			if score := naiveTorusPressure(m, x, y, w, l); score > bestScore {
+				bestScore = score
+				best = SubAt(x, y, w, l)
+			}
+		}
+	}
+	if bestScore < 0 {
+		return Submesh{}, false
+	}
+	return best, true
+}
+
+// naiveTorusLargestFree is the unpruned constrained-largest scan over
+// the wrapped candidate space: every anchor, every height, wrap-aware
+// runs, no upper-bound skips.
+func naiveTorusLargestFree(m *Mesh, maxW, maxL, maxArea int) (Submesh, bool) {
+	if maxW <= 0 || maxL <= 0 || maxArea <= 0 {
+		return Submesh{}, false
+	}
+	if maxW > m.w {
+		maxW = m.w
+	}
+	if maxL > m.l {
+		maxL = m.l
+	}
+	run := naiveTorusRun(m.busy, m.w, m.l)
+	var (
+		best      Submesh
+		bestArea  int
+		bestSkew  int
+		bestFound bool
+	)
+	for y := 0; y < m.l; y++ {
+		for x := 0; x < m.w; x++ {
+			minRun := m.w + 1
+			for l := 1; l <= maxL; l++ {
+				r := run[((y+l-1)%m.l)*m.w+x]
+				if r == 0 {
+					break
+				}
+				if r < minRun {
+					minRun = r
+				}
+				w := minRun
+				if w > maxW {
+					w = maxW
+				}
+				if w*l > maxArea {
+					w = maxArea / l
+				}
+				if w == 0 {
+					continue
+				}
+				area := w * l
+				skew := abs(w - l)
+				if area > bestArea || (area == bestArea && bestFound && skew < bestSkew) {
+					best = SubAt(x, y, w, l)
+					bestArea = area
+					bestSkew = skew
+					bestFound = true
+				}
+			}
+		}
+	}
+	return best, bestFound
+}
+
+// checkTorusQueries cross-checks the wrap-aware queries and all three
+// searches against the naive torus scans on the current occupancy.
+func checkTorusQueries(t *testing.T, m *Mesh, rng *rand.Rand) {
+	t.Helper()
+	if !m.torus {
+		t.Fatal("checkTorusQueries on a planar mesh")
+	}
+	run := naiveTorusRun(m.busy, m.w, m.l)
+	for y := 0; y < m.l; y++ {
+		rowMax := 0
+		for x := 0; x < m.w; x++ {
+			if got := m.runAt(x, y); got != run[y*m.w+x] {
+				t.Fatalf("runAt(%d,%d) = %d, naive says %d\n%s", x, y, got, run[y*m.w+x], m)
+			}
+			if run[y*m.w+x] > rowMax {
+				rowMax = run[y*m.w+x]
+			}
+		}
+		if got := m.rowBoundAt(y); got < rowMax || got > m.w {
+			t.Fatalf("rowBoundAt(%d) = %d outside [%d, %d]\n%s", y, got, rowMax, m.w, m)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		x, y := rng.Intn(m.w), rng.Intn(m.l)
+		rw, rl := 1+rng.Intn(m.w), 1+rng.Intn(m.l)
+		s := SubAt(x, y, rw, rl)
+		wantBusy := naiveTorusBusy(m, x, y, rw, rl)
+		if got := m.BusyInRect(s); got != wantBusy {
+			t.Fatalf("torus BusyInRect(%v) = %d, naive says %d\n%s", s, got, wantBusy, m)
+		}
+		if got := m.FreeInRect(s); got != s.Area()-wantBusy {
+			t.Fatalf("torus FreeInRect(%v) = %d, naive says %d", s, got, s.Area()-wantBusy)
+		}
+		if got := m.SubFree(s); got != (wantBusy == 0) {
+			t.Fatalf("torus SubFree(%v) = %v, naive says %v\n%s", s, got, wantBusy == 0, m)
+		}
+		if got := m.FitsAt(x, y, rw, rl); got != (wantBusy == 0) {
+			t.Fatalf("torus FitsAt(%d,%d,%d,%d) = %v, naive says %v", x, y, rw, rl, got, wantBusy == 0)
+		}
+		checkSplitWrap(t, m, s)
+	}
+	w, l := 1+rng.Intn(m.w), 1+rng.Intn(m.l)
+	gotFF, okFF := m.FirstFit(w, l)
+	wantFF, wantOkFF := naiveTorusFirstFit(m, w, l)
+	if okFF != wantOkFF || gotFF != wantFF {
+		t.Fatalf("torus FirstFit(%d,%d) = %v,%v; naive scan says %v,%v\n%s",
+			w, l, gotFF, okFF, wantFF, wantOkFF, m)
+	}
+	gotBF, okBF := m.BestFit(w, l)
+	wantBF, wantOkBF := naiveTorusBestFit(m, w, l)
+	if okBF != wantOkBF || gotBF != wantBF {
+		t.Fatalf("torus BestFit(%d,%d) = %v,%v; naive scan says %v,%v\n%s",
+			w, l, gotBF, okBF, wantBF, wantOkBF, m)
+	}
+	for _, caps := range [][3]int{{w, l, w * l}, {w, l, 1 + rng.Intn(w*l)}, {m.w, m.l, m.w * m.l}} {
+		gotLF, okLF := m.LargestFree(caps[0], caps[1], caps[2])
+		wantLF, wantOkLF := naiveTorusLargestFree(m, caps[0], caps[1], caps[2])
+		if okLF != wantOkLF || gotLF != wantLF {
+			t.Fatalf("torus LargestFree(%d,%d,%d) = %v,%v; naive scan says %v,%v\n%s",
+				caps[0], caps[1], caps[2], gotLF, okLF, wantLF, wantOkLF, m)
+		}
+	}
+}
+
+// checkSplitWrap verifies the seam decomposition: planar, in-bounds,
+// disjoint pieces covering exactly the wrapped rectangle's cells.
+func checkSplitWrap(t *testing.T, m *Mesh, s Submesh) {
+	t.Helper()
+	pieces := m.SplitWrap(s)
+	covered := map[Coord]bool{}
+	for _, p := range pieces {
+		if !p.Valid() || !m.InBounds(p.Base()) || !m.InBounds(p.End()) {
+			t.Fatalf("SplitWrap(%v): piece %v not planar in-bounds", s, p)
+		}
+		for _, c := range p.Nodes() {
+			if covered[c] {
+				t.Fatalf("SplitWrap(%v): cell %v covered twice", s, c)
+			}
+			covered[c] = true
+		}
+	}
+	if len(covered) != s.Area() {
+		t.Fatalf("SplitWrap(%v): covers %d cells, want %d", s, len(covered), s.Area())
+	}
+	for j := 0; j < s.L(); j++ {
+		for i := 0; i < s.W(); i++ {
+			c := Coord{X: (s.X1 + i) % m.w, Y: (s.Y1 + j) % m.l}
+			if !covered[c] {
+				t.Fatalf("SplitWrap(%v): cell %v not covered", s, c)
+			}
+		}
+	}
+}
+
+// TestTorusOracleRectOps drives random possibly-seam-crossing
+// allocate/release sequences on a torus, verifying the planar index
+// invariants (unchanged by topology) and the wrap-aware queries and
+// searches against naive scans after every step.
+func TestTorusOracleRectOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	m := NewTorus(16, 22)
+	var live []Submesh // planar pieces of committed placements
+	for step := 0; step < 1200; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // place a random wrapped rectangle if free
+			x, y := rng.Intn(m.w), rng.Intn(m.l)
+			s := SubAt(x, y, 1+rng.Intn(m.w), 1+rng.Intn(m.l))
+			free := m.SubFree(s)
+			if free != naiveTorusFits(m, x, y, s.W(), s.L()) {
+				t.Fatalf("SubFree(%v) = %v disagrees with naive walk", s, free)
+			}
+			if free {
+				for _, p := range m.SplitWrap(s) {
+					if err := m.AllocateSub(p); err != nil {
+						t.Fatalf("AllocateSub(%v) of free piece: %v", p, err)
+					}
+					live = append(live, p)
+				}
+			}
+		case op < 8: // release a random live piece
+			if len(live) == 0 {
+				continue
+			}
+			k := rng.Intn(len(live))
+			if err := m.ReleaseSub(live[k]); err != nil {
+				t.Fatalf("ReleaseSub(%v): %v", live[k], err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		case op < 9: // clone must preserve the topology
+			c := m.Clone()
+			if !c.Torus() {
+				t.Fatal("clone lost torus topology")
+			}
+			checkTables(t, c)
+		default:
+			if rng.Intn(20) == 0 {
+				m.Reset()
+				live = live[:0]
+			}
+		}
+		checkTables(t, m)
+		if step%25 == 0 {
+			checkTorusQueries(t, m, rng)
+		}
+	}
+}
+
 // TestIndexOracleRectOps drives random sub-mesh allocate/release
 // sequences, verifying the incremental tables and search results after
 // every step — including failed operations, which must not disturb the
@@ -457,12 +768,17 @@ func TestIndexJournalBursts(t *testing.T) {
 
 // FuzzIndexOps interprets the fuzz input as a mutation program over a
 // small mesh and checks the index invariants after every instruction.
+// The same program runs on a planar and a torus mesh: the mutation
+// paths are topology-independent, so both must stay sound, and the
+// torus mesh's wrap-aware queries are cross-checked against the naive
+// torus scans at the end.
 func FuzzIndexOps(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 2, 2, 1, 0, 0, 0x80, 1, 1, 3, 3})
 	f.Add([]byte{0, 1, 1, 3, 4, 0, 0, 0, 7, 8, 0x80, 1, 1, 3, 4})
 	f.Add([]byte{0, 0, 0, 7, 8, 0x80, 0, 0, 7, 8, 0, 2, 3, 5, 5})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m := New(8, 9)
+		tor := NewTorus(8, 9)
 		rng := rand.New(rand.NewSource(7))
 		for len(data) >= 5 {
 			op, x1, y1, x2, y2 := data[0], data[1], data[2], data[3], data[4]
@@ -470,11 +786,15 @@ func FuzzIndexOps(f *testing.F) {
 			s := Sub(int(x1)%10-1, int(y1)%11-1, int(x2)%10-1, int(y2)%11-1)
 			if op&0x80 == 0 {
 				m.AllocateSub(s) // errors are fine; state must stay sound
+				tor.AllocateSub(s)
 			} else {
 				m.ReleaseSub(s)
+				tor.ReleaseSub(s)
 			}
 			checkTables(t, m)
+			checkTables(t, tor)
 		}
 		checkQueries(t, m, rng)
+		checkTorusQueries(t, tor, rng)
 	})
 }

@@ -51,6 +51,11 @@ type Mesh struct {
 	w, l int
 	busy []bool // row-major: index = y*w + x
 
+	// torus selects wrap-around semantics for queries and searches:
+	// the index tables stay planar either way (see torus.go), so every
+	// maintenance invariant above holds verbatim on both topologies.
+	torus bool
+
 	freeCount int
 
 	rightRun []int
@@ -256,8 +261,16 @@ func (m *Mesh) rectBusy(x1, y1, x2, y2 int) int {
 }
 
 // BusyInRect returns the number of allocated processors inside s in
-// O(1). Out-of-range or invalid sub-meshes return 0.
+// O(1). On a torus, s may cross the wrap-around seams (X2 >= W or
+// Y2 >= L) and is answered as its seam-split planar pieces.
+// Out-of-range or invalid sub-meshes return 0.
 func (m *Mesh) BusyInRect(s Submesh) int {
+	if m.torus {
+		if !m.wrapValid(s) {
+			return 0
+		}
+		return m.wrapBusy(s)
+	}
 	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
 		return 0
 	}
@@ -265,8 +278,15 @@ func (m *Mesh) BusyInRect(s Submesh) int {
 }
 
 // FreeInRect returns the number of free processors inside s in O(1).
-// Out-of-range or invalid sub-meshes return 0.
+// On a torus, s may cross the wrap-around seams. Out-of-range or
+// invalid sub-meshes return 0.
 func (m *Mesh) FreeInRect(s Submesh) int {
+	if m.torus {
+		if !m.wrapValid(s) {
+			return 0
+		}
+		return s.Area() - m.wrapBusy(s)
+	}
 	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
 		return 0
 	}
@@ -274,8 +294,17 @@ func (m *Mesh) FreeInRect(s Submesh) int {
 }
 
 // FitsAt reports in O(1) whether the w x l sub-mesh based at (x,y) lies
-// in bounds and is entirely free.
+// on the mesh and is entirely free. On a torus the base must be on the
+// grid but the extent may cross either seam (x+w > W, y+l > L), as long
+// as it does not exceed the ring sizes.
 func (m *Mesh) FitsAt(x, y, w, l int) bool {
+	if m.torus {
+		if w <= 0 || l <= 0 || w > m.w || l > m.l ||
+			x < 0 || x >= m.w || y < 0 || y >= m.l {
+			return false
+		}
+		return m.wrapBusy(SubAt(x, y, w, l)) == 0
+	}
 	if w <= 0 || l <= 0 || x < 0 || y < 0 || x+w > m.w || y+l > m.l {
 		return false
 	}
@@ -518,11 +547,14 @@ func (m *Mesh) ReleaseSub(s Submesh) error {
 }
 
 // SubFree reports whether every processor of s is free (paper
-// Definition 3) in O(1). Out-of-range sub-meshes are not free.
-// Shallow rectangles are answered by a constant-bounded number of
-// rightRun probes (one per row), which needs no journal fold; tall
-// ones by the summed-area table.
+// Definition 3) in O(1). On a torus, s may cross the wrap-around
+// seams. Out-of-range sub-meshes are not free. Shallow rectangles are
+// answered by a constant-bounded number of run probes (one per row),
+// which needs no journal fold; tall ones by the summed-area table.
 func (m *Mesh) SubFree(s Submesh) bool {
+	if m.torus {
+		return m.torusSubFree(s)
+	}
 	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
 		return false
 	}
@@ -546,10 +578,12 @@ func (m *Mesh) FreeNodes() []Coord {
 	return out
 }
 
-// Clone returns an independent copy of the mesh occupancy.
+// Clone returns an independent copy of the mesh occupancy, preserving
+// the topology.
 func (m *Mesh) Clone() *Mesh {
 	m.drainSAT()
 	n := New(m.w, m.l)
+	n.torus = m.torus
 	copy(n.busy, m.busy)
 	copy(n.rightRun, m.rightRun)
 	copy(n.rowMax, m.rowMax)

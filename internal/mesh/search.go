@@ -24,9 +24,27 @@ func (m *Mesh) blockedUntil(x, y, w, l int) int {
 
 // CandidatesRow yields, left to right, every base x in row y where the
 // w x l sub-mesh based at (x,y) is entirely free. Busy spans are
-// skipped in one jump per blocking processor.
+// skipped in one jump per blocking processor. On a torus every grid
+// position is a candidate base and the extent wraps across the seams.
 func (m *Mesh) CandidatesRow(y, w, l int) iter.Seq[int] {
 	return func(yield func(int) bool) {
+		if m.torus {
+			if w <= 0 || l <= 0 || w > m.w || l > m.l || y < 0 || y >= m.l {
+				return
+			}
+			for x := 0; x < m.w; {
+				skip := m.torusBlockedUntil(x, y, w, l)
+				if skip == 0 {
+					if !yield(x) {
+						return
+					}
+					x++
+					continue
+				}
+				x += skip
+			}
+			return
+		}
 		if w <= 0 || l <= 0 || y < 0 || y+l > m.l {
 			return
 		}
@@ -77,8 +95,13 @@ func (m *Mesh) nextWindowRow(y, w, l int, fresh bool) int {
 }
 
 // FirstFit returns the first (row-major base order) free w x l sub-mesh,
-// the classic contiguous first-fit search.
+// the classic contiguous first-fit search. On a torus the candidate
+// space includes seam-crossing placements (the returned sub-mesh may
+// have X2 >= W or Y2 >= L; resolve it with SplitWrap).
 func (m *Mesh) FirstFit(w, l int) (Submesh, bool) {
+	if m.torus {
+		return m.torusFirstFit(w, l)
+	}
 	if w <= 0 || l <= 0 || w > m.w || l > m.l {
 		return Submesh{}, false
 	}
@@ -98,8 +121,14 @@ func (m *Mesh) FirstFit(w, l int) (Submesh, bool) {
 // BestFit returns the free w x l sub-mesh whose placement touches the
 // most busy-or-border processors along its perimeter (Zhu-style best
 // fit: prefer corners and crevices, preserving large free regions).
-// The row-major-first candidate wins ties.
+// The row-major-first candidate wins ties. On a torus the candidate
+// space includes seam-crossing placements and the score counts busy
+// neighbours only — a torus has no border to hug (see
+// torusBoundaryPressure).
 func (m *Mesh) BestFit(w, l int) (Submesh, bool) {
+	if m.torus {
+		return m.torusBestFit(w, l)
+	}
 	if w <= 0 || l <= 0 || w > m.w || l > m.l {
 		return Submesh{}, false
 	}
@@ -162,8 +191,12 @@ func (m *Mesh) boundaryPressure(s Submesh) int {
 // more nearly square candidate and then row-major base order. This is
 // the search at the heart of GABL: the first piece is capped by the
 // request's sides, later pieces by the previous piece's sides, and all
-// pieces by the processors still owed.
+// pieces by the processors still owed. On a torus the candidate space
+// includes seam-crossing placements.
 func (m *Mesh) LargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
+	if m.torus {
+		return m.torusLargestFree(maxW, maxL, maxArea)
+	}
 	if maxW <= 0 || maxL <= 0 || maxArea <= 0 {
 		return Submesh{}, false
 	}
@@ -178,24 +211,7 @@ func (m *Mesh) LargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
 	// since later candidates can at best tie (and first-found wins).
 	// idealArea = max over heights of the capped width times height;
 	// idealSkew = the squarest (w,l) factoring of that area.
-	idealArea, idealSkew := 0, 0
-	for l := 1; l <= maxL; l++ {
-		w := maxW
-		if w*l > maxArea {
-			w = maxArea / l
-		}
-		if w*l > idealArea {
-			idealArea = w * l
-		}
-	}
-	idealSkew = idealArea // worse than any real candidate's skew
-	for l := 1; l <= maxL; l++ {
-		if idealArea%l == 0 {
-			if w := idealArea / l; w <= maxW && abs(w-l) < idealSkew {
-				idealSkew = abs(w - l)
-			}
-		}
-	}
+	idealArea, idealSkew := largestIdeal(maxW, maxL, maxArea)
 	var (
 		best      Submesh
 		bestArea  int

@@ -1,0 +1,380 @@
+package mesh
+
+// This file is the torus query layer of the occupancy index. The
+// incremental tables (rightRun, row aggregates, summed-area journal —
+// see Mesh) are planar and maintained identically for both topologies;
+// wrap-around semantics are resolved at query time:
+//
+//   - a free run that reaches the x = W-1 edge continues at x = 0, so
+//     the run at a base is the planar run plus the row's leading run,
+//     capped at W (runAt) — an O(1) adjustment, since both pieces are
+//     already in the table;
+//   - a rectangle whose extent crosses the x or y seam is split into
+//     two (one seam) or four (both seams) planar rectangles, each
+//     answered by the planar summed-area machinery (wrapPieces);
+//   - the per-row max-run aggregate is widened into an upper bound by
+//     adding the row's leading run when the trailing edge is free
+//     (rowBoundAt) — a bound is all the searches need for pruning.
+//
+// Keeping the tables planar means every mutation path, invariant and
+// repair rule of the planar index carries over unchanged, and mesh-mode
+// behaviour cannot drift: the torus branches are gated on m.torus.
+
+// NewTorus returns an empty w x l torus mesh: occupancy queries and
+// searches treat the x and y extents as rings, so sub-meshes may cross
+// the x = W-1 -> 0 and y = L-1 -> 0 wrap-around seams. Mutations
+// (Allocate, AllocateSub, Release, ReleaseSub) remain planar: a
+// seam-crossing placement is committed as its SplitWrap pieces.
+func NewTorus(w, l int) *Mesh {
+	m := New(w, l)
+	m.torus = true
+	return m
+}
+
+// Torus reports whether the mesh wraps around in both dimensions.
+func (m *Mesh) Torus() bool { return m.torus }
+
+// runAt returns the length of the free run at (x, y) in the row's
+// traversal order: the planar rightward run on a mesh; on a torus a run
+// reaching the x = W-1 edge continues at x = 0, capped at W. O(1).
+func (m *Mesh) runAt(x, y int) int {
+	r := m.rightRun[y*m.w+x]
+	if !m.torus || r == 0 || x+r < m.w || r == m.w {
+		return r
+	}
+	r += m.rightRun[y*m.w]
+	if r > m.w {
+		r = m.w
+	}
+	return r
+}
+
+// rowBoundAt returns an upper bound on the widest free run of row y
+// under the mesh's topology: the exact planar aggregate on a mesh
+// (repairing staleness), widened on a torus by the row's leading run
+// when the trailing edge is free — the seam run is the trailing run
+// plus the leading run, and the trailing run never exceeds the planar
+// maximum, so the sum bounds it. Searches use the bound to discard
+// whole rows; an over-estimate only costs a probe, never a miss.
+func (m *Mesh) rowBoundAt(y int) int {
+	b := m.rowMaxAt(y)
+	if !m.torus || b == 0 || b >= m.w {
+		return b
+	}
+	row := y * m.w
+	if m.rightRun[row+m.w-1] > 0 {
+		b += m.rightRun[row]
+		if b > m.w {
+			b = m.w
+		}
+	}
+	return b
+}
+
+// wrapValid reports whether s is a well-formed sub-mesh of the torus:
+// base on the mesh, extents no larger than the rings. The end may
+// exceed the planar bounds — X2 >= W (or Y2 >= L) encodes a
+// seam-crossing extent, interpreted modulo the ring size.
+func (m *Mesh) wrapValid(s Submesh) bool {
+	return s.Valid() && s.X1 >= 0 && s.X1 < m.w && s.Y1 >= 0 && s.Y1 < m.l &&
+		s.W() <= m.w && s.L() <= m.l
+}
+
+// wrapPieces splits a (wrapValid) possibly seam-crossing sub-mesh into
+// its planar pieces: one when it crosses no seam, two across one seam,
+// four across both. Pieces are disjoint, in bounds, cover exactly the
+// torus rectangle, and are ordered base quadrant first (y segment
+// outer, x segment inner). O(1), no allocation.
+func (m *Mesh) wrapPieces(s Submesh) ([4]Submesh, int) {
+	var xs, ys [2][2]int
+	nx, ny := 1, 1
+	xs[0] = [2]int{s.X1, s.X2}
+	if s.X2 >= m.w {
+		xs[0][1] = m.w - 1
+		xs[1] = [2]int{0, s.X2 - m.w}
+		nx = 2
+	}
+	ys[0] = [2]int{s.Y1, s.Y2}
+	if s.Y2 >= m.l {
+		ys[0][1] = m.l - 1
+		ys[1] = [2]int{0, s.Y2 - m.l}
+		ny = 2
+	}
+	var out [4]Submesh
+	n := 0
+	for i := 0; i < ny; i++ {
+		for j := 0; j < nx; j++ {
+			out[n] = Submesh{X1: xs[j][0], Y1: ys[i][0], X2: xs[j][1], Y2: ys[i][1]}
+			n++
+		}
+	}
+	return out, n
+}
+
+// SplitWrap resolves a possibly seam-crossing sub-mesh into its planar
+// pieces (see wrapPieces for the order). On a planar mesh — where
+// searches never produce seam-crossing sub-meshes — it returns s
+// unchanged as a single piece. Allocators commit a torus search result
+// through SplitWrap, so the mutation paths stay planar.
+func (m *Mesh) SplitWrap(s Submesh) []Submesh {
+	if !m.torus {
+		return []Submesh{s}
+	}
+	ps, n := m.wrapPieces(s)
+	out := make([]Submesh, n)
+	copy(out, ps[:n])
+	return out
+}
+
+// wrapBusy returns the busy count of a (wrapValid) possibly
+// seam-crossing sub-mesh by summing its planar pieces.
+func (m *Mesh) wrapBusy(s Submesh) int {
+	ps, n := m.wrapPieces(s)
+	busy := 0
+	for i := 0; i < n; i++ {
+		p := ps[i]
+		busy += m.rectBusy(p.X1, p.Y1, p.X2, p.Y2)
+	}
+	return busy
+}
+
+// torusSubFree reports whether every processor of the possibly
+// seam-crossing sub-mesh is free. Shallow rectangles are answered by
+// one wrap-aware run probe per row; tall ones by the seam-split
+// summed-area queries.
+func (m *Mesh) torusSubFree(s Submesh) bool {
+	if !m.wrapValid(s) {
+		return false
+	}
+	if w := s.W(); s.L() <= 8 {
+		for y := s.Y1; y <= s.Y2; y++ {
+			yy := y
+			if yy >= m.l {
+				yy -= m.l
+			}
+			if m.runAt(s.X1, yy) < w {
+				return false
+			}
+		}
+		return true
+	}
+	return m.wrapBusy(s) == 0
+}
+
+// torusBlockedUntil returns 0 when the w x l sub-mesh based at (x, y)
+// — extents wrapping — is free, and otherwise the number of bases to
+// skip: the first blocking row's run ends at a busy processor that
+// blocks every base in [x, x+run], exactly as in the planar search.
+func (m *Mesh) torusBlockedUntil(x, y, w, l int) int {
+	for i := 0; i < l; i++ {
+		yy := y + i
+		if yy >= m.l {
+			yy -= m.l
+		}
+		if r := m.runAt(x, yy); r < w {
+			return r + 1
+		}
+	}
+	return 0
+}
+
+// torusWindowSkip prunes base rows for a w-wide, l-tall window whose
+// rows wrap: it returns the next base row >= y whose window contains no
+// row with rowBoundAt < w, or m.l when none remains. A blocking row at
+// or after the base lets the search jump straight past it; a blocking
+// row in the wrapped prefix only rules out the current base.
+func (m *Mesh) torusWindowSkip(y, w, l int) int {
+	for y < m.l {
+		bad := -1
+		for i := l - 1; i >= 0; i-- {
+			yy := y + i
+			if yy >= m.l {
+				yy -= m.l
+			}
+			if m.rowBoundAt(yy) < w {
+				bad = yy
+				break
+			}
+		}
+		switch {
+		case bad < 0:
+			return y
+		case bad >= y:
+			y = bad + 1 // every base in [y, bad] contains row bad
+		default:
+			y++ // blocker wraps before the base; retry the next base
+		}
+	}
+	return m.l
+}
+
+// torusFirstFit is FirstFit over the torus candidate space: bases are
+// every (x, y) of the grid in row-major order, and extents wrap across
+// both seams.
+func (m *Mesh) torusFirstFit(w, l int) (Submesh, bool) {
+	if w <= 0 || l <= 0 || w > m.w || l > m.l {
+		return Submesh{}, false
+	}
+	for y := 0; y < m.l; y++ {
+		y = m.torusWindowSkip(y, w, l)
+		if y >= m.l {
+			break
+		}
+		for x := range m.CandidatesRow(y, w, l) {
+			return SubAt(x, y, w, l), true
+		}
+	}
+	return Submesh{}, false
+}
+
+// torusBestFit is BestFit over the torus candidate space, scored by
+// torusBoundaryPressure. The row-major-first candidate wins ties.
+func (m *Mesh) torusBestFit(w, l int) (Submesh, bool) {
+	if w <= 0 || l <= 0 || w > m.w || l > m.l {
+		return Submesh{}, false
+	}
+	m.drainSAT() // torusBoundaryPressure reads the SAT per candidate
+	best := Submesh{}
+	bestScore := -1
+	for y := 0; y < m.l; y++ {
+		y = m.torusWindowSkip(y, w, l)
+		if y >= m.l {
+			break
+		}
+		for x := range m.CandidatesRow(y, w, l) {
+			s := SubAt(x, y, w, l)
+			if score := m.torusBoundaryPressure(s); score > bestScore {
+				bestScore = score
+				best = s
+			}
+		}
+	}
+	if bestScore < 0 {
+		return Submesh{}, false
+	}
+	return best, true
+}
+
+// torusBoundaryPressure counts perimeter positions of the candidate
+// that abut a busy processor. A torus has no border, so — unlike the
+// planar score — there is no border bonus; and a side that spans its
+// whole ring has no perimeter in that dimension (the ring closes on
+// itself), so its strips are skipped. Each strip is one or two O(1)
+// summed-area queries (the strip may cross the other seam). Requires a
+// drained journal.
+func (m *Mesh) torusBoundaryPressure(s Submesh) int {
+	score := 0
+	if s.L() < m.l {
+		below := (s.Y1 + m.l - 1) % m.l
+		above := (s.Y2 + 1) % m.l
+		score += m.wrapBusy(Submesh{X1: s.X1, Y1: below, X2: s.X2, Y2: below})
+		score += m.wrapBusy(Submesh{X1: s.X1, Y1: above, X2: s.X2, Y2: above})
+	}
+	if s.W() < m.w {
+		left := (s.X1 + m.w - 1) % m.w
+		right := (s.X2 + 1) % m.w
+		score += m.wrapBusy(Submesh{X1: left, Y1: s.Y1, X2: left, Y2: s.Y2})
+		score += m.wrapBusy(Submesh{X1: right, Y1: s.Y1, X2: right, Y2: s.Y2})
+	}
+	return score
+}
+
+// torusLargestFree is LargestFree over the torus candidate space:
+// anchors are every grid position, widths come from the wrap-aware
+// runs, and heights grow through the y seam. Pruning mirrors the
+// planar search (anchor and continuation upper bounds, ideal
+// early-exit); tie-breaking — larger area, then squarer, then
+// row-major-first anchor — is identical.
+func (m *Mesh) torusLargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
+	if maxW <= 0 || maxL <= 0 || maxArea <= 0 {
+		return Submesh{}, false
+	}
+	if maxW > m.w {
+		maxW = m.w
+	}
+	if maxL > m.l {
+		maxL = m.l
+	}
+	idealArea, idealSkew := largestIdeal(maxW, maxL, maxArea)
+	var (
+		best      Submesh
+		bestArea  int
+		bestSkew  int
+		bestFound bool
+	)
+	for y := 0; y < m.l; y++ {
+		for x := 0; x < m.w; x++ {
+			wCap := m.runAt(x, y)
+			if wCap == 0 {
+				continue
+			}
+			if wCap > maxW {
+				wCap = maxW
+			}
+			if ub := min(wCap*maxL, maxArea); ub < bestArea {
+				continue
+			}
+			minRun := wCap
+			for l := 1; l <= maxL; l++ {
+				yy := y + l - 1
+				if yy >= m.l {
+					yy -= m.l
+				}
+				run := m.runAt(x, yy)
+				if run == 0 {
+					break
+				}
+				if run < minRun {
+					minRun = run
+				}
+				if ub := min(minRun*maxL, maxArea); ub < bestArea {
+					break
+				}
+				w := minRun
+				if w*l > maxArea {
+					w = maxArea / l
+				}
+				if w == 0 {
+					continue
+				}
+				area := w * l
+				skew := abs(w - l)
+				if area > bestArea || (area == bestArea && bestFound && skew < bestSkew) {
+					best = SubAt(x, y, w, l)
+					bestArea = area
+					bestSkew = skew
+					bestFound = true
+					if bestArea == idealArea && bestSkew == idealSkew {
+						return best, true
+					}
+				}
+			}
+		}
+	}
+	return best, bestFound
+}
+
+// largestIdeal returns the best conceivable (area, skew) under the
+// caps, occupancy aside: the constrained-largest searches stop the
+// moment they record a candidate this good, since later candidates can
+// at best tie and first-found wins.
+func largestIdeal(maxW, maxL, maxArea int) (idealArea, idealSkew int) {
+	for l := 1; l <= maxL; l++ {
+		w := maxW
+		if w*l > maxArea {
+			w = maxArea / l
+		}
+		if w*l > idealArea {
+			idealArea = w * l
+		}
+	}
+	idealSkew = idealArea // worse than any real candidate's skew
+	for l := 1; l <= maxL; l++ {
+		if idealArea%l == 0 {
+			if w := idealArea / l; w <= maxW && abs(w-l) < idealSkew {
+				idealSkew = abs(w - l)
+			}
+		}
+	}
+	return idealArea, idealSkew
+}

@@ -156,7 +156,13 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 		return nil, fmt.Errorf("sim: invalid mesh %dx%d", cfg.MeshW, cfg.MeshL)
 	}
 	eng := des.NewEngine()
+	// The interconnect topology governs the occupancy model too: on a
+	// torus the allocators may place sub-meshes across the wrap-around
+	// seams, matching the wrap links the network routes over.
 	m := mesh.New(cfg.MeshW, cfg.MeshL)
+	if cfg.Network.Topology == network.TorusTopology {
+		m = mesh.NewTorus(cfg.MeshW, cfg.MeshL)
+	}
 	if cfg.ThinkMean < 0 {
 		return nil, fmt.Errorf("sim: negative ThinkMean %v", cfg.ThinkMean)
 	}
@@ -418,7 +424,7 @@ func (s *Simulator) complete(j *jobState) {
 		s.turnaround.Add(float64(now - j.job.Arrival))
 		s.service.Add(float64(now - j.allocAt))
 		s.wait.Add(float64(j.allocAt - j.job.Arrival))
-		s.pieces.Add(float64(len(j.allocation.Pieces)))
+		s.pieces.Add(float64(j.allocation.PieceCount()))
 		if s.cfg.MaxCompleted > 0 && int(s.turnaround.N()) >= s.cfg.MaxCompleted {
 			s.finish()
 			return

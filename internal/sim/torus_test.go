@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+// TestTorusTopologyEndToEnd runs a small simulation per strategy on
+// the torus fabric: the run must complete, and the contiguous
+// strategies must report one logical sub-mesh per job even when
+// placements wrap the seams.
+func TestTorusTopologyEndToEnd(t *testing.T) {
+	for _, strategy := range []string{"GABL", "Paging(0)", "MBS", "FirstFit", "ANCA"} {
+		cfg := DefaultConfig()
+		cfg.Strategy = strategy
+		cfg.MaxCompleted = 120
+		cfg.WarmupJobs = 20
+		cfg.Network.Topology = network.TorusTopology
+		cfg.Seed = 11
+		src := stochasticSrc(11, 0.002)
+		res, err := Run(cfg, src)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if res.Completed != 120 {
+			t.Fatalf("%s: completed %d jobs, want 120", strategy, res.Completed)
+		}
+		if strategy == "FirstFit" && res.MeanPieces != 1 {
+			t.Fatalf("FirstFit on torus: %.2f logical pieces per job, want 1", res.MeanPieces)
+		}
+		if res.MeanLatency <= 0 || res.Utilization <= 0 {
+			t.Fatalf("%s: degenerate metrics %+v", strategy, res)
+		}
+	}
+}
+
+// TestTorusVsMeshContiguity checks the headline torus effect: the
+// wrap-around candidate space cannot make GABL's placements less
+// contiguous, and typically makes them more so.
+func TestTorusVsMeshContiguity(t *testing.T) {
+	pieces := map[network.Topology]float64{}
+	for _, topo := range []network.Topology{network.MeshTopology, network.TorusTopology} {
+		cfg := DefaultConfig()
+		cfg.Strategy = "GABL"
+		cfg.MaxCompleted = 250
+		cfg.WarmupJobs = 25
+		cfg.Network.Topology = topo
+		cfg.Seed = 5
+		src := stochasticSrc(5, 0.003)
+		res, err := Run(cfg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pieces[topo] = res.MeanPieces
+	}
+	if pieces[network.TorusTopology] > pieces[network.MeshTopology]+0.25 {
+		t.Fatalf("torus placements markedly less contiguous than mesh: %.2f vs %.2f",
+			pieces[network.TorusTopology], pieces[network.MeshTopology])
+	}
+}

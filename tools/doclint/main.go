@@ -1,0 +1,165 @@
+// Command doclint enforces doc comments on exported identifiers: every
+// exported function, method, type, constant and variable in the given
+// packages must carry a godoc comment (on the declaration or, for
+// grouped const/var/type specs, on the group). It is the repo's
+// dependency-free stand-in for revive's exported rule — CI runs it over
+// the documented packages so the godoc surface cannot silently regress.
+//
+// Usage:
+//
+//	go run ./tools/doclint ./internal/...
+//	go run ./tools/doclint ./internal/mesh ./internal/alloc
+//
+// A trailing /... walks every subdirectory containing Go files. Exits
+// non-zero listing every offender as file:line: identifier.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint PKGDIR...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, arg := range os.Args[1:] {
+		dirs, err := expand(strings.TrimPrefix(arg, "./"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			offenders, err := lintDir(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doclint:", err)
+				os.Exit(2)
+			}
+			bad += len(offenders)
+			for _, o := range offenders {
+				fmt.Println(o)
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) lack doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// expand resolves one command-line argument into package directories:
+// a plain path is itself; a path ending in /... walks the tree and
+// keeps every directory holding at least one Go file.
+func expand(arg string) ([]string, error) {
+	root, ok := strings.CutSuffix(arg, "/...")
+	if !ok {
+		return []string{arg}, nil
+	}
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				out = append(out, path)
+				break
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// lintDir parses every non-test Go file of one package directory and
+// returns "file:line: name" for each undocumented exported identifier.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s", filepath.ToSlash(p.Filename), p.Line, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lintDecl(decl, report)
+			}
+		}
+	}
+	return out, nil
+}
+
+// lintDecl reports the undocumented exported identifiers of one
+// top-level declaration. A doc comment on a const/var/type group
+// covers every spec in the group; an individual spec comment also
+// counts.
+func lintDecl(decl ast.Decl, report func(token.Pos, string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		// Methods on unexported receiver types are not part of the
+		// package's godoc surface (matching revive's exported rule).
+		if d.Name.IsExported() && d.Doc.Text() == "" && receiverExported(d) {
+			report(d.Pos(), d.Name.Name)
+		}
+	case *ast.GenDecl:
+		groupDoc := d.Doc.Text() != ""
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !groupDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+					report(s.Pos(), s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if groupDoc || s.Doc.Text() != "" || s.Comment.Text() != "" {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						report(n.Pos(), n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether fn is a plain function or a method
+// whose receiver's base type name is exported.
+func receiverExported(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver, e.g. fcfs[T]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
