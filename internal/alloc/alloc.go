@@ -65,11 +65,22 @@ func (a Allocation) Size() int {
 // Nodes returns every allocated processor, piece by piece in row-major
 // order within each piece.
 func (a Allocation) Nodes() []mesh.Coord {
-	out := make([]mesh.Coord, 0, a.Size())
+	return a.AppendNodes(make([]mesh.Coord, 0, a.Size()))
+}
+
+// AppendNodes appends every allocated processor to dst in the same
+// order as Nodes and returns the extended slice. Callers on hot paths
+// (the simulator keeps one buffer per pooled job) reuse dst to avoid a
+// per-allocation node materialization.
+func (a Allocation) AppendNodes(dst []mesh.Coord) []mesh.Coord {
 	for _, p := range a.Pieces {
-		out = append(out, p.Nodes()...)
+		for y := p.Y1; y <= p.Y2; y++ {
+			for x := p.X1; x <= p.X2; x++ {
+				dst = append(dst, mesh.Coord{X: x, Y: y})
+			}
+		}
 	}
-	return out
+	return dst
 }
 
 // Contiguous reports whether the allocation is a single (possibly

@@ -12,6 +12,15 @@
 //	eng.Schedule(10, func() { fmt.Println("t =", eng.Now()) })
 //	eng.Run()
 //
+// The event core is allocation-free in steady state: fired and cancelled
+// event records return to an intrusive free list and are reused by later
+// schedules, so a long-running simulation stops allocating once the heap
+// and pool reach their high-water marks. Schedule/At take a plain
+// closure, whose capture the caller pays for; ScheduleEvent/AtEvent take
+// a func(arg any) plus the argument, letting hot paths pass their state
+// through the engine without allocating a closure per event (see the
+// TestZeroAllocSteadyState guard).
+//
 // The engine is single-threaded by design: discrete-event simulations are
 // causally ordered and parallelising the event loop would change results.
 // Parallelism belongs one level up (independent replications), which the
@@ -28,25 +37,40 @@ import (
 // cycle in the network model, per the paper's time-unit convention.
 type Time = float64
 
+// EventFunc is an event handler that receives the argument it was
+// scheduled with. Passing state this way instead of capturing it in a
+// closure keeps the per-event cost allocation-free (a pointer-shaped
+// argument fits in the interface word without boxing).
+type EventFunc = func(arg any)
+
 // ErrHorizon is returned by Run when the event limit is exhausted before
 // the pending set drains, which almost always indicates a scheduling loop.
 var ErrHorizon = errors.New("des: event limit exceeded")
 
 // Handle identifies a scheduled event so it can be cancelled. The zero
-// Handle is invalid.
+// Handle is invalid. Handles stay safe across event-record reuse: a
+// recycled record bumps its generation, invalidating stale handles.
 type Handle struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Valid reports whether the handle refers to an event that has neither
 // fired nor been cancelled.
-func (h Handle) Valid() bool { return h.ev != nil && h.ev.index >= 0 }
+func (h Handle) Valid() bool { return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0 }
 
+// event is one pooled pending-event record. Exactly one of fn and efn is
+// set. Records cycle heap -> fired/cancelled -> free list -> heap; gen
+// counts the cycles so stale Handles cannot touch a reused record.
 type event struct {
 	time  Time
 	seq   uint64 // tie-break: schedule order
 	index int    // heap index, -1 once popped or cancelled
+	gen   uint64 // bumped on recycle; Handle must match
 	fn    func()
+	efn   EventFunc
+	arg   any
+	next  *event // free-list link while recycled
 }
 
 // Engine is a discrete-event simulator instance. The zero value is not
@@ -55,6 +79,7 @@ type Engine struct {
 	now      Time
 	seq      uint64
 	heap     []*event
+	free     *event // recycled event records
 	executed uint64
 	limit    uint64
 	running  bool
@@ -97,16 +122,60 @@ func (e *Engine) Schedule(delay Time, fn func()) Handle {
 // At registers fn to fire at absolute time t, which must not precede the
 // current clock.
 func (e *Engine) At(t Time, fn func()) Handle {
-	if t < e.now {
-		panic(fmt.Sprintf("des: schedule at %v before now %v", t, e.now))
-	}
 	if fn == nil {
 		panic("des: nil event function")
 	}
-	ev := &event{time: t, seq: e.seq, fn: fn}
+	return e.schedule(t, fn, nil, nil)
+}
+
+// ScheduleEvent registers fn(arg) to fire delay time units from now.
+// Unlike Schedule, the event state travels as an explicit argument, so no
+// closure is allocated: with a pooled record and a pointer-shaped arg the
+// whole operation is allocation-free in steady state.
+func (e *Engine) ScheduleEvent(delay Time, fn EventFunc, arg any) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return e.AtEvent(e.now+delay, fn, arg)
+}
+
+// AtEvent registers fn(arg) to fire at absolute time t, which must not
+// precede the current clock. It is the closure-free form of At.
+func (e *Engine) AtEvent(t Time, fn EventFunc, arg any) Handle {
+	if fn == nil {
+		panic("des: nil event function")
+	}
+	return e.schedule(t, nil, fn, arg)
+}
+
+// schedule takes a record from the free list (or mints one), fills it and
+// pushes it on the heap.
+func (e *Engine) schedule(t Time, fn func(), efn EventFunc, arg any) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", t, e.now))
+	}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &event{}
+	}
+	ev.time, ev.seq = t, e.seq
+	ev.fn, ev.efn, ev.arg = fn, efn, arg
 	e.seq++
 	e.push(ev)
-	return Handle{ev: ev}
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// recycle returns a popped or cancelled record to the free list, dropping
+// its payload (so the pool retains no caller state) and bumping the
+// generation so outstanding Handles go stale.
+func (e *Engine) recycle(ev *event) {
+	ev.fn, ev.efn, ev.arg = nil, nil, nil
+	ev.gen++
+	ev.next = e.free
+	e.free = ev
 }
 
 // Cancel removes a pending event. It reports whether the event was still
@@ -116,6 +185,7 @@ func (e *Engine) Cancel(h Handle) bool {
 		return false
 	}
 	e.remove(h.ev)
+	e.recycle(h.ev)
 	return true
 }
 
@@ -128,7 +198,15 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.time
 	e.executed++
-	ev.fn()
+	// Fire first, recycle after: the handler may consult its own Handle
+	// (already invalid — index is -1) but must not see the record reused
+	// under it mid-call.
+	if ev.efn != nil {
+		ev.efn(ev.arg)
+	} else {
+		ev.fn()
+	}
+	e.recycle(ev)
 	return true
 }
 

@@ -333,6 +333,154 @@ func TestRunUntilInfinityDrains(t *testing.T) {
 	}
 }
 
+func TestScheduleEventPassesArg(t *testing.T) {
+	e := NewEngine()
+	type payload struct{ hits int }
+	p := &payload{}
+	e.ScheduleEvent(3, func(a any) { a.(*payload).hits++ }, p)
+	e.AtEvent(5, func(a any) { a.(*payload).hits += 10 }, p)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.hits != 11 {
+		t.Fatalf("hits = %d, want 11", p.hits)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %v, want 5", e.Now())
+	}
+}
+
+func TestScheduleEventNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleEvent(nil fn) did not panic")
+		}
+	}()
+	NewEngine().ScheduleEvent(1, nil, 7)
+}
+
+func TestScheduleEventNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleEvent(-1) did not panic")
+		}
+	}()
+	NewEngine().ScheduleEvent(-1, func(any) {}, nil)
+}
+
+// Closure and argument events interleave on one clock with the shared
+// FIFO tie-break.
+func TestScheduleEventInterleavesWithSchedule(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(2, func() { order = append(order, 0) })
+	e.ScheduleEvent(2, func(a any) { order = append(order, a.(int)) }, 1)
+	e.Schedule(2, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v, want [0 1 2]", order)
+	}
+}
+
+// A handle to a fired event must stay dead even after its pooled record
+// is reused by a later schedule: Cancel through the stale handle must not
+// cancel the new event.
+func TestStaleHandleCannotCancelReusedRecord(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(1, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	e.Schedule(1, func() { fired = true }) // reuses the pooled record
+	if h.Valid() {
+		t.Fatal("stale handle valid after pool reuse")
+	}
+	if e.Cancel(h) {
+		t.Fatal("stale handle cancelled a reused record")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("reused-record event did not fire")
+	}
+}
+
+// Cancelled records go back to the pool too and must be reusable.
+func TestCancelRecyclesRecord(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(5, func() { t.Fatal("cancelled event fired") })
+	if !e.Cancel(h) {
+		t.Fatal("Cancel failed")
+	}
+	n := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(1, func() { n++ })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("fired %d events, want 10", n)
+	}
+}
+
+// The event core must not allocate once warm: pooled records plus
+// closure-free ScheduleEvent give 0 allocs per schedule+fire cycle. This
+// is the steady-state guard the CI bench-smoke job pins.
+func TestZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	fn := func(any) {}
+	// Warm-up: grow the heap slice and the record pool to their
+	// high-water marks.
+	for i := 0; i < 64; i++ {
+		e.ScheduleEvent(Time(i%7), fn, nil)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.ScheduleEvent(Time(i%7), fn, nil)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state allocs per 64-event batch = %v, want 0", avg)
+	}
+}
+
+// Pointer arguments must not box: the interface word carries the pointer
+// directly, so the whole ScheduleEvent path stays allocation-free.
+func TestZeroAllocPointerArg(t *testing.T) {
+	e := NewEngine()
+	type state struct{ n int }
+	st := &state{}
+	fn := func(a any) { a.(*state).n++ }
+	for i := 0; i < 16; i++ {
+		e.ScheduleEvent(1, fn, st)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 16; i++ {
+			e.ScheduleEvent(1, fn, st)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state allocs per 16-event batch = %v, want 0", avg)
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -343,5 +491,25 @@ func BenchmarkScheduleRun(b *testing.B) {
 		if err := e.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEventSteadyState measures one warm schedule+fire cycle on a
+// long-lived engine: the pooled record and closure-free argument path
+// must report 0 allocs/op (the CI bench-smoke job fails otherwise).
+func BenchmarkEventSteadyState(b *testing.B) {
+	e := NewEngine()
+	fn := func(any) {}
+	for i := 0; i < 64; i++ { // warm the pool
+		e.ScheduleEvent(1, fn, nil)
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleEvent(1, fn, nil)
+		e.Step()
 	}
 }

@@ -20,6 +20,14 @@
 // invariants and maintenance costs, and docs/occupancy-index.md at the
 // repository root for a narrative walkthrough with diagrams.
 //
+// The constrained-largest search (LargestFree, the heart of GABL's
+// carving) runs as a best-first shape-probe phase backed by an O(W·L)
+// maximal-rectangle-in-histogram sweep — over the doubled seam band on
+// a torus — with release-epoch memoization of alloc-monotone facts;
+// the pre-histogram per-anchor scan is retained as the reference its
+// differential tests compare against (histogram.go,
+// docs/occupancy-index.md §6).
+//
 // # Topologies
 //
 // New builds a planar mesh; NewTorus builds a torus whose x and y

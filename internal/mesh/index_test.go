@@ -286,6 +286,13 @@ func checkQueries(t *testing.T, m *Mesh, rng *rand.Rand) {
 			t.Fatalf("LargestFree(%d,%d,%d) = %v,%v; seed scan says %v,%v\n%s",
 				caps[0], caps[1], caps[2], gotLF, okLF, wantLF, wantOkLF, m)
 		}
+		// The retained pruned scan must agree too (histogram_test.go
+		// drives this differential much harder).
+		refLF, refOkLF := m.largestFreeScan(caps[0], caps[1], caps[2])
+		if okLF != refOkLF || gotLF != refLF {
+			t.Fatalf("LargestFree(%d,%d,%d) = %v,%v; retained scan says %v,%v\n%s",
+				caps[0], caps[1], caps[2], gotLF, okLF, refLF, refOkLF, m)
+		}
 	}
 }
 
@@ -512,6 +519,11 @@ func checkTorusQueries(t *testing.T, m *Mesh, rng *rand.Rand) {
 		if okLF != wantOkLF || gotLF != wantLF {
 			t.Fatalf("torus LargestFree(%d,%d,%d) = %v,%v; naive scan says %v,%v\n%s",
 				caps[0], caps[1], caps[2], gotLF, okLF, wantLF, wantOkLF, m)
+		}
+		refLF, refOkLF := m.largestFreeScan(caps[0], caps[1], caps[2])
+		if okLF != refOkLF || gotLF != refLF {
+			t.Fatalf("torus LargestFree(%d,%d,%d) = %v,%v; retained scan says %v,%v\n%s",
+				caps[0], caps[1], caps[2], gotLF, okLF, refLF, refOkLF, m)
 		}
 	}
 }

@@ -75,6 +75,16 @@ type Mesh struct {
 	sat       []int // (w+1) x (l+1), see type comment
 	pending   []satDelta
 	satCap    int // journal bound, scaled to the mesh (see New)
+
+	// hist holds the reusable buffers of the histogram-based
+	// constrained-largest search (histogram.go); lazily sized, never
+	// part of the occupancy state (Clone starts fresh).
+	hist histScratch
+	// releaseEpoch counts mutations that freed processors. The
+	// constrained-largest search memoizes alloc-monotone facts (failed
+	// shapes, sweep upper bounds) against it: allocations preserve
+	// them, any release invalidates (histogram.go).
+	releaseEpoch uint64
 }
 
 // satDelta is one occupancy change not yet folded into sat.
@@ -140,18 +150,18 @@ func (m *Mesh) queueSAT(x1, y1, x2, y2, sign int) {
 
 // drainSAT folds every journaled delta into the SAT. A handful of
 // deltas fold individually (each touches only the block x <= x2,
-// y <= y2); more than that and one recompute pass is cheaper.
+// y <= y2); more than that and one recompute pass is cheaper. Hot
+// callers guard the call with an emptiness check themselves (BestFit);
+// an empty journal falls through the fold loop harmlessly either way.
 func (m *Mesh) drainSAT() {
-	switch n := len(m.pending); {
-	case n == 0:
-	case n <= 4:
+	if len(m.pending) <= 4 {
 		for _, d := range m.pending {
 			m.foldSAT(d)
 		}
 		m.pending = m.pending[:0]
-	default:
-		m.recomputeSAT()
+		return
 	}
+	m.recomputeSAT()
 }
 
 // foldSAT applies one rectangle delta: the SAT entry at (x,y) counts
@@ -355,6 +365,59 @@ func (m *Mesh) updateRowRuns(y, x1, x2 int) {
 	}
 }
 
+// updateRowRunsSpan is updateRowRuns specialized for a uniformly
+// flipped span (flipRect): the span's new run values need no busy-map
+// probes — zeros when it went busy, an incrementing suffix chain off
+// the right neighbour when it went free — and only the cells left of
+// the span walk the generic repair with its early stop. The aggregate
+// bookkeeping mirrors updateRowRuns exactly (same values, positions and
+// staleness decisions for the same mutation).
+func (m *Mesh) updateRowRunsSpan(y, x1, x2 int, toBusy bool) {
+	row := y * m.w
+	var run, maxWritten, maxWrittenPos int
+	if toBusy {
+		for x := x1; x <= x2; x++ {
+			m.rightRun[row+x] = 0
+		}
+		maxWritten, maxWrittenPos = 0, x2
+	} else {
+		if x2+1 < m.w {
+			run = m.rightRun[row+x2+1]
+		}
+		for x := x2; x >= x1; x-- {
+			run++
+			m.rightRun[row+x] = run
+		}
+		maxWritten, maxWrittenPos = run, x1
+	}
+	low := x1
+	for x := x1 - 1; x >= 0; x-- {
+		if m.busy[row+x] {
+			run = 0
+		} else {
+			run++
+		}
+		if m.rightRun[row+x] == run {
+			break
+		}
+		m.rightRun[row+x] = run
+		low = x
+		if run > maxWritten {
+			maxWritten, maxWrittenPos = run, x
+		}
+	}
+	switch pos := m.rowMaxPos[y]; {
+	case maxWritten >= m.rowMax[y]:
+		m.rowMax[y], m.rowMaxPos[y] = maxWritten, maxWrittenPos
+		m.rowStale[y] = false
+	case pos >= low && pos <= x2:
+		// See updateRowRuns: the recorded widest run was rewritten and
+		// nothing written matches or beats it; the old value remains a
+		// valid upper bound until a search re-derives the row.
+		m.rowStale[y] = true
+	}
+}
+
 // rowMaxRescan re-derives row y's exact widest run by hopping run to
 // run. Called by searches on stale rows only.
 func (m *Mesh) rowMaxRescan(y int) {
@@ -379,6 +442,17 @@ func (m *Mesh) rowMaxAt(y int) int {
 	return m.rowMax[y]
 }
 
+// rowFitsWidth reports whether row y's widest free run is at least w.
+// The stored aggregate is an upper bound even when stale (looseRowBound),
+// so a value already below w settles the question without the O(W)
+// repair; only an inconclusive stale row pays for exactness.
+func (m *Mesh) rowFitsWidth(y, w int) bool {
+	if m.rowMax[y] < w {
+		return false
+	}
+	return m.rowMaxAt(y) >= w
+}
+
 // flipRect marks the (validated) rectangle busy or free and restores
 // the index invariants: busy map and rightRun eagerly, SAT via the
 // journal.
@@ -392,10 +466,11 @@ func (m *Mesh) flipRect(x1, y1, x2, y2 int, toBusy bool) {
 	sign := 1
 	if !toBusy {
 		sign = -1
+		m.noteRelease()
 	}
 	m.queueSAT(x1, y1, x2, y2, sign)
 	for y := y1; y <= y2; y++ {
-		m.updateRowRuns(y, x1, x2)
+		m.updateRowRunsSpan(y, x1, x2, toBusy)
 	}
 }
 
@@ -404,6 +479,9 @@ func (m *Mesh) flipRect(x1, y1, x2, y2 int, toBusy bool) {
 // one journaled 1x1 SAT delta per cell, one rightRun repair per
 // touched row over that row's touched span.
 func (m *Mesh) noteCells(nodes []Coord, sign int) {
+	if sign < 0 {
+		m.noteRelease()
+	}
 	// One overflow decision for the whole batch: the busy map already
 	// holds every flip, so a recompute covers all of them at once.
 	if len(m.pending)+len(nodes) > m.satCap {
@@ -600,6 +678,7 @@ func (m *Mesh) Reset() {
 		m.busy[i] = false
 	}
 	m.freeCount = m.Size()
+	m.noteRelease()
 	m.resetTables()
 }
 

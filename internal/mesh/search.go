@@ -72,7 +72,7 @@ func (m *Mesh) nextWindowRow(y, w, l int, fresh bool) int {
 		if !fresh {
 			// Only row y+l-1 is new to the window; the rest was
 			// checked when the previous base row was cleared.
-			if m.rowMaxAt(y+l-1) >= w {
+			if m.rowFitsWidth(y+l-1, w) {
 				return y
 			}
 			y += l
@@ -81,7 +81,7 @@ func (m *Mesh) nextWindowRow(y, w, l int, fresh bool) int {
 		}
 		bad := -1
 		for yy := y + l - 1; yy >= y; yy-- {
-			if m.rowMaxAt(yy) < w {
+			if !m.rowFitsWidth(yy, w) {
 				bad = yy
 				break
 			}
@@ -132,7 +132,11 @@ func (m *Mesh) BestFit(w, l int) (Submesh, bool) {
 	if w <= 0 || l <= 0 || w > m.w || l > m.l {
 		return Submesh{}, false
 	}
-	m.drainSAT() // boundaryPressure reads the SAT per candidate
+	// boundaryPressure reads the SAT per candidate; back-to-back
+	// searches with no intervening mutation skip the fold entirely.
+	if len(m.pending) > 0 {
+		m.drainSAT()
+	}
 	best := Submesh{}
 	bestScore := -1
 	fresh := true
@@ -193,9 +197,32 @@ func (m *Mesh) boundaryPressure(s Submesh) int {
 // request's sides, later pieces by the previous piece's sides, and all
 // pieces by the processors still owed. On a torus the candidate space
 // includes seam-crossing placements.
+//
+// The search runs as an O(W·L) histogram sweep (histogram.go); the
+// per-anchor scan it replaced is retained as largestFreeScan — the
+// reference the differential tests hold the sweep to, result for
+// result.
 func (m *Mesh) LargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
+	if maxW <= 0 || maxL <= 0 || maxArea <= 0 {
+		return Submesh{}, false
+	}
+	if maxW > m.w {
+		maxW = m.w
+	}
+	if maxL > m.l {
+		maxL = m.l
+	}
+	return m.largestFreeHist(maxW, maxL, maxArea)
+}
+
+// largestFreeScan is the pre-histogram LargestFree: a per-anchor
+// downward-growth scan with upper-bound pruning, O(W·L·maxL) worst
+// case. It is retained verbatim as the reference implementation the
+// histogram sweep is differentially tested against (the torus
+// counterpart is torusLargestFreeScan). Caps follow LargestFree.
+func (m *Mesh) largestFreeScan(maxW, maxL, maxArea int) (Submesh, bool) {
 	if m.torus {
-		return m.torusLargestFree(maxW, maxL, maxArea)
+		return m.torusLargestFreeScan(maxW, maxL, maxArea)
 	}
 	if maxW <= 0 || maxL <= 0 || maxArea <= 0 {
 		return Submesh{}, false

@@ -71,6 +71,31 @@ func (m *Mesh) rowBoundAt(y int) int {
 	return b
 }
 
+// looseRowBound is rowBoundAt without the staleness repair: the stored
+// rowMax bounds the widest run from above even when stale, and the
+// torus widening reads only the always-exact rightRun, so the result
+// is a valid upper bound at O(1) — what filters need, never what an
+// exact answer may use.
+func (m *Mesh) looseRowBound(y int) int {
+	b := m.rowMax[y]
+	if m.torus && b > 0 && b < m.w && m.rightRun[y*m.w+m.w-1] > 0 {
+		if b += m.rightRun[y*m.w]; b > m.w {
+			b = m.w
+		}
+	}
+	return b
+}
+
+// rowBoundFits reports whether rowBoundAt(y) >= w, but consults the
+// repair-free looseRowBound first: a loose bound below w blocks the
+// row without the O(W) rescan.
+func (m *Mesh) rowBoundFits(y, w int) bool {
+	if m.looseRowBound(y) < w {
+		return false
+	}
+	return m.rowBoundAt(y) >= w
+}
+
 // wrapValid reports whether s is a well-formed sub-mesh of the torus:
 // base on the mesh, extents no larger than the rings. The end may
 // exceed the planar bounds — X2 >= W (or Y2 >= L) encodes a
@@ -191,7 +216,7 @@ func (m *Mesh) torusWindowSkip(y, w, l int) int {
 			if yy >= m.l {
 				yy -= m.l
 			}
-			if m.rowBoundAt(yy) < w {
+			if !m.rowBoundFits(yy, w) {
 				bad = yy
 				break
 			}
@@ -233,7 +258,12 @@ func (m *Mesh) torusBestFit(w, l int) (Submesh, bool) {
 	if w <= 0 || l <= 0 || w > m.w || l > m.l {
 		return Submesh{}, false
 	}
-	m.drainSAT() // torusBoundaryPressure reads the SAT per candidate
+	// torusBoundaryPressure reads the SAT per candidate; back-to-back
+	// searches with no intervening mutation skip the fold entirely,
+	// mirroring the planar BestFit.
+	if len(m.pending) > 0 {
+		m.drainSAT()
+	}
 	best := Submesh{}
 	bestScore := -1
 	for y := 0; y < m.l; y++ {
@@ -279,13 +309,14 @@ func (m *Mesh) torusBoundaryPressure(s Submesh) int {
 	return score
 }
 
-// torusLargestFree is LargestFree over the torus candidate space:
+// torusLargestFreeScan is the pre-histogram torus LargestFree, retained
+// as the reference for the differential tests (see largestFreeScan):
 // anchors are every grid position, widths come from the wrap-aware
 // runs, and heights grow through the y seam. Pruning mirrors the
-// planar search (anchor and continuation upper bounds, ideal
+// planar scan (anchor and continuation upper bounds, ideal
 // early-exit); tie-breaking — larger area, then squarer, then
 // row-major-first anchor — is identical.
-func (m *Mesh) torusLargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
+func (m *Mesh) torusLargestFreeScan(maxW, maxL, maxArea int) (Submesh, bool) {
 	if maxW <= 0 || maxL <= 0 || maxArea <= 0 {
 		return Submesh{}, false
 	}

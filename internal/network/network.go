@@ -77,6 +77,23 @@ func DefaultConfig() Config {
 	return Config{RouterDelay: 3, PacketLen: 8, BufferDepth: 1}
 }
 
+// Validate reports the first invalid parameter, or nil. New panics on
+// exactly these conditions; callers that defer construction (the
+// simulator builds the network lazily on first Send) validate up front
+// so a bad configuration fails at setup, not mid-run.
+func (c Config) Validate() error {
+	if c.PacketLen < 1 {
+		return fmt.Errorf("network: PacketLen %d, must be at least 1 flit", c.PacketLen)
+	}
+	if c.RouterDelay < 0 {
+		return fmt.Errorf("network: negative RouterDelay %g", c.RouterDelay)
+	}
+	if c.BufferDepth < 1 {
+		return fmt.Errorf("network: BufferDepth %d, must be at least 1 flit", c.BufferDepth)
+	}
+	return nil
+}
+
 // window returns the number of channels a worm spans.
 func (c Config) window() int {
 	w := (c.PacketLen + c.BufferDepth - 1) / c.BufferDepth
@@ -97,8 +114,9 @@ type Packet struct {
 	Blocked     des.Time // total header queueing time
 	Hops        int      // link hops (Manhattan distance)
 
-	path []int32 // channel ids: inject, links..., eject
-	hop  int     // next channel index to acquire
+	path    []int32 // channel ids: inject, links..., eject
+	hop     int     // next channel index to acquire
+	relNext int     // next path index the tail-drain events release
 
 	waitStart des.Time // when the header began waiting (if queued)
 
@@ -128,6 +146,13 @@ type Network struct {
 	delivered uint64
 	grants    uint64
 	releases  uint64
+
+	// Event functions bound once at construction; packets travel as
+	// event arguments, so routing a worm allocates no closures
+	// (des.ScheduleEvent).
+	requestFn des.EventFunc
+	releaseFn des.EventFunc
+	deliverFn des.EventFunc
 }
 
 // New builds the interconnect on the given engine and mesh dimensions.
@@ -135,22 +160,25 @@ func New(eng *des.Engine, w, l int, cfg Config) *Network {
 	if w <= 0 || l <= 0 {
 		panic(fmt.Sprintf("network: invalid dimensions %dx%d", w, l))
 	}
-	if cfg.PacketLen < 1 {
-		panic("network: PacketLen must be at least 1 flit")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
-	if cfg.RouterDelay < 0 {
-		panic("network: negative RouterDelay")
-	}
-	if cfg.BufferDepth < 1 {
-		panic("network: BufferDepth must be at least 1 flit")
-	}
-	return &Network{
+	n := &Network{
 		eng:      eng,
 		w:        w,
 		l:        l,
 		cfg:      cfg,
 		channels: make([]channel, w*l*int(numDirs)*numVCs),
 	}
+	n.requestFn = func(a any) { n.request(a.(*Packet)) }
+	n.releaseFn = func(a any) {
+		p := a.(*Packet)
+		id := p.path[p.relNext]
+		p.relNext++
+		n.release(id)
+	}
+	n.deliverFn = func(a any) { n.deliver(a.(*Packet)) }
+	return n
 }
 
 // W returns the mesh width.
@@ -296,24 +324,25 @@ func (n *Network) grant(p *Packet) {
 	if j < len(p.path)-1 {
 		// Cross this channel (1 cycle), then spend RouterDelay in the
 		// next router before requesting the next channel.
-		n.eng.Schedule(1+n.cfg.RouterDelay, func() { n.request(p) })
+		n.eng.ScheduleEvent(1+n.cfg.RouterDelay, n.requestFn, p)
 		return
 	}
 
 	// Header acquired the ejection channel; the tail lands PacketLen
 	// cycles later and the still-held trailing channels drain one per
-	// cycle behind it.
+	// cycle behind it. The drain events fire in path order (one cycle
+	// apart), so the packet itself carries the next index to release.
 	last := len(p.path) - 1
 	deliverAt := n.eng.Now() + des.Time(n.cfg.PacketLen)
 	lo := last - n.cfg.window() + 1
 	if lo < 0 {
 		lo = 0
 	}
+	p.relNext = lo
 	for k := lo; k <= last; k++ {
-		id := p.path[k]
-		n.eng.At(deliverAt-des.Time(last-k), func() { n.release(id) })
+		n.eng.AtEvent(deliverAt-des.Time(last-k), n.releaseFn, p)
 	}
-	n.eng.At(deliverAt, func() { n.deliver(p) })
+	n.eng.AtEvent(deliverAt, n.deliverFn, p)
 }
 
 // release frees a channel and hands it to the next queued header.

@@ -111,12 +111,33 @@ type Result struct {
 	InternalFrag float64
 }
 
-// jobState tracks one job through the pipeline.
+// jobState tracks one job through the pipeline. States are pooled on
+// the Simulator (freeJobs) and reused after completion, together with
+// their node buffer and sender slots, so the steady-state arrival →
+// allocate → complete cycle allocates nothing.
 type jobState struct {
 	job         workload.Job
 	allocation  alloc.Allocation
 	allocAt     des.Time
-	outstanding int // undelivered packets
+	outstanding int          // undelivered packets
+	nodes       []mesh.Coord // allocation's processors, buffer reused
+	senders     []*sender    // one slot per sending processor, pooled
+	next        *jobState    // pool free-list link
+}
+
+// sender is one sending processor's send-chain state: processor i of
+// job j is issuing its k-th packet towards dst. It travels through the
+// engine as an event argument and through the network as the delivery
+// callback's captured state — the closure is created once per slot and
+// reused for every packet the slot ever sends (slots are pooled on the
+// Simulator), so the per-packet path allocates nothing in sim.
+type sender struct {
+	sim       *Simulator
+	j         *jobState
+	i, k      int
+	dst       mesh.Coord // drawn at schedule time: the rng order is part of the results
+	onDeliver func(*network.Packet)
+	next      *sender // pool free-list link
 }
 
 // Simulator couples the substrates for one run. Construct with New,
@@ -125,11 +146,22 @@ type Simulator struct {
 	cfg   Config
 	eng   *des.Engine
 	mesh  *mesh.Mesh
-	net   *network.Network
+	net   *network.Network // built on first Send (see network)
 	alloc alloc.Allocator
 	queue sched.Queue[*jobState]
 	src   workload.Source
 	rng   *stats.Stream
+
+	// Event functions are bound once here and passed to ScheduleEvent
+	// with their state as the argument, so the event loop schedules
+	// without allocating closures (des package doc).
+	arriveFn   des.EventFunc
+	completeFn des.EventFunc
+	sendFn     des.EventFunc
+	pendingJob workload.Job // the one job awaiting its arrival event
+
+	freeJobs    *jobState // jobState pool
+	freeSenders *sender   // sender-slot pool
 
 	completed int
 	done      bool
@@ -166,6 +198,11 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 	if cfg.ThinkMean < 0 {
 		return nil, fmt.Errorf("sim: negative ThinkMean %v", cfg.ThinkMean)
 	}
+	// The network itself is built lazily on first Send (see network),
+	// but its configuration must fail here, at setup, not mid-run.
+	if err := cfg.Network.Validate(); err != nil {
+		return nil, err
+	}
 	al, err := alloc.ByName(cfg.Strategy, m, stats.NewStream(cfg.Seed+1))
 	if err != nil {
 		return nil, err
@@ -174,7 +211,6 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 		cfg:     cfg,
 		eng:     eng,
 		mesh:    m,
-		net:     network.New(eng, cfg.MeshW, cfg.MeshL, cfg.Network),
 		alloc:   al,
 		src:     src,
 		rng:     stats.NewStream(cfg.Seed),
@@ -192,7 +228,80 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 	default:
 		return nil, fmt.Errorf("sim: unknown scheduler %q", cfg.Scheduler)
 	}
+	s.arriveFn = func(any) { s.arrive(s.pendingJob) }
+	s.completeFn = func(a any) { s.complete(a.(*jobState)) }
+	s.sendFn = func(a any) {
+		sd := a.(*sender)
+		s.network().Send(sd.j.nodes[sd.i], sd.dst, sd.onDeliver)
+	}
 	return s, nil
+}
+
+// network returns the interconnect, building it on first use: the
+// channel state of a large mesh is tens of megabytes, and workloads
+// without communication (or runs that end before any send) never pay
+// for it. Construction is pure allocation, so deferring it changes no
+// event order and no metric.
+func (s *Simulator) network() *network.Network {
+	if s.net == nil {
+		s.net = network.New(s.eng, s.cfg.MeshW, s.cfg.MeshL, s.cfg.Network)
+	}
+	return s.net
+}
+
+// newJobState takes a job state from the pool or mints one, resetting
+// the per-job fields and keeping the reusable buffers.
+func (s *Simulator) newJobState(job workload.Job) *jobState {
+	j := s.freeJobs
+	if j == nil {
+		j = &jobState{}
+	} else {
+		s.freeJobs = j.next
+		j.next = nil
+	}
+	j.job = job
+	j.allocation = alloc.Allocation{}
+	j.allocAt = 0
+	j.outstanding = 0
+	j.nodes = j.nodes[:0]
+	j.senders = j.senders[:0]
+	return j
+}
+
+// recycleJob returns a completed job's state and sender slots to their
+// pools. Only complete calls it: by then every packet is delivered and
+// no pending event references the state.
+func (s *Simulator) recycleJob(j *jobState) {
+	for _, sd := range j.senders {
+		sd.j = nil
+		sd.next = s.freeSenders
+		s.freeSenders = sd
+	}
+	j.senders = j.senders[:0]
+	j.next = s.freeJobs
+	s.freeJobs = j
+}
+
+// newSender takes a sender slot from the pool or mints one. A minted
+// slot creates its delivery callback once; the closure reads the slot's
+// current fields, so reuse re-targets it without reallocation.
+func (s *Simulator) newSender(j *jobState, i int) *sender {
+	sd := s.freeSenders
+	if sd == nil {
+		sd = &sender{sim: s}
+		sd.onDeliver = func(p *network.Packet) {
+			sd.sim.packetDelivered(sd.j, p)
+			sd.k++
+			sd.sim.sendNext(sd)
+		}
+	} else {
+		s.freeSenders = sd.next
+		sd.next = nil
+	}
+	sd.j = j
+	sd.i = i
+	sd.k = 0
+	return sd
 }
 
 // Run executes the simulation to its stopping condition and returns the
@@ -243,7 +352,9 @@ func (s *Simulator) result() Result {
 }
 
 // scheduleNextArrival pulls the next job from the source and schedules
-// its arrival event.
+// its arrival event. At most one arrival is pending at a time (the
+// chain re-arms itself), so the job rides in pendingJob rather than a
+// per-event closure.
 func (s *Simulator) scheduleNextArrival() {
 	job, ok := s.src.Next()
 	if !ok {
@@ -255,7 +366,8 @@ func (s *Simulator) scheduleNextArrival() {
 		// relative to a warm start; clamp forward.
 		at = s.eng.Now()
 	}
-	s.eng.At(at, func() { s.arrive(job) })
+	s.pendingJob = job
+	s.eng.AtEvent(at, s.arriveFn, nil)
 }
 
 func (s *Simulator) arrive(job workload.Job) {
@@ -266,7 +378,7 @@ func (s *Simulator) arrive(job workload.Job) {
 		panic(fmt.Sprintf("sim: job %d request %dx%d does not fit %dx%d mesh",
 			job.ID, job.W, job.L, s.cfg.MeshW, s.cfg.MeshL))
 	}
-	s.queue.Push(&jobState{job: job})
+	s.queue.Push(s.newJobState(job))
 	s.queueInt.Observe(s.eng.Now(), float64(s.queue.Len()))
 	if s.cfg.MaxQueued > 0 && s.queue.Len() > s.cfg.MaxQueued {
 		s.saturated = true
@@ -351,10 +463,10 @@ func (s *Simulator) start(j *jobState, a alloc.Allocation) {
 	if senders == 0 || j.job.Messages == 0 {
 		// No communication partner: residence is the compute demand,
 		// and the per-processor node list is never needed.
-		s.eng.Schedule(j.job.Compute, func() { s.complete(j) })
+		s.eng.ScheduleEvent(j.job.Compute, s.completeFn, j)
 		return
 	}
-	nodes := a.Nodes()
+	j.nodes = a.AppendNodes(j.nodes[:0])
 	// Communication phase (paper §5, ProcSimity patterns; the paper
 	// uses all-to-all): each sending processor issues Messages
 	// packets. Sends are blocking — a processor issues its next packet
@@ -364,34 +476,33 @@ func (s *Simulator) start(j *jobState, a alloc.Allocation) {
 	// with system load (paper Figs. 11-16).
 	j.outstanding = senders * j.job.Messages
 	for i := 0; i < senders; i++ {
-		s.sendNext(j, nodes, i, 0)
+		sd := s.newSender(j, i)
+		j.senders = append(j.senders, sd)
+		s.sendNext(sd)
 	}
 }
 
-// sendNext schedules processor i's k-th packet after an optional
-// compute gap (ThinkMean) and chains the (k+1)-th onto its delivery.
-// Under the paper's all-to-all pattern the k-th destination is the
-// (k+1)-th successor on the ring of the job's processors in allocation
-// order: with Messages >= n-1 this is the full all-to-all exchange;
-// with fewer messages it is the truncated all-to-all, which rewards
-// allocations that keep consecutively allocated processors physically
-// close — precisely the contiguity property the strategies differ in.
-func (s *Simulator) sendNext(j *jobState, nodes []mesh.Coord, i, k int) {
-	if k >= j.job.Messages {
+// sendNext schedules the sender's next packet after an optional compute
+// gap (ThinkMean); the delivery callback chains the one after. Under
+// the paper's all-to-all pattern the k-th destination is the (k+1)-th
+// successor on the ring of the job's processors in allocation order:
+// with Messages >= n-1 this is the full all-to-all exchange; with fewer
+// messages it is the truncated all-to-all, which rewards allocations
+// that keep consecutively allocated processors physically close —
+// precisely the contiguity property the strategies differ in. The
+// destination and think time are drawn here, at schedule time, keeping
+// the rng consumption order of the pre-pooling event loop.
+func (s *Simulator) sendNext(sd *sender) {
+	j := sd.j
+	if sd.k >= j.job.Messages {
 		return
 	}
-	n := len(nodes)
-	dst := nodes[s.cfg.Pattern.dest(i, k, n, s.rng)]
+	sd.dst = j.nodes[s.cfg.Pattern.dest(sd.i, sd.k, len(j.nodes), s.rng)]
 	think := 0.0
 	if s.cfg.ThinkMean > 0 {
 		think = s.rng.Exp(s.cfg.ThinkMean)
 	}
-	s.eng.Schedule(think, func() {
-		s.net.Send(nodes[i], dst, func(p *network.Packet) {
-			s.packetDelivered(j, p)
-			s.sendNext(j, nodes, i, k+1)
-		})
-	})
+	s.eng.ScheduleEvent(think, s.sendFn, sd)
 }
 
 func (s *Simulator) packetDelivered(j *jobState, p *network.Packet) {
@@ -403,7 +514,7 @@ func (s *Simulator) packetDelivered(j *jobState, p *network.Packet) {
 	if j.outstanding == 0 {
 		// Communication phase done; the compute demand (zero for
 		// stochastic jobs) completes the service (DESIGN.md §3.3).
-		s.eng.Schedule(j.job.Compute, func() { s.complete(j) })
+		s.eng.ScheduleEvent(j.job.Compute, s.completeFn, j)
 	}
 }
 
@@ -426,10 +537,12 @@ func (s *Simulator) complete(j *jobState) {
 		s.wait.Add(float64(j.allocAt - j.job.Arrival))
 		s.pieces.Add(float64(j.allocation.PieceCount()))
 		if s.cfg.MaxCompleted > 0 && int(s.turnaround.N()) >= s.cfg.MaxCompleted {
+			s.recycleJob(j)
 			s.finish()
 			return
 		}
 	}
+	s.recycleJob(j)
 	s.trySchedule()
 }
 

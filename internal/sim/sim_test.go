@@ -295,6 +295,19 @@ func TestUnknownStrategyAndScheduler(t *testing.T) {
 	if _, err := Run(cfg, stochasticSrc(1, 0.01)); err == nil {
 		t.Fatal("invalid mesh accepted")
 	}
+	// The network is built lazily on first Send, but its configuration
+	// must still fail at New, not mid-run (or never, for a run that
+	// happens not to communicate).
+	cfg = quickCfg("GABL", "FCFS")
+	cfg.Network.BufferDepth = 0
+	if _, err := Run(cfg, stochasticSrc(1, 0.01)); err == nil {
+		t.Fatal("invalid network config accepted")
+	}
+	cfg = quickCfg("GABL", "FCFS")
+	cfg.Network.PacketLen = 0
+	if _, err := Run(cfg, stochasticSrc(1, 0.01)); err == nil {
+		t.Fatal("zero packet length accepted")
+	}
 }
 
 func TestTraceSourceDrainsWithoutMaxCompleted(t *testing.T) {

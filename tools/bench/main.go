@@ -1,0 +1,228 @@
+// Command bench runs the repository's end-to-end allocation benchmarks
+// and writes a BENCH_*.json snapshot, so successive PRs accumulate a
+// machine-readable performance trajectory that future changes can diff
+// against.
+//
+// Three benchmark families are measured:
+//
+//   - des/*: the discrete-event core's steady-state schedule+fire cycle
+//     (must stay allocation-free);
+//   - search/*: mesh occupancy searches on a fragmented mesh, planar
+//     and torus (must stay allocation-free once warm);
+//   - alloc/*: full simulation runs (arrival → schedule → allocate →
+//     release) on 64x64 and 256x256 meshes, both topologies, under the
+//     allocation-stress workload with zero communication.
+//
+// Usage:
+//
+//	go run ./tools/bench [-short] [-check] [-o BENCH_PR3.json]
+//
+// -short trims the job counts and case list for CI smoke runs. -check
+// exits non-zero if any des/* or search/* case reports a non-zero
+// allocs/op — the regression gate CI runs on every push. The output
+// schema is documented in README.md ("Benchmark trajectory").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Case is one benchmark measurement in the JSON snapshot.
+type Case struct {
+	Name        string  `json:"name"`          // family/mesh/topology/strategy
+	NsPerOp     int64   `json:"ns_per_op"`     // wall time per benchmark op
+	AllocsPerOp int64   `json:"allocs_per_op"` // heap allocations per op
+	BytesPerOp  int64   `json:"bytes_per_op"`  // heap bytes per op
+	Ops         int     `json:"ops"`           // iterations the harness settled on
+	Jobs        int     `json:"jobs,omitempty"` // completed jobs per op (alloc/* only)
+}
+
+// Snapshot is the BENCH_*.json document.
+type Snapshot struct {
+	Label string `json:"label"` // e.g. "PR3"
+	Go    string `json:"go"`    // toolchain the numbers were taken with
+	Short bool   `json:"short"` // true when produced by a -short smoke run
+	Cases []Case `json:"cases"`
+}
+
+func main() {
+	short := flag.Bool("short", false, "smoke mode: fewer jobs, fewer cases")
+	check := flag.Bool("check", false, "fail on alloc-count regressions in des/* and search/*")
+	out := flag.String("o", "", "write the JSON snapshot to this file (default: stdout)")
+	label := flag.String("label", "PR3", "snapshot label")
+	flag.Parse()
+
+	snap := Snapshot{Label: *label, Go: runtime.Version(), Short: *short}
+	snap.Cases = append(snap.Cases, desCases()...)
+	snap.Cases = append(snap.Cases, searchCases()...)
+	snap.Cases = append(snap.Cases, allocCases(*short)...)
+
+	for _, c := range snap.Cases {
+		fmt.Fprintf(os.Stderr, "%-40s %12d ns/op %8d allocs/op %10d B/op\n",
+			c.Name, c.NsPerOp, c.AllocsPerOp, c.BytesPerOp)
+	}
+
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(blob)
+	}
+
+	if *check {
+		bad := false
+		for _, c := range snap.Cases {
+			if (strings.HasPrefix(c.Name, "des/") || strings.HasPrefix(c.Name, "search/")) && c.AllocsPerOp != 0 {
+				fmt.Fprintf(os.Stderr, "bench: ALLOC REGRESSION: %s reports %d allocs/op, want 0\n",
+					c.Name, c.AllocsPerOp)
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "bench: alloc gate passed (des/* and search/* at 0 allocs/op)")
+	}
+}
+
+// record runs one benchmark function and captures its result.
+func record(name string, jobs int, fn func(b *testing.B)) Case {
+	r := testing.Benchmark(fn)
+	return Case{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Ops:         r.N,
+		Jobs:        jobs,
+	}
+}
+
+// desCases measures the event core's warm schedule+fire cycle.
+func desCases() []Case {
+	return []Case{record("des/event_steady_state", 0, func(b *testing.B) {
+		e := des.NewEngine()
+		fn := func(any) {}
+		for i := 0; i < 64; i++ { // warm the pool
+			e.ScheduleEvent(1, fn, nil)
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.ScheduleEvent(1, fn, nil)
+			e.Step()
+		}
+	})}
+}
+
+// fragmented scatters ~40% occupancy over a mesh, seeding the searches
+// with a realistic mixed free space.
+func fragmented(m *mesh.Mesh) *mesh.Mesh {
+	s := stats.NewStream(9)
+	free := m.FreeNodes()
+	perm := s.Perm(len(free))
+	occupy := make([]mesh.Coord, 0, len(free)*2/5)
+	for _, i := range perm[:len(free)*2/5] {
+		occupy = append(occupy, free[i])
+	}
+	if err := m.Allocate(occupy); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// searchCases measures the occupancy searches on fragmented meshes.
+func searchCases() []Case {
+	mk := func(name string, m *mesh.Mesh, maxW, maxL, maxArea int) Case {
+		m = fragmented(m)
+		m.LargestFree(maxW, maxL, maxArea) // warm the sweep scratch
+		return record(name, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.LargestFree(maxW, maxL, maxArea)
+			}
+		})
+	}
+	return []Case{
+		mk("search/largest_free/64x64/mesh", mesh.New(64, 64), 32, 32, 512),
+		mk("search/largest_free/64x64/torus", mesh.NewTorus(64, 64), 32, 32, 512),
+		mk("search/largest_free/256x256/mesh", mesh.New(256, 256), 128, 128, 4096),
+		mk("search/largest_free/256x256/torus", mesh.NewTorus(256, 256), 128, 128, 4096),
+	}
+}
+
+// allocCases measures full zero-communication simulation runs: the
+// scheduler → strategy → occupancy-index stack at production scale.
+func allocCases(short bool) []Case {
+	type cfg struct {
+		w, l     int
+		topology network.Topology
+		strategy string
+		jobs     int
+	}
+	cases := []cfg{
+		{64, 64, network.MeshTopology, "GABL", 2000},
+		{64, 64, network.MeshTopology, "FirstFit", 2000},
+		{64, 64, network.MeshTopology, "BestFit", 2000},
+		{64, 64, network.MeshTopology, "MBS", 2000},
+		{64, 64, network.TorusTopology, "GABL", 2000},
+		{256, 256, network.MeshTopology, "GABL", 800},
+		{256, 256, network.MeshTopology, "ANCA", 800},
+		{256, 256, network.TorusTopology, "GABL", 400},
+	}
+	if short {
+		cases = []cfg{
+			{64, 64, network.MeshTopology, "GABL", 300},
+			{64, 64, network.TorusTopology, "GABL", 300},
+			{256, 256, network.MeshTopology, "GABL", 150},
+		}
+	}
+	out := make([]Case, 0, len(cases))
+	for _, c := range cases {
+		name := fmt.Sprintf("alloc/%dx%d/%s/%s", c.w, c.l, c.topology, c.strategy)
+		out = append(out, record(name, c.jobs, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sc := sim.DefaultConfig()
+				sc.MeshW, sc.MeshL = c.w, c.l
+				sc.Strategy = c.strategy
+				sc.MaxCompleted = c.jobs
+				sc.WarmupJobs = c.jobs / 10
+				sc.Network.Topology = c.topology
+				src := workload.NewAllocStress(stats.NewStream(17), c.w, c.l, 0.07, 100)
+				res, err := sim.Run(sc, src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed == 0 {
+					b.Fatal("run completed no jobs")
+				}
+			}
+		}))
+	}
+	return out
+}
