@@ -130,7 +130,7 @@ func BenchmarkAblationTopology(b *testing.B) {
 			cfg.MaxCompleted = 300
 			cfg.WarmupJobs = 30
 			cfg.Network.Topology = topo
-			res, err := sim.Run(cfg, core.RealTrace.Source(cfg.MeshW, cfg.MeshL, 0.005, 42))
+			res, err := sim.Run(cfg, core.RealTrace.Source(cfg.MeshW, cfg.MeshL, cfg.MeshH, 0.005, 42))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -159,7 +159,7 @@ func BenchmarkAblationPatterns(b *testing.B) {
 			cfg.Pattern = p
 			cfg.MaxCompleted = 300
 			cfg.WarmupJobs = 30
-			res, err := sim.Run(cfg, core.StochasticUniform.Source(cfg.MeshW, cfg.MeshL, 0.002, 7))
+			res, err := sim.Run(cfg, core.StochasticUniform.Source(cfg.MeshW, cfg.MeshL, cfg.MeshH, 0.002, 7))
 			if err != nil {
 				b.Fatal(err)
 			}

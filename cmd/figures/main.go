@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/stats"
@@ -50,6 +51,7 @@ func main() {
 		plot    = flag.Bool("plot", false, "render ASCII charts alongside tables")
 		csvDir  = flag.String("csv", "", "write one CSV per experiment into this directory")
 		topo    = flag.String("topology", "", "override interconnect topology for every experiment: mesh, torus")
+		depth   = flag.Int("depth", 0, "override mesh depth for every experiment (0 keeps each experiment's own; above 1 runs 3D)")
 	)
 	flag.Parse()
 
@@ -87,6 +89,29 @@ func main() {
 		}
 		for i := range exps {
 			exps[i].Topology = t
+		}
+	}
+	if *depth < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -depth %d is invalid\n", *depth)
+		os.Exit(1)
+	}
+	if *depth > 0 {
+		for i := range exps {
+			if *depth > 1 && exps[i].Topology == network.TorusTopology {
+				fmt.Fprintf(os.Stderr, "figures: -depth %d conflicts with the torus fabric of %s (2D-only); use -topology mesh\n",
+					*depth, exps[i].ID)
+				os.Exit(1)
+			}
+			if *depth > 1 {
+				for _, c := range exps[i].Combos {
+					if !alloc.Supports3D(c.Strategy) {
+						fmt.Fprintf(os.Stderr, "figures: -depth %d conflicts with 2D-only strategy %s in %s; run a 3D-capable experiment (e.g. ablA7)\n",
+							*depth, c.Strategy, exps[i].ID)
+						os.Exit(1)
+					}
+				}
+			}
+			exps[i].MeshH = *depth
 		}
 	}
 

@@ -1,12 +1,13 @@
 // Command meshsim runs one simulation of processor allocation and job
-// scheduling on a wormhole-switched 2D mesh and prints the paper's five
-// performance metrics.
+// scheduling on a wormhole-switched mesh — 2D, torus, or 3D via -depth
+// — and prints the paper's five performance metrics.
 //
 // Examples:
 //
 //	meshsim -strategy GABL -scheduler SSD -workload uniform -load 0.002
 //	meshsim -strategy MBS -workload real -load 0.0075
 //	meshsim -strategy Paging(0) -workload trace -trace jobs.txt -load 0.01
+//	meshsim -strategy GABL -width 16 -length 16 -depth 4 -workload uniform -load 0.002
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"strings"
 
 	"repro/internal/alloc"
@@ -38,6 +40,7 @@ func main() {
 		warmup    = flag.Int("warmup", 100, "initial completions excluded from statistics")
 		meshW     = flag.Int("width", 16, "mesh width")
 		meshL     = flag.Int("length", 22, "mesh length")
+		meshH     = flag.Int("depth", 1, "mesh depth (planes); above 1 runs a 3D mesh with cuboid requests")
 		ts        = flag.Float64("ts", 3, "router delay t_s in cycles")
 		plen      = flag.Int("plen", 8, "packet length in flits")
 		buffers   = flag.Int("buffers", 1, "router buffer depth in flits")
@@ -81,7 +84,7 @@ func main() {
 	}
 
 	cfg := sim.DefaultConfig()
-	cfg.MeshW, cfg.MeshL = *meshW, *meshL
+	cfg.MeshW, cfg.MeshL, cfg.MeshH = *meshW, *meshL, *meshH
 	cfg.Strategy = *strategy
 	cfg.Scheduler = *scheduler
 	cfg.MaxCompleted = *jobs
@@ -99,6 +102,22 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.Network.Topology = top
+	// Inconsistent geometry fails fast with a pointed message instead of
+	// silently ignoring the depth axis (sim.New double-checks the same
+	// conditions for library callers).
+	switch {
+	case *meshH < 1:
+		fmt.Fprintf(os.Stderr, "meshsim: -depth %d is invalid; depth must be at least 1\n", *meshH)
+		os.Exit(1)
+	case *meshH > 1 && top == network.TorusTopology:
+		fmt.Fprintf(os.Stderr, "meshsim: -depth %d conflicts with -topology torus: the torus fabric is 2D-only; use -topology mesh or -depth 1\n", *meshH)
+		os.Exit(1)
+	case *meshH > 1 && slices.Contains(alloc.Strategies(), *strategy) && !alloc.Supports3D(*strategy):
+		// Unknown names fall through to sim.New's "unknown strategy"
+		// diagnostic; this branch is for real-but-planar strategies.
+		fmt.Fprintf(os.Stderr, "meshsim: -depth %d conflicts with -strategy %s: the strategy is 2D-only; pick a 3D-capable strategy or -depth 1\n", *meshH, *strategy)
+		os.Exit(1)
+	}
 	pat, err := sim.ParsePattern(*pattern)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
@@ -121,8 +140,12 @@ func main() {
 	fmt.Printf("strategy            %s(%s)\n", cfg.Strategy, cfg.Scheduler)
 	fmt.Printf("workload            %s, load %g jobs/cycle, pattern %s\n",
 		src.Name(), *load, cfg.Pattern)
-	fmt.Printf("network             %dx%d %s, t_s=%g, P_len=%d, buffers=%d\n",
-		cfg.MeshW, cfg.MeshL, cfg.Network.Topology, *ts, *plen, *buffers)
+	geom := fmt.Sprintf("%dx%d", cfg.MeshW, cfg.MeshL)
+	if cfg.MeshH > 1 {
+		geom = fmt.Sprintf("%dx%dx%d", cfg.MeshW, cfg.MeshL, cfg.MeshH)
+	}
+	fmt.Printf("network             %s %s, t_s=%g, P_len=%d, buffers=%d\n",
+		geom, cfg.Network.Topology, *ts, *plen, *buffers)
 	fmt.Printf("completed jobs      %d (sim time %.0f)\n", res.Completed, res.SimTime)
 	fmt.Printf("turnaround time     %.1f\n", res.MeanTurnaround)
 	fmt.Printf("service time        %.1f\n", res.MeanService)
@@ -139,11 +162,11 @@ func main() {
 func buildSource(kind, traceFile string, cfg sim.Config, load, numMes float64, seed int64) (workload.Source, error) {
 	switch kind {
 	case "uniform":
-		return core.StochasticUniform.Source(cfg.MeshW, cfg.MeshL, load, seed), nil
+		return core.StochasticUniform.Source(cfg.MeshW, cfg.MeshL, cfg.MeshH, load, seed), nil
 	case "exp":
-		return core.StochasticExp.Source(cfg.MeshW, cfg.MeshL, load, seed), nil
+		return core.StochasticExp.Source(cfg.MeshW, cfg.MeshL, cfg.MeshH, load, seed), nil
 	case "real":
-		return core.RealTrace.Source(cfg.MeshW, cfg.MeshL, load, seed), nil
+		return core.RealTrace.Source(cfg.MeshW, cfg.MeshL, cfg.MeshH, load, seed), nil
 	case "trace":
 		if traceFile == "" {
 			return nil, fmt.Errorf("-workload trace requires -trace FILE")
@@ -156,6 +179,16 @@ func buildSource(kind, traceFile string, cfg sim.Config, load, numMes float64, s
 		jobs, err := workload.ReadTrace(f, cfg.MeshW, cfg.MeshL, numMes, stats.NewStream(seed))
 		if err != nil {
 			return nil, err
+		}
+		depth := cfg.MeshH
+		if depth < 1 {
+			depth = 1
+		}
+		for _, j := range jobs {
+			if j.Depth() > depth {
+				return nil, fmt.Errorf("trace job %d requests depth %d but the mesh has %d plane(s); raise -depth or regenerate the trace",
+					j.ID, j.Depth(), depth)
+			}
 		}
 		f2 := (1 / load) / workload.MeanInterarrival(jobs)
 		return workload.NewSliceSource(traceFile, workload.ScaleArrivals(jobs, f2)), nil

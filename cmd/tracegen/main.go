@@ -1,11 +1,14 @@
 // Command tracegen emits a synthetic SDSC Paragon workload trace in the
 // native "arrival procs runtime" format (see DESIGN.md §3.1 for the
-// statistical model and the substitution rationale). The output feeds
-// meshsim -workload trace or any external tool.
+// statistical model and the substitution rationale). With -depth above
+// 1 each job's processors are redistributed into a cuboid request and
+// the four-field "arrival procs runtime depth" form is written. The
+// output feeds meshsim -workload trace or any external tool.
 //
-// Example:
+// Examples:
 //
 //	tracegen -jobs 10658 -seed 42 -out paragon.trace
+//	tracegen -jobs 2000 -width 16 -length 16 -depth 4 -out cuboid.trace
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -23,15 +27,21 @@ func main() {
 		seed  = flag.Int64("seed", 42, "generator seed")
 		meshW = flag.Int("width", 16, "mesh width (caps job sizes)")
 		meshL = flag.Int("length", 22, "mesh length")
+		meshH = flag.Int("depth", 1, "mesh depth; above 1 reshapes jobs into cuboids and emits the depth column")
 		meanI = flag.Float64("interarrival", 1186.7, "mean inter-arrival time, seconds")
 	)
 	flag.Parse()
 
+	if *meshH < 1 {
+		fmt.Fprintf(os.Stderr, "tracegen: -depth %d is invalid; depth must be at least 1\n", *meshH)
+		os.Exit(1)
+	}
 	spec := workload.DefaultParagon()
 	spec.Jobs = *jobs
 	spec.MeshW, spec.MeshL = *meshW, *meshL
 	spec.MeanInterarrival = *meanI
 	trace := workload.SyntheticParagon(spec, *seed)
+	trace = workload.DeepenTrace(trace, *meshW, *meshL, *meshH, stats.NewStream(*seed+1))
 
 	w := os.Stdout
 	if *out != "-" {

@@ -28,7 +28,7 @@ func main() {
 		cfg.Scheduler = scheduler
 		cfg.MaxCompleted = 800
 		cfg.WarmupJobs = 80
-		src := core.RealTrace.Source(cfg.MeshW, cfg.MeshL, load, 42)
+		src := core.RealTrace.Source(cfg.MeshW, cfg.MeshL, cfg.MeshH, load, 42)
 		res, err := sim.Run(cfg, src)
 		if err != nil {
 			log.Fatal(err)

@@ -41,7 +41,7 @@ func main() {
 			cfg.MaxCompleted = 600
 			cfg.WarmupJobs = 60
 			cfg.Network.Topology = topo
-			src := core.RealTrace.Source(cfg.MeshW, cfg.MeshL, load, 42)
+			src := core.RealTrace.Source(cfg.MeshW, cfg.MeshL, cfg.MeshH, load, 42)
 			res, err := sim.Run(cfg, src)
 			if err != nil {
 				log.Fatal(err)

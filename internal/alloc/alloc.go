@@ -15,21 +15,38 @@ import (
 	"repro/internal/mesh"
 )
 
-// Request is one job's allocation request: a sub-mesh of W x L
-// processors (paper Definition 4 asks for S(a, b); non-contiguous
-// strategies consume Size() = W*L processors in whatever shape).
+// Request is one job's allocation request: a sub-mesh of W x L x H
+// processors (paper Definition 4 asks for S(a, b); the depth axis
+// generalizes it to cuboids on 3D meshes, and non-contiguous
+// strategies consume Size() processors in whatever shape). H <= 0
+// means an unspecified depth and is treated as 1, so every 2D call
+// site reads unchanged.
 type Request struct {
-	W, L int
+	W, L, H int
+}
+
+// Depth returns the requested depth, treating the zero value as 1.
+func (r Request) Depth() int {
+	if r.H < 1 {
+		return 1
+	}
+	return r.H
 }
 
 // Size returns the number of processors requested.
-func (r Request) Size() int { return r.W * r.L }
+func (r Request) Size() int { return r.W * r.L * r.Depth() }
 
-// Valid reports whether both sides are positive.
+// Valid reports whether both planar sides are positive (the depth
+// defaults rather than invalidates).
 func (r Request) Valid() bool { return r.W > 0 && r.L > 0 }
 
-// String renders the request as "WxL".
-func (r Request) String() string { return fmt.Sprintf("%dx%d", r.W, r.L) }
+// String renders the request as "WxL", or "WxLxH" when a depth is set.
+func (r Request) String() string {
+	if r.Depth() == 1 {
+		return fmt.Sprintf("%dx%d", r.W, r.L)
+	}
+	return fmt.Sprintf("%dx%dx%d", r.W, r.L, r.H)
+}
 
 // Allocation is the set of disjoint sub-meshes granted to one job.
 type Allocation struct {
@@ -69,14 +86,17 @@ func (a Allocation) Nodes() []mesh.Coord {
 }
 
 // AppendNodes appends every allocated processor to dst in the same
-// order as Nodes and returns the extended slice. Callers on hot paths
-// (the simulator keeps one buffer per pooled job) reuse dst to avoid a
-// per-allocation node materialization.
+// order as Nodes (plane by plane, row-major within each piece) and
+// returns the extended slice. Callers on hot paths (the simulator
+// keeps one buffer per pooled job) reuse dst to avoid a per-allocation
+// node materialization.
 func (a Allocation) AppendNodes(dst []mesh.Coord) []mesh.Coord {
 	for _, p := range a.Pieces {
-		for y := p.Y1; y <= p.Y2; y++ {
-			for x := p.X1; x <= p.X2; x++ {
-				dst = append(dst, mesh.Coord{X: x, Y: y})
+		for z := p.Z1; z <= p.Z2; z++ {
+			for y := p.Y1; y <= p.Y2; y++ {
+				for x := p.X1; x <= p.X2; x++ {
+					dst = append(dst, mesh.Coord{X: x, Y: y, Z: z})
+				}
 			}
 		}
 	}
@@ -112,6 +132,9 @@ func validate(m *mesh.Mesh, req Request) {
 	}
 	if req.Size() > m.Size() {
 		panic(fmt.Sprintf("alloc: request %v exceeds mesh capacity %d", req, m.Size()))
+	}
+	if req.Depth() > m.H() {
+		panic(fmt.Sprintf("alloc: request %v deeper than %d-plane mesh", req, m.H()))
 	}
 }
 

@@ -49,11 +49,12 @@ func (a *ANCA) Allocate(req Request) (Allocation, bool) {
 		frames = next
 	}
 	// Single-processor fallback: take free processors in row-major
-	// order (the level where every frame is 1x1), streamed off the
-	// occupancy index without materializing the whole free list.
+	// order (the level where every frame is a single processor),
+	// streamed off the occupancy index without materializing the whole
+	// free list.
 	pieces := make([]mesh.Submesh, 0, req.Size())
 	for c := range a.m.FreeSeq() {
-		pieces = append(pieces, mesh.SubAt(c.X, c.Y, 1, 1))
+		pieces = append(pieces, mesh.SubAt3D(c.X, c.Y, c.Z, 1, 1, 1))
 		if len(pieces) == req.Size() {
 			break
 		}
@@ -67,9 +68,9 @@ func (a *ANCA) Allocate(req Request) (Allocation, bool) {
 func (a *ANCA) tryLevel(frames []Request) ([]mesh.Submesh, bool) {
 	var placed []mesh.Submesh
 	for _, f := range frames {
-		s, ok := a.m.FirstFit(f.W, f.L)
+		s, ok := a.m.FirstFit3D(f.W, f.L, f.Depth())
 		if !ok && f.W != f.L {
-			s, ok = a.m.FirstFit(f.L, f.W)
+			s, ok = a.m.FirstFit3D(f.L, f.W, f.Depth())
 		}
 		if !ok {
 			for _, p := range placed {
@@ -89,28 +90,38 @@ func (a *ANCA) tryLevel(frames []Request) ([]mesh.Submesh, bool) {
 	return placed, true
 }
 
-// splitFrames halves each frame along its longer side; frames of one
-// processor cannot split. It reports whether any frame was split.
+// splitFrames halves each frame along its longest side (depth splits
+// only when it strictly exceeds both planar sides, so 2D behaviour is
+// untouched); single-processor frames cannot split. It reports whether
+// any frame was split.
 func splitFrames(frames []Request) ([]Request, bool) {
 	out := make([]Request, 0, 2*len(frames))
 	split := false
 	for _, f := range frames {
-		if f.W == 1 && f.L == 1 {
+		d := f.Depth()
+		if f.W == 1 && f.L == 1 && d == 1 {
 			out = append(out, f)
 			continue
 		}
 		split = true
-		if f.W >= f.L {
-			h := (f.W + 1) / 2
-			out = append(out, Request{W: h, L: f.L})
-			if f.W-h > 0 {
-				out = append(out, Request{W: f.W - h, L: f.L})
+		switch {
+		case d > f.W && d > f.L:
+			h := (d + 1) / 2
+			out = append(out, Request{W: f.W, L: f.L, H: h})
+			if d-h > 0 {
+				out = append(out, Request{W: f.W, L: f.L, H: d - h})
 			}
-		} else {
+		case f.W >= f.L:
+			h := (f.W + 1) / 2
+			out = append(out, Request{W: h, L: f.L, H: d})
+			if f.W-h > 0 {
+				out = append(out, Request{W: f.W - h, L: f.L, H: d})
+			}
+		default:
 			h := (f.L + 1) / 2
-			out = append(out, Request{W: f.W, L: h})
+			out = append(out, Request{W: f.W, L: h, H: d})
 			if f.L-h > 0 {
-				out = append(out, Request{W: f.W, L: f.L - h})
+				out = append(out, Request{W: f.W, L: f.L - h, H: d})
 			}
 		}
 	}

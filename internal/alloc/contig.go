@@ -45,23 +45,27 @@ func (c *Contiguous) Name() string {
 // Mesh implements Allocator.
 func (c *Contiguous) Mesh() *mesh.Mesh { return c.m }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. Requests may carry a depth (cuboids
+// on a 3D mesh); rotation transposes the planar sides only — the depth
+// axis is never rotated, mirroring systems where the vertical
+// dimension is physically distinct.
 func (c *Contiguous) Allocate(req Request) (Allocation, bool) {
 	validate(c.m, req)
 	if req.Size() > c.m.FreeCount() {
-		// No w x l sub-mesh can exist with fewer free processors than
-		// the request; skip the search (its answer is already known).
+		// No sub-mesh can exist with fewer free processors than the
+		// request; skip the search (its answer is already known).
 		return Allocation{}, false
 	}
-	search := c.m.FirstFit
+	search := c.m.FirstFit3D
 	if c.bestFit {
-		search = c.m.BestFit
+		search = c.m.BestFit3D
 	}
-	if s, ok := search(req.W, req.L); ok {
+	h := req.Depth()
+	if s, ok := search(req.W, req.L, h); ok {
 		return commitWhole(c.m, s), true
 	}
 	if c.rotate && req.W != req.L {
-		if s, ok := search(req.L, req.W); ok {
+		if s, ok := search(req.L, req.W, h); ok {
 			return commitWhole(c.m, s), true
 		}
 	}
@@ -106,7 +110,7 @@ func (r *Random) Allocate(req Request) (Allocation, bool) {
 	pieces := make([]mesh.Submesh, 0, p)
 	for _, i := range perm[:p] {
 		c := free[i]
-		pieces = append(pieces, mesh.SubAt(c.X, c.Y, 1, 1))
+		pieces = append(pieces, mesh.SubAt3D(c.X, c.Y, c.Z, 1, 1, 1))
 	}
 	return commit(r.m, pieces), true
 }
@@ -115,9 +119,13 @@ func (r *Random) Allocate(req Request) (Allocation, bool) {
 func (r *Random) Release(a Allocation) { release(r.m, a) }
 
 // strategyEntry pairs a registered strategy name with its factory; rng
-// reaches only the strategies that draw randomness.
+// reaches only the strategies that draw randomness. flat means the
+// strategy's allocation structure is inherently two-dimensional (MBS's
+// buddy quartets), so it refuses meshes with more than one plane
+// instead of silently allocating from plane 0 only.
 type strategyEntry struct {
 	name  string
+	flat  bool
 	build func(m *mesh.Mesh, rng *stats.Stream) (Allocator, error)
 }
 
@@ -126,20 +134,25 @@ type strategyEntry struct {
 // text from this list, so the documented names cannot drift from the
 // accepted ones.
 var registry = []strategyEntry{
-	{"GABL", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewGABL(m), nil }},
-	{"GABL(no-rotate)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewGABLNoRotate(m), nil }},
-	{"MBS", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewMBS(m), nil }},
-	{"Paging(0)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 0, RowMajor) }},
-	{"Paging(0,snake)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 0, SnakeLike) }},
-	{"Paging(0,shuffled)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 0, ShuffledRowMajor) }},
-	{"Paging(0,shuffled-snake)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 0, ShuffledSnakeLike) }},
-	{"Paging(1)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 1, RowMajor) }},
-	{"Paging(2)", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 2, RowMajor) }},
-	{"FirstFit", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewFirstFit(m, true), nil }},
-	{"BestFit", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewBestFit(m, true), nil }},
-	{"ANCA", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewANCA(m), nil }},
-	{"FrameSliding", func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewFrameSliding(m, true), nil }},
-	{"Random", func(m *mesh.Mesh, rng *stats.Stream) (Allocator, error) {
+	{name: "GABL", build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewGABL(m), nil }},
+	{name: "GABL(no-rotate)", build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewGABLNoRotate(m), nil }},
+	{name: "MBS", flat: true, build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) {
+		if m.H() > 1 {
+			return nil, fmt.Errorf("alloc: MBS is 2D-only (buddy quartets do not stack); mesh has %d planes", m.H())
+		}
+		return NewMBS(m), nil
+	}},
+	{name: "Paging(0)", build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 0, RowMajor) }},
+	{name: "Paging(0,snake)", build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 0, SnakeLike) }},
+	{name: "Paging(0,shuffled)", build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 0, ShuffledRowMajor) }},
+	{name: "Paging(0,shuffled-snake)", build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 0, ShuffledSnakeLike) }},
+	{name: "Paging(1)", build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 1, RowMajor) }},
+	{name: "Paging(2)", build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewPaging(m, 2, RowMajor) }},
+	{name: "FirstFit", build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewFirstFit(m, true), nil }},
+	{name: "BestFit", build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewBestFit(m, true), nil }},
+	{name: "ANCA", build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewANCA(m), nil }},
+	{name: "FrameSliding", build: func(m *mesh.Mesh, _ *stats.Stream) (Allocator, error) { return NewFrameSliding(m, true), nil }},
+	{name: "Random", build: func(m *mesh.Mesh, rng *stats.Stream) (Allocator, error) {
 		if rng == nil {
 			rng = stats.NewStream(1)
 		}
@@ -155,6 +168,20 @@ func Strategies() []string {
 		out[i] = e.name
 	}
 	return out
+}
+
+// Supports3D reports whether the named strategy can allocate on a mesh
+// with more than one plane. It is false for unknown names (ByName
+// reports those) and for the inherently planar strategies, so callers
+// can fail fast on a depth > 1 geometry instead of discovering the
+// mismatch mid-run.
+func Supports3D(name string) bool {
+	for _, e := range registry {
+		if e.name == name {
+			return !e.flat
+		}
+	}
+	return false
 }
 
 // ByName constructs the named strategy on m; rng is used only by

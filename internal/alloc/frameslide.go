@@ -38,35 +38,40 @@ func (f *FrameSliding) Allocate(req Request) (Allocation, bool) {
 	if req.Size() > f.m.FreeCount() {
 		return Allocation{}, false
 	}
-	if s, ok := f.slide(req.W, req.L); ok {
+	h := req.Depth()
+	if s, ok := f.slide(req.W, req.L, h); ok {
 		return commitWhole(f.m, s), true
 	}
 	if f.rotate && req.W != req.L {
-		if s, ok := f.slide(req.L, req.W); ok {
+		if s, ok := f.slide(req.L, req.W, h); ok {
 			return commitWhole(f.m, s), true
 		}
 	}
 	return Allocation{}, false
 }
 
-// slide scans candidate bases with strides (w, l) from origin (0,0).
+// slide scans candidate bases with strides (w, l, h) from the origin.
 // Each probe is a single O(1) summed-area query on the mesh index, so
-// a full slide costs O((W/w)·(L/l)) regardless of frame size. On a
-// torus the stride pattern keeps going past the edges: the last frame
-// of a row or column wraps around the seam instead of being dropped.
-func (f *FrameSliding) slide(w, l int) (mesh.Submesh, bool) {
-	if w <= 0 || l <= 0 || w > f.m.W() || l > f.m.L() {
+// a full slide costs O((W/w)·(L/l)·(H/h)) regardless of frame size. On
+// a torus the stride pattern keeps going past the edges: the last
+// frame of a row or column wraps around the seam instead of being
+// dropped (the torus fabric is depth-1, so the z stride degenerates).
+func (f *FrameSliding) slide(w, l, h int) (mesh.Submesh, bool) {
+	if w <= 0 || l <= 0 || h <= 0 || w > f.m.W() || l > f.m.L() || h > f.m.H() {
 		return mesh.Submesh{}, false
 	}
 	ymax, xmax := f.m.L()-l, f.m.W()-w
 	if f.m.Torus() {
 		ymax, xmax = f.m.L()-1, f.m.W()-1
 	}
-	for y := 0; y <= ymax; y += l {
-		for x := 0; x <= xmax; x += w {
-			s := mesh.SubAt(x, y, w, l)
-			if f.m.SubFree(s) {
-				return s, true
+	zmax := f.m.H() - h
+	for z := 0; z <= zmax; z += h {
+		for y := 0; y <= ymax; y += l {
+			for x := 0; x <= xmax; x += w {
+				s := mesh.SubAt3D(x, y, z, w, l, h)
+				if f.m.SubFree(s) {
+					return s, true
+				}
 			}
 		}
 	}

@@ -62,13 +62,15 @@ func (g *GABL) Allocate(req Request) (Allocation, bool) {
 		return Allocation{}, false
 	}
 
-	// Step 1: whole-request contiguous allocation.
-	if s, ok := g.m.FirstFit(req.W, req.L); ok {
+	// Step 1: whole-request contiguous allocation. Requests carry a
+	// depth on 3D meshes; rotation transposes the planar sides only.
+	h := req.Depth()
+	if s, ok := g.m.FirstFit3D(req.W, req.L, h); ok {
 		g.busyLen++
 		return commitWhole(g.m, s), true
 	}
 	if g.rotate && req.W != req.L {
-		if s, ok := g.m.FirstFit(req.L, req.W); ok {
+		if s, ok := g.m.FirstFit3D(req.L, req.W, h); ok {
 			g.busyLen++
 			return commitWhole(g.m, s), true
 		}
@@ -76,18 +78,19 @@ func (g *GABL) Allocate(req Request) (Allocation, bool) {
 
 	// Step 2: greedy carving. Piece sides are capped by the previous
 	// piece (initially the request's own sides, per the paper: the
-	// first piece must fit inside S(a, b)); areas by what is owed. On a
-	// torus a carved piece may cross a wrap-around seam: it is one
-	// logical piece (one entry on the busy list, one cap update)
-	// committed as its planar SplitWrap parts.
-	capW, capL := req.W, req.L
+	// first piece must fit inside S(a, b), extended with the depth
+	// cap); volumes by what is owed. On a torus a carved piece may
+	// cross a wrap-around seam: it is one logical piece (one entry on
+	// the busy list, one cap update) committed as its planar SplitWrap
+	// parts.
+	capW, capL, capH := req.W, req.L, h
 	remaining := p
 	var pieces []mesh.Submesh
 	logical := 0
 	for remaining > 0 {
-		s, ok := g.m.LargestFree(capW, capL, remaining)
+		s, ok := g.m.LargestFree3D(capW, capL, capH, remaining)
 		if !ok {
-			// Cannot happen with remaining <= free processors: a 1x1
+			// Cannot happen with remaining <= free processors: a 1x1x1
 			// free sub-mesh always qualifies.
 			panic("alloc: gabl found no piece despite free processors")
 		}
@@ -99,7 +102,7 @@ func (g *GABL) Allocate(req Request) (Allocation, bool) {
 		}
 		logical++
 		remaining -= s.Area()
-		capW, capL = s.W(), s.L()
+		capW, capL, capH = s.W(), s.L(), s.H()
 	}
 	g.busyLen += logical
 	return Allocation{Pieces: pieces, Logical: logical}, true

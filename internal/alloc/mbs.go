@@ -46,8 +46,14 @@ func (b block) sub() mesh.Submesh {
 }
 
 // NewMBS builds an MBS allocator, carving the mesh into aligned
-// power-of-two square roots (largest first).
+// power-of-two square roots (largest first). MBS is inherently
+// two-dimensional — buddy quartets do not stack into planes — so it
+// refuses meshes with depth > 1 rather than silently allocating from
+// plane 0 only (alloc.Supports3D lets callers fail fast instead).
 func NewMBS(m *mesh.Mesh) *MBS {
+	if m.H() > 1 {
+		panic(fmt.Sprintf("alloc: MBS is 2D-only, mesh has %d planes", m.H()))
+	}
 	a := &MBS{m: m}
 	a.carve(0, 0, m.W(), m.L())
 	for _, r := range a.roots {

@@ -43,18 +43,23 @@ func (ix Indexing) String() string {
 // Paging is topology-independent: pages are axis-aligned tiles that
 // never cross a torus wrap-around seam, so the strategy behaves
 // identically on both fabrics (only the routing underneath changes).
+// On a 3D mesh the pages stay planar (side x side x 1 tiles) and the
+// visit order walks the planes in ascending z, each in the configured
+// 2D indexing — a depth-1 mesh is byte-identical to the 2D strategy.
 type Paging struct {
 	m         *mesh.Mesh
 	side      int   // page side length, 2^size_index
 	pagesX    int   // pages per row
 	pagesY    int   // pages per column
+	pagesZ    int   // page planes (the mesh depth; pages are planar)
 	order     []int // page visit order (indices into page grid)
 	sizeIndex int
 	indexing  Indexing
 }
 
 // NewPaging builds a Paging(sizeIndex) allocator with the given page
-// indexing scheme. The mesh sides must be divisible by the page side.
+// indexing scheme. The planar mesh sides must be divisible by the page
+// side.
 func NewPaging(m *mesh.Mesh, sizeIndex int, indexing Indexing) (*Paging, error) {
 	if sizeIndex < 0 || sizeIndex > 10 {
 		return nil, fmt.Errorf("alloc: size_index %d out of range", sizeIndex)
@@ -69,10 +74,17 @@ func NewPaging(m *mesh.Mesh, sizeIndex int, indexing Indexing) (*Paging, error) 
 		side:      side,
 		pagesX:    m.W() / side,
 		pagesY:    m.L() / side,
+		pagesZ:    m.H(),
 		sizeIndex: sizeIndex,
 		indexing:  indexing,
 	}
-	p.order = buildOrder(p.pagesX, p.pagesY, indexing)
+	plane := buildOrder(p.pagesX, p.pagesY, indexing)
+	p.order = make([]int, 0, len(plane)*p.pagesZ)
+	for z := 0; z < p.pagesZ; z++ {
+		for _, gi := range plane {
+			p.order = append(p.order, z*p.pagesX*p.pagesY+gi)
+		}
+	}
 	return p, nil
 }
 
@@ -150,7 +162,7 @@ func (p *Paging) Indexing() Indexing { return p.indexing }
 // occupancy (one O(1) rectangle query per page).
 func (p *Paging) FreePages() int {
 	n := 0
-	for gi := 0; gi < p.pagesX*p.pagesY; gi++ {
+	for gi := 0; gi < p.pagesX*p.pagesY*p.pagesZ; gi++ {
 		if p.m.SubFree(p.pageSub(gi)) {
 			n++
 		}
@@ -160,8 +172,10 @@ func (p *Paging) FreePages() int {
 
 // pageSub returns the sub-mesh covered by page grid index gi.
 func (p *Paging) pageSub(gi int) mesh.Submesh {
-	px, py := gi%p.pagesX, gi/p.pagesX
-	return mesh.SubAt(px*p.side, py*p.side, p.side, p.side)
+	perPlane := p.pagesX * p.pagesY
+	pz, rem := gi/perPlane, gi%perPlane
+	px, py := rem%p.pagesX, rem/p.pagesX
+	return mesh.SubAt3D(px*p.side, py*p.side, pz, p.side, p.side, 1)
 }
 
 // Allocate implements Allocator: take the first ceil(p/pageArea) free
@@ -177,7 +191,9 @@ func (p *Paging) Allocate(req Request) (Allocation, bool) {
 	for _, gi := range p.order {
 		if p.side == 1 {
 			// Single-processor pages: one busy-map read per page.
-			if p.m.Busy(mesh.Coord{X: gi % p.pagesX, Y: gi / p.pagesX}) {
+			perPlane := p.pagesX * p.pagesY
+			rem := gi % perPlane
+			if p.m.Busy(mesh.Coord{X: rem % p.pagesX, Y: rem / p.pagesX, Z: gi / perPlane}) {
 				continue
 			}
 		} else if !p.m.SubFree(p.pageSub(gi)) {
@@ -199,7 +215,7 @@ func (p *Paging) Allocate(req Request) (Allocation, bool) {
 // Release implements Allocator.
 func (p *Paging) Release(a Allocation) {
 	for _, piece := range a.Pieces {
-		if piece.W() != p.side || piece.L() != p.side ||
+		if piece.W() != p.side || piece.L() != p.side || piece.H() != 1 ||
 			piece.X1%p.side != 0 || piece.Y1%p.side != 0 {
 			panic(fmt.Sprintf("alloc: paging release of non-page piece %v", piece))
 		}

@@ -135,7 +135,7 @@ func TestPagingAndMBSUnchangedOnTorus(t *testing.T) {
 			t.Fatal(err)
 		}
 		var liveT, liveP []Allocation
-		for _, req := range []Request{{3, 3}, {2, 5}, {4, 4}, {1, 1}} {
+		for _, req := range []Request{{3, 3, 0}, {2, 5, 0}, {4, 4, 0}, {1, 1, 0}} {
 			rt, okT := at.Allocate(req)
 			rp, okP := ap.Allocate(req)
 			if okT != okP {

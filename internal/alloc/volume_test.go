@@ -1,0 +1,226 @@
+package alloc
+
+// 3D allocation tests: every ported strategy must carve/commit cuboids
+// on a multi-plane mesh, the planar-only MBS must refuse one, and the
+// h = 1 request path must stay bit-identical to the 2D strategies.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+func TestRequestDepthDefaults(t *testing.T) {
+	r := Request{W: 3, L: 4}
+	if r.Depth() != 1 || r.Size() != 12 || r.String() != "3x4" {
+		t.Fatalf("2D request: depth %d size %d %q", r.Depth(), r.Size(), r)
+	}
+	r3 := Request{W: 3, L: 4, H: 2}
+	if r3.Depth() != 2 || r3.Size() != 24 || r3.String() != "3x4x2" {
+		t.Fatalf("3D request: depth %d size %d %q", r3.Depth(), r3.Size(), r3)
+	}
+}
+
+func TestContiguousAllocates3D(t *testing.T) {
+	m := mesh.New3D(6, 6, 4)
+	ff := NewFirstFit(m, true)
+	a, ok := ff.Allocate(Request{W: 3, L: 2, H: 2})
+	if !ok {
+		t.Fatal("FirstFit failed on an empty 3D mesh")
+	}
+	if !a.Contiguous() || a.Size() != 12 {
+		t.Fatalf("allocation pieces %v size %d, want one 12-processor cuboid", a.Pieces, a.Size())
+	}
+	p := a.Pieces[0]
+	if p.W() != 3 || p.L() != 2 || p.H() != 2 {
+		t.Fatalf("piece %v, want 3x2x2", p)
+	}
+	ff.Release(a)
+	if m.FreeCount() != m.Size() {
+		t.Fatal("release did not restore the mesh")
+	}
+}
+
+func TestGABLCarvesCuboids(t *testing.T) {
+	m := mesh.New3D(4, 4, 4)
+	g := NewGABL(m)
+	// Poke one processor out of planes 1 and 3: every pair of adjacent
+	// planes then contains a busy cell, so no 4x4x2 cuboid exists
+	// contiguously and the 32-processor request must carve.
+	if err := m.AllocateSub(mesh.Sub3D(1, 1, 1, 1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocateSub(mesh.Sub3D(2, 2, 3, 2, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := g.Allocate(Request{W: 4, L: 4, H: 2})
+	if !ok {
+		t.Fatal("GABL failed with sufficient free processors")
+	}
+	if a.Size() != 32 {
+		t.Fatalf("allocated %d processors, want 32", a.Size())
+	}
+	if a.PieceCount() < 2 {
+		t.Fatalf("expected a carved multi-piece allocation, got %d piece(s)", a.PieceCount())
+	}
+	// Caps: no piece may exceed the request sides.
+	for _, p := range a.Pieces {
+		if p.W() > 4 || p.L() > 4 || p.H() > 2 {
+			t.Fatalf("piece %v exceeds the request caps", p)
+		}
+	}
+	g.Release(a)
+}
+
+func TestANCASplitsDepth(t *testing.T) {
+	frames, split := splitFrames([]Request{{W: 2, L: 2, H: 8}})
+	if !split || len(frames) != 2 {
+		t.Fatalf("splitFrames = %v, split=%v", frames, split)
+	}
+	for _, f := range frames {
+		if f.H != 4 || f.W != 2 || f.L != 2 {
+			t.Fatalf("depth-dominant frame split into %v, want 2x2x4 halves", f)
+		}
+	}
+	// 2D frames must split exactly as before (width first on ties).
+	frames, _ = splitFrames([]Request{{W: 4, L: 4}})
+	if len(frames) != 2 || frames[0].W != 2 || frames[0].L != 4 || frames[0].Depth() != 1 {
+		t.Fatalf("2D split changed: %v", frames)
+	}
+}
+
+func TestANCAAllocates3D(t *testing.T) {
+	m := mesh.New3D(4, 4, 3)
+	a := NewANCA(m)
+	al, ok := a.Allocate(Request{W: 3, L: 3, H: 2})
+	if !ok || al.Size() != 18 {
+		t.Fatalf("ANCA 3D allocation = %v,%v", al, ok)
+	}
+	a.Release(al)
+	if m.FreeCount() != m.Size() {
+		t.Fatal("release did not restore the mesh")
+	}
+}
+
+func TestFrameSlidingStridesDepth(t *testing.T) {
+	m := mesh.New3D(4, 4, 4)
+	f := NewFrameSliding(m, false)
+	// Fill the frame at the origin; the slide must land on the z = 2
+	// stride, not scan intermediate planes.
+	if err := m.AllocateSub(mesh.Sub3D(0, 0, 0, 3, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := f.Allocate(Request{W: 4, L: 4, H: 2})
+	if !ok {
+		t.Fatal("FrameSliding found no frame")
+	}
+	if a.Pieces[0].Z1 != 2 {
+		t.Fatalf("frame base %v, want the z=2 stride", a.Pieces[0])
+	}
+	f.Release(a)
+}
+
+func TestPagingPagesStayPlanar(t *testing.T) {
+	m := mesh.New3D(4, 4, 2)
+	p, err := NewPaging(m, 1, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.FreePages(); got != 8 {
+		t.Fatalf("FreePages = %d, want 8 (4 per plane)", got)
+	}
+	a, ok := p.Allocate(Request{W: 4, L: 4, H: 2})
+	if !ok || a.Size() != 32 {
+		t.Fatalf("paging 3D allocation = %v,%v", a, ok)
+	}
+	for _, piece := range a.Pieces {
+		if piece.H() != 1 || piece.W() != 2 || piece.L() != 2 {
+			t.Fatalf("page %v is not a planar 2x2 tile", piece)
+		}
+	}
+	// Pages fill plane 0 before plane 1 (planes-outer order).
+	if a.Pieces[0].Z1 != 0 || a.Pieces[len(a.Pieces)-1].Z1 != 1 {
+		t.Fatalf("page order does not walk planes ascending: %v", a.Pieces)
+	}
+	p.Release(a)
+}
+
+func TestMBSRefusesDepth(t *testing.T) {
+	if Supports3D("MBS") {
+		t.Fatal("MBS must not advertise 3D support")
+	}
+	for _, name := range []string{"GABL", "FirstFit", "BestFit", "ANCA", "FrameSliding", "Paging(0)", "Random"} {
+		if !Supports3D(name) {
+			t.Fatalf("%s must advertise 3D support", name)
+		}
+	}
+	if Supports3D("no-such-strategy") {
+		t.Fatal("unknown strategies must not advertise 3D support")
+	}
+	if _, err := ByName("MBS", mesh.New3D(4, 4, 2), nil); err == nil ||
+		!strings.Contains(err.Error(), "2D-only") {
+		t.Fatalf("ByName(MBS, 3D mesh) = %v, want a 2D-only error", err)
+	}
+	if _, err := ByName("MBS", mesh.New(4, 4), nil); err != nil {
+		t.Fatalf("ByName(MBS, 2D mesh) failed: %v", err)
+	}
+}
+
+func TestRandomScatters3D(t *testing.T) {
+	m := mesh.New3D(3, 3, 3)
+	r := NewRandom(m, stats.NewStream(5))
+	a, ok := r.Allocate(Request{W: 3, L: 3, H: 2})
+	if !ok || a.Size() != 18 {
+		t.Fatalf("random 3D allocation = %v,%v", a, ok)
+	}
+	seen := map[mesh.Coord]bool{}
+	deep := false
+	for _, c := range a.Nodes() {
+		if seen[c] {
+			t.Fatalf("node %v allocated twice", c)
+		}
+		seen[c] = true
+		if c.Z > 0 {
+			deep = true
+		}
+	}
+	if !deep {
+		t.Fatal("18 of 27 processors never left plane 0")
+	}
+	r.Release(a)
+}
+
+func TestEveryRegisteredStrategyRunsOn3D(t *testing.T) {
+	for _, name := range Strategies() {
+		if !Supports3D(name) {
+			continue
+		}
+		m := mesh.New3D(8, 8, 4)
+		al, err := ByName(name, m, stats.NewStream(11))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var live []Allocation
+		for _, req := range []Request{{W: 3, L: 3, H: 2}, {W: 2, L: 5, H: 1}, {W: 4, L: 4, H: 4}, {W: 1, L: 1, H: 1}} {
+			a, ok := al.Allocate(req)
+			if !ok {
+				continue
+			}
+			if a.Size() < req.Size() {
+				t.Fatalf("%s: allocated %d < requested %d", name, a.Size(), req.Size())
+			}
+			live = append(live, a)
+		}
+		if len(live) == 0 {
+			t.Fatalf("%s: no request succeeded on an empty 8x8x4 mesh", name)
+		}
+		for _, a := range live {
+			al.Release(a)
+		}
+		if m.FreeCount() != m.Size() {
+			t.Fatalf("%s: %d processors leaked", name, m.Size()-m.FreeCount())
+		}
+	}
+}

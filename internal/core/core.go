@@ -104,10 +104,17 @@ var (
 )
 
 // Source builds the workload's job source at the given system load
-// (jobs per time unit) for replication rep.
-func (w Workload) Source(meshW, meshL int, load float64, seed int64) workload.Source {
+// (jobs per time unit) for replication rep. meshH is the mesh depth
+// (0 or 1 selects the paper's 2D model): the stochastic workloads draw
+// a depth side on 3D meshes, while the real trace records processor
+// counts and keeps its planar shapes (placements still use every
+// plane).
+func (w Workload) Source(meshW, meshL, meshH int, load float64, seed int64) workload.Source {
 	if load <= 0 {
 		panic("core: load must be positive")
+	}
+	if meshH < 1 {
+		meshH = 1
 	}
 	switch w {
 	case RealTrace:
@@ -126,10 +133,10 @@ func (w Workload) Source(meshW, meshL int, load float64, seed int64) workload.So
 		f := (1 / load) / workload.MeanInterarrival(base)
 		return workload.NewSliceSource("real", workload.ScaleArrivals(base, f))
 	case StochasticUniform:
-		return workload.NewStochastic(stats.NewStream(seed), meshW, meshL,
+		return workload.NewStochastic3D(stats.NewStream(seed), meshW, meshL, meshH,
 			workload.UniformSides, load, NumMes)
 	case StochasticExp:
-		return workload.NewStochastic(stats.NewStream(seed), meshW, meshL,
+		return workload.NewStochastic3D(stats.NewStream(seed), meshW, meshL, meshH,
 			workload.ExpSides, load, NumMes)
 	default:
 		panic(fmt.Sprintf("core: unknown workload %d", int(w)))

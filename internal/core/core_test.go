@@ -57,7 +57,7 @@ func TestWorkloadString(t *testing.T) {
 }
 
 func TestWorkloadSourceStochastic(t *testing.T) {
-	src := StochasticUniform.Source(16, 22, 0.01, 7)
+	src := StochasticUniform.Source(16, 22, 1, 0.01, 7)
 	prev := 0.0
 	for i := 0; i < 100; i++ {
 		j, ok := src.Next()
@@ -73,7 +73,7 @@ func TestWorkloadSourceStochastic(t *testing.T) {
 
 func TestWorkloadSourceRealScalesToLoad(t *testing.T) {
 	load := 0.01
-	src := RealTrace.Source(16, 22, load, 3)
+	src := RealTrace.Source(16, 22, 1, load, 3)
 	ss, ok := src.(*workload.SliceSource)
 	if !ok {
 		t.Fatalf("real source is %T", src)
@@ -96,8 +96,8 @@ func TestWorkloadSourceRealScalesToLoad(t *testing.T) {
 }
 
 func TestWorkloadSourceCachesTrace(t *testing.T) {
-	a := RealTrace.Source(16, 22, 0.01, 55)
-	b := RealTrace.Source(16, 22, 0.02, 55)
+	a := RealTrace.Source(16, 22, 1, 0.01, 55)
+	b := RealTrace.Source(16, 22, 1, 0.02, 55)
 	ja, _ := a.Next()
 	jb, _ := b.Next()
 	// Same base trace scaled differently: arrival ratio 2.
@@ -116,7 +116,7 @@ func TestWorkloadSourcePanics(t *testing.T) {
 			t.Fatal("zero load did not panic")
 		}
 	}()
-	StochasticUniform.Source(16, 22, 0, 1)
+	StochasticUniform.Source(16, 22, 1, 0, 1)
 }
 
 func TestDeriveSeedDistinct(t *testing.T) {

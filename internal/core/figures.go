@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/network"
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
 
 // This file indexes every figure of the paper's evaluation (§5) as a
 // runnable experiment, plus the ablation studies listed in DESIGN.md §4.
@@ -29,10 +33,34 @@ type Experiment struct {
 	// can compare contiguity on both fabrics.
 	Topology network.Topology
 
+	// MeshW, MeshL and MeshH override the simulation geometry. Zero
+	// values keep the paper's 16 x 22 (depth 1); a MeshH above 1 runs
+	// the experiment on a 3D mesh — cuboid requests, volumetric
+	// allocation, XYZ routing.
+	MeshW, MeshL, MeshH int
+
 	// Jobs is the completed-job count per run (paper: 1000); Warmup
 	// jobs are excluded from the statistics.
 	Jobs   int
 	Warmup int
+}
+
+// Geometry renders the experiment's mesh dimensions per axis ("16x22"
+// or "16x16x4"), defaulting unset axes to the paper's values — the
+// per-dimension header the result tables carry so 2D and 3D series
+// stay distinguishable side by side.
+func (e Experiment) Geometry() string {
+	w, l, h := e.MeshW, e.MeshL, e.MeshH
+	if w == 0 {
+		w = 16
+	}
+	if l == 0 {
+		l = 22
+	}
+	if h <= 1 {
+		return fmt.Sprintf("%dx%d", w, l)
+	}
+	return fmt.Sprintf("%dx%dx%d", w, l, h)
 }
 
 func loadRange(lo, step float64, n int) []float64 {
@@ -168,6 +196,24 @@ func Ablations() []Experiment {
 				Combo{"GABL", "FCFS"},
 				Combo{"FirstFit", "FCFS"},
 				Combo{"BestFit", "FCFS"},
+			),
+			Jobs: 500, Warmup: 50,
+		},
+		// The paper targets 3D mesh-connected multicomputers; this study
+		// runs the strategies on an actual 3D mesh (16x16x4, comparable
+		// processor count to a 32x32 plane) with cuboid requests and XYZ
+		// routing. MBS is absent: its buddy quartets are inherently
+		// planar (alloc.Supports3D).
+		{
+			ID:     "ablA7",
+			Title:  "Third dimension: cuboid allocation on a 16x16x4 mesh",
+			Metric: Turnaround, Workload: StochasticUniform, Loads: midUnif,
+			MeshW: 16, MeshL: 16, MeshH: 4,
+			Combos: combos(
+				Combo{"GABL", "FCFS"},
+				Combo{"FirstFit", "FCFS"},
+				Combo{"BestFit", "FCFS"},
+				Combo{"Paging(0)", "FCFS"},
 			),
 			Jobs: 500, Warmup: 50,
 		},

@@ -117,12 +117,21 @@ func runCell(exp Experiment, c Combo, load float64, jobs int, rep stats.Replicat
 		cfg.Strategy = c.Strategy
 		cfg.Scheduler = c.Scheduler
 		cfg.Network.Topology = exp.Topology
+		if exp.MeshW > 0 {
+			cfg.MeshW = exp.MeshW
+		}
+		if exp.MeshL > 0 {
+			cfg.MeshL = exp.MeshL
+		}
+		if exp.MeshH > 0 {
+			cfg.MeshH = exp.MeshH
+		}
 		cfg.MaxCompleted = jobs
 		cfg.WarmupJobs = exp.Warmup
 		cfg.MaxQueued = 4 * jobs
 		cfg.ThinkMean = opt.Think
 		cfg.Seed = seed
-		res, err := sim.Run(cfg, exp.Workload.Source(cfg.MeshW, cfg.MeshL, load, seed))
+		res, err := sim.Run(cfg, exp.Workload.Source(cfg.MeshW, cfg.MeshL, cfg.MeshH, load, seed))
 		if err != nil {
 			panic(fmt.Sprintf("core: %s %s load %g: %v", exp.ID, c, load, err))
 		}
@@ -193,7 +202,8 @@ func (s Series) RankingLastLoad() []Combo {
 // load axis, one line per combo.
 func (s Series) ToTable() *report.Table {
 	t := &report.Table{
-		Title:  fmt.Sprintf("%s — %s [%s]", s.Experiment.ID, s.Experiment.Title, s.Experiment.Topology),
+		Title: fmt.Sprintf("%s — %s [%s %s]", s.Experiment.ID, s.Experiment.Title,
+			s.Experiment.Geometry(), s.Experiment.Topology),
 		XLabel: "load",
 		YLabel: s.Experiment.Metric.String(),
 		X:      append([]float64(nil), s.Experiment.Loads...),
@@ -215,12 +225,13 @@ func (s Series) ToTable() *report.Table {
 
 // Table renders the series as an aligned text table: one row per load,
 // one column per combo, mirroring the paper's figure series. The
-// header records which fabric the cells were measured on, so mesh and
-// torus series stay distinguishable side by side.
+// header records the per-dimension geometry and the fabric the cells
+// were measured on, so mesh, torus and 3D series stay distinguishable
+// side by side.
 func (s Series) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %s (%s, %s, %s)\n", s.Experiment.ID, s.Experiment.Title,
-		s.Experiment.Metric, s.Experiment.Workload, s.Experiment.Topology)
+	fmt.Fprintf(&b, "%s — %s (%s, %s, %s %s)\n", s.Experiment.ID, s.Experiment.Title,
+		s.Experiment.Metric, s.Experiment.Workload, s.Experiment.Geometry(), s.Experiment.Topology)
 	fmt.Fprintf(&b, "%-10s", "load")
 	for _, c := range s.Experiment.Combos {
 		fmt.Fprintf(&b, " %16s", c)

@@ -1,0 +1,63 @@
+package core
+
+// 3D experiment-harness tests: the ablA7 cuboid study, the geometry
+// override plumbing and the per-dimension table headers.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/stats"
+)
+
+func TestAblA7Registered(t *testing.T) {
+	e, ok := FigureByID("ablA7")
+	if !ok {
+		t.Fatal("ablA7 is not registered")
+	}
+	if e.MeshH != 4 || e.MeshW != 16 || e.MeshL != 16 {
+		t.Fatalf("ablA7 geometry %dx%dx%d, want 16x16x4", e.MeshW, e.MeshL, e.MeshH)
+	}
+	for _, c := range e.Combos {
+		if !alloc.Supports3D(c.Strategy) {
+			t.Fatalf("ablA7 includes 2D-only strategy %s", c.Strategy)
+		}
+	}
+}
+
+func TestGeometryHeaders(t *testing.T) {
+	if got := (Experiment{}).Geometry(); got != "16x22" {
+		t.Fatalf("default geometry = %q, want 16x22", got)
+	}
+	if got := (Experiment{MeshW: 16, MeshL: 16, MeshH: 4}).Geometry(); got != "16x16x4" {
+		t.Fatalf("3D geometry = %q, want 16x16x4", got)
+	}
+	e, _ := FigureByID("ablA7")
+	e.Loads = e.Loads[:1]
+	e.Combos = e.Combos[:1]
+	s := Run(e, Options{Jobs: 20, Replicator: stats.Replicator{MinReps: 1, MaxReps: 1, RelTol: 1}})
+	if !strings.Contains(s.Table(), "16x16x4") {
+		t.Fatalf("3D table header lacks the per-dimension geometry:\n%s", s.Table())
+	}
+	if !strings.Contains(s.ToTable().Title, "16x16x4") {
+		t.Fatalf("plot title lacks the geometry: %q", s.ToTable().Title)
+	}
+}
+
+// TestRun3DExperimentCells runs a trimmed ablA7 end to end: the
+// parallel replication machinery must drive 3D simulations exactly as
+// it drives 2D ones.
+func TestRun3DExperimentCells(t *testing.T) {
+	e, _ := FigureByID("ablA7")
+	e.Loads = e.Loads[:1]
+	s := Run(e, Options{Jobs: 40, Replicator: stats.Replicator{MinReps: 1, MaxReps: 1, RelTol: 1}})
+	if len(s.Cells) != len(e.Combos) {
+		t.Fatalf("got %d cells, want %d", len(s.Cells), len(e.Combos))
+	}
+	for _, c := range s.Cells {
+		if c.Value.Mean <= 0 {
+			t.Fatalf("cell %v has non-positive %s", c.Combo, e.Metric)
+		}
+	}
+}

@@ -54,6 +54,23 @@ type histScratch struct {
 	failed      [maxFailedShapes][2]int // Pareto frontier of refuted shapes
 	nFailed     int
 	failedEpoch uint64
+
+	// 3D-search scratch (volume.go): the AND-projected plane, the
+	// MW(d, l) table, the per-projection sweep records and the naive
+	// scan's row minima. A mesh only ever exercises one family — the
+	// planar buffers above on depth 1, these below on depth > 1.
+	proj    []bool
+	mw3     []int
+	cand3   []int
+	rowMin3 []int
+}
+
+// sizedBoolScratch is sizedScratch for boolean buffers.
+func sizedBoolScratch(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	return (*buf)[:n]
 }
 
 // maxFailedShapes bounds the refuted-shape frontier; beyond it new

@@ -28,17 +28,26 @@ func naiveRightRun(busy []bool, w, l int) []int {
 	return out
 }
 
-// naiveSAT recomputes the far-corner-anchored summed-area table.
-func naiveSAT(busy []bool, w, l int) []int {
-	stride := w + 1
-	out := make([]int, stride*(l+1))
-	for y := l - 1; y >= 0; y-- {
-		for x := w - 1; x >= 0; x-- {
-			b := 0
-			if busy[y*w+x] {
-				b = 1
+// naiveSAT recomputes the far-corner-anchored summed-volume table
+// ((w+1) x (l+1) x (h+1); h == 1 is the 2D summed-area table plus a
+// zero slab).
+func naiveSAT(busy []bool, w, l, h int) []int {
+	strideY := w + 1
+	strideZ := strideY * (l + 1)
+	out := make([]int, strideZ*(h+1))
+	for z := h - 1; z >= 0; z-- {
+		for y := l - 1; y >= 0; y-- {
+			for x := w - 1; x >= 0; x-- {
+				b := 0
+				if busy[(z*l+y)*w+x] {
+					b = 1
+				}
+				i := z*strideZ + y*strideY + x
+				out[i] = b +
+					out[i+strideZ] + out[i+strideY] + out[i+1] -
+					out[i+strideZ+strideY] - out[i+strideZ+1] - out[i+strideY+1] +
+					out[i+strideZ+strideY+1]
 			}
-			out[y*stride+x] = b + out[(y+1)*stride+x] + out[y*stride+x+1] - out[(y+1)*stride+x+1]
 		}
 	}
 	return out
@@ -46,44 +55,68 @@ func naiveSAT(busy []bool, w, l int) []int {
 
 // checkTables compares the incremental tables against full recomputes.
 // The SAT journal is folded first — the invariant is busy-map equality
-// after folding, which is exactly what every query observes.
+// after folding, which is exactly what every query observes. It is
+// depth-aware: a 2D mesh exercises exactly the planar invariants, a 3D
+// one additionally the plane aggregates and the prefix volume.
 func checkTables(t *testing.T, m *Mesh) {
 	t.Helper()
 	m.drainSAT()
-	wantRun := naiveRightRun(m.busy, m.w, m.l)
+	wantRun := naiveRightRun(m.busy, m.w, m.l*m.h)
 	for i := range wantRun {
 		if m.rightRun[i] != wantRun[i] {
 			t.Fatalf("rightRun[%v] = %d, recompute says %d\n%s",
 				m.CoordOf(i), m.rightRun[i], wantRun[i], m)
 		}
 	}
-	for y := 0; y < m.l; y++ {
+	for r := 0; r < m.rows(); r++ {
 		max := 0
 		for x := 0; x < m.w; x++ {
-			if r := wantRun[y*m.w+x]; r > max {
-				max = r
+			if rr := wantRun[r*m.w+x]; rr > max {
+				max = rr
 			}
 		}
 		// A stale aggregate must still bound the true maximum from
 		// above; a fresh one must be exact and well-positioned, and
 		// rowMaxAt must repair staleness to exactness.
-		if m.rowStale[y] {
-			if m.rowMax[y] < max {
-				t.Fatalf("stale rowMax[%d] = %d below true max %d\n%s", y, m.rowMax[y], max, m)
+		if m.rowStale[r] {
+			if m.rowMax[r] < max {
+				t.Fatalf("stale rowMax[%d] = %d below true max %d\n%s", r, m.rowMax[r], max, m)
 			}
-			if got := m.rowMaxAt(y); got != max {
-				t.Fatalf("rowMaxAt(%d) = %d after repair, recompute says %d\n%s", y, got, max, m)
+			if got := m.rowMaxAt(r); got != max {
+				t.Fatalf("rowMaxAt(%d) = %d after repair, recompute says %d\n%s", r, got, max, m)
 			}
 		}
-		if m.rowMax[y] != max {
-			t.Fatalf("rowMax[%d] = %d, recompute says %d\n%s", y, m.rowMax[y], max, m)
+		if m.rowMax[r] != max {
+			t.Fatalf("rowMax[%d] = %d, recompute says %d\n%s", r, m.rowMax[r], max, m)
 		}
-		if max > 0 && wantRun[y*m.w+m.rowMaxPos[y]] != max {
+		if max > 0 && wantRun[r*m.w+m.rowMaxPos[r]] != max {
 			t.Fatalf("rowMaxPos[%d] = %d does not point at a run of %d\n%s",
-				y, m.rowMaxPos[y], max, m)
+				r, m.rowMaxPos[r], max, m)
 		}
 	}
-	wantSAT := naiveSAT(m.busy, m.w, m.l)
+	for z := 0; z < m.h; z++ {
+		rowsMax := 0
+		for r := z * m.l; r < (z+1)*m.l; r++ {
+			if m.rowMax[r] > rowsMax {
+				rowsMax = m.rowMax[r]
+			}
+		}
+		// The plane aggregate bounds the row aggregates from above, with
+		// equality when fresh; planeMaxRescan must restore equality.
+		if m.planeMax[z] < rowsMax {
+			t.Fatalf("planeMax[%d] = %d below row aggregate max %d\n%s", z, m.planeMax[z], rowsMax, m)
+		}
+		if !m.planeStale[z] && m.planeMax[z] != rowsMax {
+			t.Fatalf("fresh planeMax[%d] = %d, row aggregates say %d\n%s", z, m.planeMax[z], rowsMax, m)
+		}
+		if m.planeStale[z] {
+			m.planeMaxRescan(z)
+			if m.planeMax[z] != rowsMax {
+				t.Fatalf("planeMaxRescan(%d) = %d, row aggregates say %d\n%s", z, m.planeMax[z], rowsMax, m)
+			}
+		}
+	}
+	wantSAT := naiveSAT(m.busy, m.w, m.l, m.h)
 	for i := range wantSAT {
 		if m.sat[i] != wantSAT[i] {
 			t.Fatalf("sat[%d] = %d, recompute says %d\n%s", i, m.sat[i], wantSAT[i], m)
@@ -780,10 +813,13 @@ func TestIndexJournalBursts(t *testing.T) {
 
 // FuzzIndexOps interprets the fuzz input as a mutation program over a
 // small mesh and checks the index invariants after every instruction.
-// The same program runs on a planar and a torus mesh: the mutation
-// paths are topology-independent, so both must stay sound, and the
-// torus mesh's wrap-aware queries are cross-checked against the naive
-// torus scans at the end.
+// The same program runs on a planar mesh, a torus mesh and a 3D mesh:
+// the mutation paths are topology- and dimension-independent, so all
+// three must stay sound, and the torus and volumetric queries are
+// cross-checked against their naive scans at the end. The 3D mesh
+// receives the planar rectangle extruded to a cuboid whose z extent is
+// derived from the op byte, so in-bounds, out-of-bounds and
+// overlapping cuboids all occur.
 func FuzzIndexOps(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 2, 2, 1, 0, 0, 0x80, 1, 1, 3, 3})
 	f.Add([]byte{0, 1, 1, 3, 4, 0, 0, 0, 7, 8, 0x80, 1, 1, 3, 4})
@@ -791,22 +827,30 @@ func FuzzIndexOps(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m := New(8, 9)
 		tor := NewTorus(8, 9)
+		vol := New3D(8, 9, 4)
 		rng := rand.New(rand.NewSource(7))
 		for len(data) >= 5 {
 			op, x1, y1, x2, y2 := data[0], data[1], data[2], data[3], data[4]
 			data = data[5:]
 			s := Sub(int(x1)%10-1, int(y1)%11-1, int(x2)%10-1, int(y2)%11-1)
+			s3 := s
+			s3.Z1 = int(op&0x0f)%6 - 1
+			s3.Z2 = s3.Z1 + int(op>>4&0x07)%4
 			if op&0x80 == 0 {
 				m.AllocateSub(s) // errors are fine; state must stay sound
 				tor.AllocateSub(s)
+				vol.AllocateSub(s3)
 			} else {
 				m.ReleaseSub(s)
 				tor.ReleaseSub(s)
+				vol.ReleaseSub(s3)
 			}
 			checkTables(t, m)
 			checkTables(t, tor)
+			checkTables(t, vol)
 		}
 		checkQueries(t, m, rng)
 		checkTorusQueries(t, tor, rng)
+		checkQueries3D(t, vol, rng)
 	})
 }

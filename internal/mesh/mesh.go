@@ -2,83 +2,106 @@ package mesh
 
 import "fmt"
 
-// Mesh is the occupancy model of a W x L mesh: which processors are
-// allocated, how many are free, and the searches over the free set.
-// It is not safe for concurrent use; a simulation owns one mesh.
+// Mesh is the occupancy model of a W x L x H mesh: which processors are
+// allocated, how many are free, and the searches over the free set. A
+// 2D mesh is the H == 1 special case, and every 2D code path is
+// unchanged on it — the depth axis generalizes the tables without
+// disturbing the planar index. It is not safe for concurrent use; a
+// simulation owns one mesh.
 //
 // Occupancy is indexed incrementally — there is no per-decision
-// full-table rebuild anywhere. Three derived indexes back the queries:
+// full-table rebuild anywhere. Four derived indexes back the queries
+// (rows are addressed by the plane-row index r = z·L + y, so a 2D mesh
+// has r == y and the planar descriptions below read verbatim):
 //
-//   - rightRun[y*w+x] is the number of consecutive free processors at
-//     (x,y),(x+1,y),... It is kept fresh eagerly: a mutation touching
-//     columns [x1,x2] of a row recomputes only that row from x2
-//     leftward, stopping as soon as a recomputed value left of x1
+//   - rightRun[r*w+x] is the number of consecutive free processors at
+//     (x,y,z),(x+1,y,z),... It is kept fresh eagerly: a mutation
+//     touching columns [x1,x2] of a row recomputes only that row from
+//     x2 leftward, stopping as soon as a recomputed value left of x1
 //     matches the stored one (the run recurrence is a suffix chain, so
 //     everything further left is already correct). Cost: O(touched
 //     rows · W) worst case, typically the touched span plus the free
 //     run abutting it.
 //
-//   - sat is a summed-area table of busy counts anchored at the far
-//     corner: sat[y*(w+1)+x] counts the busy processors with X >= x
-//     and Y >= y. Any rectangle's busy count is then four lookups
-//     (BusyInRect), making SubFree, FitsAt and FreeInRect O(1). The
-//     table is maintained through a bounded journal: a mutation
-//     appends its rectangle delta in O(1), and rectangle queries first
-//     fold pending deltas in — each fold is a closed-form update of
-//     the entries x <= x2, y <= y2 (the far-corner anchor keeps that
-//     block small for the low placements the row-major searches
+//   - sat is a summed-volume table of busy counts anchored at the far
+//     corner: sat[(z*(l+1)+y)*(w+1)+x] counts the busy processors with
+//     X >= x, Y >= y and Z >= z. Any cuboid's busy count is then eight
+//     lookups (BusyInRect), making SubFree, FitsAt and FreeInRect O(1).
+//     The table is maintained through a bounded journal: a mutation
+//     appends its cuboid delta in O(1), and cuboid queries first fold
+//     pending deltas in — each fold is a closed-form update of the
+//     entries x <= x2, y <= y2, z <= z2 (the far-corner anchor keeps
+//     that block small for the low placements the row-major searches
 //     favor), and once more than a few deltas are queued the fold
 //     recomputes the table in one pass instead, so a strategy that
 //     never queries rectangles pays O(size/journal-cap) amortized per
 //     mutation and one that queries after every mutation folds exactly
 //     its own delta. The journal is bounded by a constant, so queries
-//     stay O(1) worst case.
+//     stay O(1) worst case. On a depth-1 mesh the z = 0 slab is exactly
+//     the 2D far-corner summed-area table of PRs 1-3 and the z = 1 slab
+//     is identically zero, so the 2D four-lookup rectangle query reads
+//     the same integers it always did.
 //
-//   - rowMax[y] upper-bounds the widest free run of row y, letting the
+//   - rowMax[r] upper-bounds the widest free run of row r, letting the
 //     searches discard whole candidate rows in O(1). It is exact
 //     unless the row's recorded widest run was carved into (rowStale),
 //     and searches — never mutations — repair stale rows.
 //
-// The invariants (checked exhaustively against a naive recompute
-// oracle in index_test.go) are, for all in-range x, y:
+//   - planeMax[z] upper-bounds the widest free run anywhere in plane z
+//     — the z-axis aggregate stacked over the per-row ones. The 3D
+//     searches discard whole candidate planes with it (volume.go). It
+//     is maintained as a max on row-aggregate increases; a search
+//     repairing a row downward marks the plane stale (planeStale), and
+//     only searches re-derive stale planes from the row aggregates.
 //
-//	rightRun[y*w+x] == 0            if busy[y*w+x]
-//	rightRun[y*w+x] == 1 + rightRun[y*w+x+1] otherwise (0 past the edge)
-//	rowMax[y] >= max over x of rightRun[y*w+x], with equality unless rowStale[y]
-//	sat[y*(w+1)+x] + Σ pending overlaps == Σ busy[yy*w+xx] for xx >= x, yy >= y
-//	sat[·*(w+1)+w] == sat[l*(w+1)+·] == 0
+// The invariants (checked exhaustively against a naive recompute
+// oracle in index_test.go) are, for all in-range x and plane-rows r:
+//
+//	rightRun[r*w+x] == 0            if busy[r*w+x]
+//	rightRun[r*w+x] == 1 + rightRun[r*w+x+1] otherwise (0 past the edge)
+//	rowMax[r] >= max over x of rightRun[r*w+x], with equality unless rowStale[r]
+//	planeMax[z] >= max over rows r of plane z of rowMax[r], equality unless planeStale[z]
+//	sat[(z*(l+1)+y)*(w+1)+x] + Σ pending overlaps == Σ busy in the quadrant X>=x, Y>=y, Z>=z
+//	sat entries with x == w, y == l or z == h are 0
 type Mesh struct {
-	w, l int
-	busy []bool // row-major: index = y*w + x
+	w, l, h int
+	busy    []bool // plane-row-major: index = (z*l + y)*w + x
 
-	// torus selects wrap-around semantics for queries and searches:
-	// the index tables stay planar either way (see torus.go), so every
-	// maintenance invariant above holds verbatim on both topologies.
+	// torus selects wrap-around occupancy semantics for queries and
+	// searches: the index tables stay planar either way (see torus.go),
+	// so every maintenance invariant above holds verbatim on both
+	// topologies. The torus query layer is two-dimensional; NewTorus
+	// rejects depth > 1.
 	torus bool
 
 	freeCount int
 
 	rightRun []int
-	// rowMax[y] bounds the widest free run in row y — the row-level
-	// aggregate of rightRun. A search for width w skips every window
-	// containing a row with rowMax < w without probing a single base.
-	// rowMaxPos[y] is the base of a run achieving it. A mutation whose
-	// rewritten span misses that base cannot have shrunk the widest
-	// run, so the aggregate update is O(1); carving into the widest
-	// run leaves the old value behind as a valid upper bound and marks
-	// the row stale (rowStale), and only searches — never mutations —
-	// re-derive stale rows, so mutation-only strategies pay nothing
-	// for exactness they do not use.
+	// rowMax[r] bounds the widest free run in plane-row r — the
+	// row-level aggregate of rightRun. A search for width w skips every
+	// window containing a row with rowMax < w without probing a single
+	// base. rowMaxPos[r] is the base of a run achieving it. A mutation
+	// whose rewritten span misses that base cannot have shrunk the
+	// widest run, so the aggregate update is O(1); carving into the
+	// widest run leaves the old value behind as a valid upper bound and
+	// marks the row stale (rowStale), and only searches — never
+	// mutations — re-derive stale rows, so mutation-only strategies pay
+	// nothing for exactness they do not use.
 	rowMax    []int
 	rowMaxPos []int
 	rowStale  []bool
-	sat       []int // (w+1) x (l+1), see type comment
-	pending   []satDelta
-	satCap    int // journal bound, scaled to the mesh (see New)
+	// planeMax[z] is the z-axis aggregate: an upper bound on the widest
+	// free run in plane z, maintained exactly like rowMax one level up
+	// (see the type comment and volume.go).
+	planeMax   []int
+	planeStale []bool
+	sat        []int // (w+1) x (l+1) x (h+1), see type comment
+	pending    []satDelta
+	satCap     int // journal bound, scaled to the mesh (see New)
 
 	// hist holds the reusable buffers of the histogram-based
-	// constrained-largest search (histogram.go); lazily sized, never
-	// part of the occupancy state (Clone starts fresh).
+	// constrained-largest searches (histogram.go, volume.go); lazily
+	// sized, never part of the occupancy state (Clone starts fresh).
 	hist histScratch
 	// releaseEpoch counts mutations that freed processors. The
 	// constrained-largest search memoizes alloc-monotone facts (failed
@@ -89,44 +112,62 @@ type Mesh struct {
 
 // satDelta is one occupancy change not yet folded into sat.
 type satDelta struct {
-	x1, y1, x2, y2 int
-	sign           int // +1 allocate, -1 release
+	x1, y1, z1, x2, y2, z2 int
+	sign                   int // +1 allocate, -1 release
 }
 
-// New returns an empty (fully free) w x l mesh.
-func New(w, l int) *Mesh {
-	if w <= 0 || l <= 0 {
-		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", w, l))
+// New returns an empty (fully free) w x l mesh of depth 1 — the paper's
+// 2D fabric.
+func New(w, l int) *Mesh { return New3D(w, l, 1) }
+
+// New3D returns an empty (fully free) w x l x h mesh. Depth 1 is the 2D
+// mesh; every query and search degenerates to the planar index on it.
+func New3D(w, l, h int) *Mesh {
+	if w <= 0 || l <= 0 || h <= 0 {
+		panic(fmt.Sprintf("mesh: invalid dimensions %dx%dx%d", w, l, h))
 	}
 	m := &Mesh{
-		w:         w,
-		l:         l,
-		busy:      make([]bool, w*l),
-		freeCount: w * l,
-		rightRun:  make([]int, w*l),
-		rowMax:    make([]int, l),
-		rowMaxPos: make([]int, l),
-		rowStale:  make([]bool, l),
-		sat:       make([]int, (w+1)*(l+1)),
+		w:          w,
+		l:          l,
+		h:          h,
+		busy:       make([]bool, w*l*h),
+		freeCount:  w * l * h,
+		rightRun:   make([]int, w*l*h),
+		rowMax:     make([]int, l*h),
+		rowMaxPos:  make([]int, l*h),
+		rowStale:   make([]bool, l*h),
+		planeMax:   make([]int, h),
+		planeStale: make([]bool, h),
+		sat:        make([]int, (w+1)*(l+1)*(h+1)),
 		// Scaling the journal bound with the mesh keeps the amortized
 		// overflow cost at O(size)/(size/4) ≈ a few operations per
 		// mutation, so strategies that never query rectangles pay a
 		// small constant tax instead of a per-mutation table update.
-		satCap: max(64, w*l/4),
+		satCap: max(64, w*l*h/4),
 	}
 	m.resetTables()
 	return m
 }
 
+// rows returns the number of plane-rows, l*h.
+func (m *Mesh) rows() int { return m.l * m.h }
+
+// rowIdx maps (y, z) to the plane-row index.
+func (m *Mesh) rowIdx(y, z int) int { return z*m.l + y }
+
 // resetTables sets the index tables to the all-free state.
 func (m *Mesh) resetTables() {
-	for y := 0; y < m.l; y++ {
+	for r := 0; r < m.rows(); r++ {
 		for x := 0; x < m.w; x++ {
-			m.rightRun[y*m.w+x] = m.w - x
+			m.rightRun[r*m.w+x] = m.w - x
 		}
-		m.rowMax[y] = m.w
-		m.rowMaxPos[y] = 0
-		m.rowStale[y] = false
+		m.rowMax[r] = m.w
+		m.rowMaxPos[r] = 0
+		m.rowStale[r] = false
+	}
+	for z := 0; z < m.h; z++ {
+		m.planeMax[z] = m.w
+		m.planeStale[z] = false
 	}
 	for i := range m.sat {
 		m.sat[i] = 0
@@ -134,25 +175,26 @@ func (m *Mesh) resetTables() {
 	m.pending = m.pending[:0]
 }
 
-// queueSAT journals one rectangle's occupancy delta for the SAT; the
+// queueSAT journals one cuboid's occupancy delta for the SAT; the
 // caller must have applied the busy flips already. The append is O(1);
 // a full journal folds by one recompute instead — which, because the
 // busy map is current, covers the new delta too, so nothing is
 // appended and the recompute cost is amortized over at least satCap
 // mutations.
-func (m *Mesh) queueSAT(x1, y1, x2, y2, sign int) {
+func (m *Mesh) queueSAT(x1, y1, z1, x2, y2, z2, sign int) {
 	if len(m.pending) >= m.satCap {
 		m.recomputeSAT()
 		return
 	}
-	m.pending = append(m.pending, satDelta{x1, y1, x2, y2, sign})
+	m.pending = append(m.pending, satDelta{x1, y1, z1, x2, y2, z2, sign})
 }
 
 // drainSAT folds every journaled delta into the SAT. A handful of
 // deltas fold individually (each touches only the block x <= x2,
-// y <= y2); more than that and one recompute pass is cheaper. Hot
-// callers guard the call with an emptiness check themselves (BestFit);
-// an empty journal falls through the fold loop harmlessly either way.
+// y <= y2, z <= z2); more than that and one recompute pass is cheaper.
+// Hot callers guard the call with an emptiness check themselves
+// (BestFit); an empty journal falls through the fold loop harmlessly
+// either way.
 func (m *Mesh) drainSAT() {
 	if len(m.pending) <= 4 {
 		for _, d := range m.pending {
@@ -164,27 +206,34 @@ func (m *Mesh) drainSAT() {
 	m.recomputeSAT()
 }
 
-// foldSAT applies one rectangle delta: the SAT entry at (x,y) counts
-// the quadrant X >= x, Y >= y, so it gains sign times the overlap of
-// the rectangle with that quadrant — zero beyond (x2, y2).
+// foldSAT applies one cuboid delta: the SAT entry at (x,y,z) counts
+// the quadrant X >= x, Y >= y, Z >= z, so it gains sign times the
+// overlap of the cuboid with that quadrant — zero beyond (x2, y2, z2).
 func (m *Mesh) foldSAT(d satDelta) {
-	stride := m.w + 1
+	strideY := m.w + 1
 	rw := d.x2 - d.x1 + 1
-	for y := 0; y <= d.y2; y++ {
-		rh := d.y2 + 1 - y
-		if y < d.y1 {
-			rh = d.y2 - d.y1 + 1
+	rl := d.y2 - d.y1 + 1
+	for z := 0; z <= d.z2; z++ {
+		rd := d.z2 + 1 - z
+		if z < d.z1 {
+			rd = d.z2 - d.z1 + 1
 		}
-		base := y * stride
-		full := d.sign * rh * rw
-		for x := 0; x <= d.x1; x++ {
-			m.sat[base+x] += full
-		}
-		step := d.sign * rh
-		acc := full - step
-		for x := d.x1 + 1; x <= d.x2; x++ {
-			m.sat[base+x] += acc
-			acc -= step
+		for y := 0; y <= d.y2; y++ {
+			rh := d.y2 + 1 - y
+			if y < d.y1 {
+				rh = rl
+			}
+			base := (z*(m.l+1) + y) * strideY
+			full := d.sign * rd * rh * rw
+			for x := 0; x <= d.x1; x++ {
+				m.sat[base+x] += full
+			}
+			step := d.sign * rd * rh
+			acc := full - step
+			for x := d.x1 + 1; x <= d.x2; x++ {
+				m.sat[base+x] += acc
+				acc -= step
+			}
 		}
 	}
 }
@@ -193,14 +242,21 @@ func (m *Mesh) foldSAT(d satDelta) {
 // clears the journal. Reached only through journal overflow or bulk
 // folds — never per allocation decision.
 func (m *Mesh) recomputeSAT() {
-	stride := m.w + 1
-	for y := m.l - 1; y >= 0; y-- {
-		for x := m.w - 1; x >= 0; x-- {
-			b := 0
-			if m.busy[y*m.w+x] {
-				b = 1
+	strideY := m.w + 1
+	strideZ := strideY * (m.l + 1)
+	for z := m.h - 1; z >= 0; z-- {
+		for y := m.l - 1; y >= 0; y-- {
+			for x := m.w - 1; x >= 0; x-- {
+				b := 0
+				if m.busy[(z*m.l+y)*m.w+x] {
+					b = 1
+				}
+				i := z*strideZ + y*strideY + x
+				m.sat[i] = b +
+					m.sat[i+strideZ] + m.sat[i+strideY] + m.sat[i+1] -
+					m.sat[i+strideZ+strideY] - m.sat[i+strideZ+1] - m.sat[i+strideY+1] +
+					m.sat[i+strideZ+strideY+1]
 			}
-			m.sat[y*stride+x] = b + m.sat[(y+1)*stride+x] + m.sat[y*stride+x+1] - m.sat[(y+1)*stride+x+1]
 		}
 	}
 	m.pending = m.pending[:0]
@@ -212,8 +268,11 @@ func (m *Mesh) W() int { return m.w }
 // L returns the mesh length.
 func (m *Mesh) L() int { return m.l }
 
+// H returns the mesh depth (number of planes); 1 for a 2D mesh.
+func (m *Mesh) H() int { return m.h }
+
 // Size returns the total number of processors.
-func (m *Mesh) Size() int { return m.w * m.l }
+func (m *Mesh) Size() int { return m.w * m.l * m.h }
 
 // FreeCount returns the number of unallocated processors.
 func (m *Mesh) FreeCount() int { return m.freeCount }
@@ -223,45 +282,80 @@ func (m *Mesh) BusyCount() int { return m.Size() - m.freeCount }
 
 // InBounds reports whether c is a processor of this mesh.
 func (m *Mesh) InBounds(c Coord) bool {
-	return c.X >= 0 && c.X < m.w && c.Y >= 0 && c.Y < m.l
+	return c.X >= 0 && c.X < m.w && c.Y >= 0 && c.Y < m.l && c.Z >= 0 && c.Z < m.h
 }
 
-// Index maps a coordinate to its row-major index.
-func (m *Mesh) Index(c Coord) int { return c.Y*m.w + c.X }
+// Index maps a coordinate to its plane-row-major index.
+func (m *Mesh) Index(c Coord) int { return (c.Z*m.l+c.Y)*m.w + c.X }
 
-// CoordOf maps a row-major index back to a coordinate.
-func (m *Mesh) CoordOf(i int) Coord { return Coord{i % m.w, i / m.w} }
+// CoordOf maps a plane-row-major index back to a coordinate.
+func (m *Mesh) CoordOf(i int) Coord {
+	return Coord{X: i % m.w, Y: (i / m.w) % m.l, Z: i / (m.w * m.l)}
+}
 
 // Busy reports whether processor c is allocated.
 func (m *Mesh) Busy(c Coord) bool { return m.busy[m.Index(c)] }
 
-// busyInRect returns the busy count in the inclusive rectangle
-// (x1,y1)-(x2,y2) in four SAT lookups. The rectangle is assumed in
-// bounds and valid, and the journal drained (drainSAT).
+// busyInRect returns the busy count in the inclusive plane-0 rectangle
+// (x1,y1)-(x2,y2) in four SAT lookups on the z = 0 slab — valid only on
+// a depth-1 mesh, where that slab is the whole table (the 2D query
+// layer and the torus layer run exclusively on depth-1 meshes). The
+// rectangle is assumed in bounds and valid, and the journal drained.
 func (m *Mesh) busyInRect(x1, y1, x2, y2 int) int {
 	s := m.sat
 	stride := m.w + 1
 	return s[y1*stride+x1] - s[y1*stride+x2+1] - s[(y2+1)*stride+x1] + s[(y2+1)*stride+x2+1]
 }
 
-// scanBusyRect counts busy cells by walking the rectangle — cheaper
-// than a SAT fold for tiny rectangles, and journal-independent.
-func (m *Mesh) scanBusyRect(x1, y1, x2, y2 int) int {
+// busyInBox returns the busy count in the inclusive cuboid in eight SAT
+// lookups (3D inclusion-exclusion on the far-corner prefix volume). The
+// cuboid is assumed in bounds and valid, and the journal drained.
+func (m *Mesh) busyInBox(x1, y1, z1, x2, y2, z2 int) int {
+	strideY := m.w + 1
+	strideZ := strideY * (m.l + 1)
+	at := func(x, y, z int) int { return m.sat[z*strideZ+y*strideY+x] }
+	return at(x1, y1, z1) - at(x2+1, y1, z1) - at(x1, y2+1, z1) - at(x1, y1, z2+1) +
+		at(x2+1, y2+1, z1) + at(x2+1, y1, z2+1) + at(x1, y2+1, z2+1) -
+		at(x2+1, y2+1, z2+1)
+}
+
+// scanBusyBox counts busy cells by walking the cuboid — cheaper than a
+// SAT fold for tiny cuboids, and journal-independent.
+func (m *Mesh) scanBusyBox(x1, y1, z1, x2, y2, z2 int) int {
 	n := 0
-	for y := y1; y <= y2; y++ {
-		row := y * m.w
-		for x := x1; x <= x2; x++ {
-			if m.busy[row+x] {
-				n++
+	for z := z1; z <= z2; z++ {
+		for y := y1; y <= y2; y++ {
+			row := (z*m.l + y) * m.w
+			for x := x1; x <= x2; x++ {
+				if m.busy[row+x] {
+					n++
+				}
 			}
 		}
 	}
 	return n
 }
 
-// rectBusy dispatches a rectangle busy count: tiny rectangles are read
+// scanBusyRect is scanBusyBox restricted to plane 0, kept for the 2D
+// internals.
+func (m *Mesh) scanBusyRect(x1, y1, x2, y2 int) int {
+	return m.scanBusyBox(x1, y1, 0, x2, y2, 0)
+}
+
+// boxBusy dispatches a cuboid busy count: tiny cuboids are read
 // straight off the busy map (a constant-bounded scan), everything else
-// off the summed-area table after folding the journal.
+// off the summed-volume table after folding the journal.
+func (m *Mesh) boxBusy(x1, y1, z1, x2, y2, z2 int) int {
+	if (x2-x1+1)*(y2-y1+1)*(z2-z1+1) <= 8 {
+		return m.scanBusyBox(x1, y1, z1, x2, y2, z2)
+	}
+	m.drainSAT()
+	return m.busyInBox(x1, y1, z1, x2, y2, z2)
+}
+
+// rectBusy is boxBusy restricted to plane 0 — the 2D dispatch the
+// planar query layer and the torus layer run on (depth-1 meshes only,
+// where plane 0 is the whole mesh).
 func (m *Mesh) rectBusy(x1, y1, x2, y2 int) int {
 	if (x2-x1+1)*(y2-y1+1) <= 8 {
 		return m.scanBusyRect(x1, y1, x2, y2)
@@ -284,7 +378,7 @@ func (m *Mesh) BusyInRect(s Submesh) int {
 	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
 		return 0
 	}
-	return m.rectBusy(s.X1, s.Y1, s.X2, s.Y2)
+	return m.boxBusy(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2)
 }
 
 // FreeInRect returns the number of free processors inside s in O(1).
@@ -300,13 +394,14 @@ func (m *Mesh) FreeInRect(s Submesh) int {
 	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
 		return 0
 	}
-	return s.Area() - m.rectBusy(s.X1, s.Y1, s.X2, s.Y2)
+	return s.Area() - m.boxBusy(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2)
 }
 
-// FitsAt reports in O(1) whether the w x l sub-mesh based at (x,y) lies
-// on the mesh and is entirely free. On a torus the base must be on the
-// grid but the extent may cross either seam (x+w > W, y+l > L), as long
-// as it does not exceed the ring sizes.
+// FitsAt reports in O(1) whether the w x l sub-mesh based at (x,y) in
+// plane 0 lies on the mesh and is entirely free. On a torus the base
+// must be on the grid but the extent may cross either seam (x+w > W,
+// y+l > L), as long as it does not exceed the ring sizes. FitsAt3D is
+// the cuboid generalization.
 func (m *Mesh) FitsAt(x, y, w, l int) bool {
 	if m.torus {
 		if w <= 0 || l <= 0 || w > m.w || l > m.l ||
@@ -318,18 +413,25 @@ func (m *Mesh) FitsAt(x, y, w, l int) bool {
 	if w <= 0 || l <= 0 || x < 0 || y < 0 || x+w > m.w || y+l > m.l {
 		return false
 	}
+	if m.h > 1 {
+		// The plane-0 rectangle as a depth-1 cuboid: the 2D rectBusy
+		// fast path below reads the z = 0 SAT slab, which on a deeper
+		// mesh counts every plane.
+		return m.boxBusy(x, y, 0, x+w-1, y+l-1, 0) == 0
+	}
 	return m.rectBusy(x, y, x+w-1, y+l-1) == 0
 }
 
-// updateRowRuns restores the rightRun and rowMax invariants for row y
-// after the busy state of columns [x1,x2] changed. It recomputes from
-// x2 leftward, stopping at the first unchanged value left of the
-// touched span. The row aggregate then updates in O(1): a shrunken
-// run's base is always inside the rewritten span (its base value is
-// its length), so if the recorded widest-run base was not rewritten,
-// the widest run still stands; only carving into it forces a rescan.
-func (m *Mesh) updateRowRuns(y, x1, x2 int) {
-	row := y * m.w
+// updateRowRuns restores the rightRun and rowMax invariants for
+// plane-row r after the busy state of columns [x1,x2] changed. It
+// recomputes from x2 leftward, stopping at the first unchanged value
+// left of the touched span. The row aggregate then updates in O(1): a
+// shrunken run's base is always inside the rewritten span (its base
+// value is its length), so if the recorded widest-run base was not
+// rewritten, the widest run still stands; only carving into it forces
+// a rescan.
+func (m *Mesh) updateRowRuns(r, x1, x2 int) {
+	row := r * m.w
 	run := 0
 	if x2+1 < m.w {
 		run = m.rightRun[row+x2+1] // columns right of x2 are untouched
@@ -351,29 +453,18 @@ func (m *Mesh) updateRowRuns(y, x1, x2 int) {
 			maxWritten, maxWrittenPos = run, x
 		}
 	}
-	switch pos := m.rowMaxPos[y]; {
-	case maxWritten >= m.rowMax[y]:
-		m.rowMax[y], m.rowMaxPos[y] = maxWritten, maxWrittenPos
-		m.rowStale[y] = false
-	case pos >= low && pos <= x2:
-		// The recorded widest run was rewritten and nothing written
-		// matches or beats it. Runs only ever shrink under the cells
-		// just made busy, so the recorded value stays a valid upper
-		// bound; leave the exact re-derivation (rowMaxRescan) to the
-		// next search that cares about this row.
-		m.rowStale[y] = true
-	}
+	m.settleRowAggregate(r, maxWritten, maxWrittenPos, low, x2)
 }
 
 // updateRowRunsSpan is updateRowRuns specialized for a uniformly
-// flipped span (flipRect): the span's new run values need no busy-map
+// flipped span (flipBox): the span's new run values need no busy-map
 // probes — zeros when it went busy, an incrementing suffix chain off
 // the right neighbour when it went free — and only the cells left of
 // the span walk the generic repair with its early stop. The aggregate
 // bookkeeping mirrors updateRowRuns exactly (same values, positions and
 // staleness decisions for the same mutation).
-func (m *Mesh) updateRowRunsSpan(y, x1, x2 int, toBusy bool) {
-	row := y * m.w
+func (m *Mesh) updateRowRunsSpan(r, x1, x2 int, toBusy bool) {
+	row := r * m.w
 	var run, maxWritten, maxWrittenPos int
 	if toBusy {
 		for x := x1; x <= x2; x++ {
@@ -406,61 +497,86 @@ func (m *Mesh) updateRowRunsSpan(y, x1, x2 int, toBusy bool) {
 			maxWritten, maxWrittenPos = run, x
 		}
 	}
-	switch pos := m.rowMaxPos[y]; {
-	case maxWritten >= m.rowMax[y]:
-		m.rowMax[y], m.rowMaxPos[y] = maxWritten, maxWrittenPos
-		m.rowStale[y] = false
+	m.settleRowAggregate(r, maxWritten, maxWrittenPos, low, x2)
+}
+
+// settleRowAggregate applies one rewritten span's outcome to plane-row
+// r's aggregate, then lifts a grown row bound into the plane aggregate:
+// a fresh exact row maximum that beats the stored one replaces it (and
+// clears staleness); a rewritten recorded-widest run whose replacement
+// does not match or beat it leaves the old value behind as an upper
+// bound and marks the row stale (runs only ever shrink under the cells
+// just made busy), so only the next search that cares pays the exact
+// re-derivation.
+func (m *Mesh) settleRowAggregate(r, maxWritten, maxWrittenPos, low, x2 int) {
+	switch pos := m.rowMaxPos[r]; {
+	case maxWritten >= m.rowMax[r]:
+		m.rowMax[r], m.rowMaxPos[r] = maxWritten, maxWrittenPos
+		m.rowStale[r] = false
+		if z := r / m.l; maxWritten > m.planeMax[z] {
+			m.planeMax[z] = maxWritten
+		}
 	case pos >= low && pos <= x2:
-		// See updateRowRuns: the recorded widest run was rewritten and
-		// nothing written matches or beats it; the old value remains a
-		// valid upper bound until a search re-derives the row.
-		m.rowStale[y] = true
+		// The recorded widest run was rewritten and nothing written
+		// matches or beats it. Runs only ever shrink under the cells
+		// just made busy, so the recorded value stays a valid upper
+		// bound; leave the exact re-derivation (rowMaxRescan) to the
+		// next search that cares about this row.
+		m.rowStale[r] = true
 	}
 }
 
-// rowMaxRescan re-derives row y's exact widest run by hopping run to
-// run. Called by searches on stale rows only.
-func (m *Mesh) rowMaxRescan(y int) {
-	row := y * m.w
+// rowMaxRescan re-derives plane-row r's exact widest run by hopping run
+// to run. Called by searches on stale rows only. Lowering the row bound
+// may strand the plane aggregate as an over-estimate, so a plane whose
+// record matched the lowered row goes stale too (planeMaxAt repairs
+// it).
+func (m *Mesh) rowMaxRescan(r int) {
+	row := r * m.w
 	max, maxPos := 0, 0
 	for x := 0; x < m.w; {
-		r := m.rightRun[row+x]
-		if r > max {
-			max, maxPos = r, x
+		rr := m.rightRun[row+x]
+		if rr > max {
+			max, maxPos = rr, x
 		}
-		x += r + 1 // land past the run-ending busy processor
+		x += rr + 1 // land past the run-ending busy processor
 	}
-	m.rowMax[y], m.rowMaxPos[y], m.rowStale[y] = max, maxPos, false
+	if z := r / m.l; max < m.rowMax[r] && m.rowMax[r] >= m.planeMax[z] {
+		m.planeStale[z] = true
+	}
+	m.rowMax[r], m.rowMaxPos[r], m.rowStale[r] = max, maxPos, false
 }
 
-// rowMaxAt returns the exact widest free run of row y, repairing a
-// stale aggregate first.
-func (m *Mesh) rowMaxAt(y int) int {
-	if m.rowStale[y] {
-		m.rowMaxRescan(y)
+// rowMaxAt returns the exact widest free run of plane-row r, repairing
+// a stale aggregate first.
+func (m *Mesh) rowMaxAt(r int) int {
+	if m.rowStale[r] {
+		m.rowMaxRescan(r)
 	}
-	return m.rowMax[y]
+	return m.rowMax[r]
 }
 
-// rowFitsWidth reports whether row y's widest free run is at least w.
-// The stored aggregate is an upper bound even when stale (looseRowBound),
-// so a value already below w settles the question without the O(W)
-// repair; only an inconclusive stale row pays for exactness.
-func (m *Mesh) rowFitsWidth(y, w int) bool {
-	if m.rowMax[y] < w {
+// rowFitsWidth reports whether plane-row r's widest free run is at
+// least w. The stored aggregate is an upper bound even when stale
+// (looseRowBound), so a value already below w settles the question
+// without the O(W) repair; only an inconclusive stale row pays for
+// exactness.
+func (m *Mesh) rowFitsWidth(r, w int) bool {
+	if m.rowMax[r] < w {
 		return false
 	}
-	return m.rowMaxAt(y) >= w
+	return m.rowMaxAt(r) >= w
 }
 
-// flipRect marks the (validated) rectangle busy or free and restores
-// the index invariants: busy map and rightRun eagerly, SAT via the
-// journal.
-func (m *Mesh) flipRect(x1, y1, x2, y2 int, toBusy bool) {
-	for y := y1; y <= y2; y++ {
-		row := y * m.w
-		for x := x1; x <= x2; x++ {
-			m.busy[row+x] = toBusy
+// flipBox marks the (validated) cuboid busy or free and restores the
+// index invariants: busy map and rightRun eagerly, SAT via the journal.
+func (m *Mesh) flipBox(x1, y1, z1, x2, y2, z2 int, toBusy bool) {
+	for z := z1; z <= z2; z++ {
+		for y := y1; y <= y2; y++ {
+			row := (z*m.l + y) * m.w
+			for x := x1; x <= x2; x++ {
+				m.busy[row+x] = toBusy
+			}
 		}
 	}
 	sign := 1
@@ -468,16 +584,18 @@ func (m *Mesh) flipRect(x1, y1, x2, y2 int, toBusy bool) {
 		sign = -1
 		m.noteRelease()
 	}
-	m.queueSAT(x1, y1, x2, y2, sign)
-	for y := y1; y <= y2; y++ {
-		m.updateRowRunsSpan(y, x1, x2, toBusy)
+	m.queueSAT(x1, y1, z1, x2, y2, z2, sign)
+	for z := z1; z <= z2; z++ {
+		for y := y1; y <= y2; y++ {
+			m.updateRowRunsSpan(m.rowIdx(y, z), x1, x2, toBusy)
+		}
 	}
 }
 
 // noteCells restores the index invariants after the busy state of the
 // given (already flipped) cells changed by sign (+1 busy, -1 free):
-// one journaled 1x1 SAT delta per cell, one rightRun repair per
-// touched row over that row's touched span.
+// one journaled 1x1x1 SAT delta per cell, one rightRun repair per
+// touched plane-row over that row's touched span.
 func (m *Mesh) noteCells(nodes []Coord, sign int) {
 	if sign < 0 {
 		m.noteRelease()
@@ -488,14 +606,15 @@ func (m *Mesh) noteCells(nodes []Coord, sign int) {
 		m.recomputeSAT()
 	} else {
 		for _, c := range nodes {
-			m.pending = append(m.pending, satDelta{c.X, c.Y, c.X, c.Y, sign})
+			m.pending = append(m.pending, satDelta{c.X, c.Y, c.Z, c.X, c.Y, c.Z, sign})
 		}
 	}
 	spans := make(map[int][2]int, len(nodes))
 	for _, c := range nodes {
-		s, ok := spans[c.Y]
+		r := m.rowIdx(c.Y, c.Z)
+		s, ok := spans[r]
 		if !ok {
-			spans[c.Y] = [2]int{c.X, c.X}
+			spans[r] = [2]int{c.X, c.X}
 			continue
 		}
 		if c.X < s[0] {
@@ -504,10 +623,10 @@ func (m *Mesh) noteCells(nodes []Coord, sign int) {
 		if c.X > s[1] {
 			s[1] = c.X
 		}
-		spans[c.Y] = s
+		spans[r] = s
 	}
-	for y, s := range spans {
-		m.updateRowRuns(y, s[0], s[1])
+	for r, s := range spans {
+		m.updateRowRuns(r, s[0], s[1])
 	}
 }
 
@@ -543,27 +662,29 @@ func (m *Mesh) Allocate(nodes []Coord) error {
 }
 
 // AllocateSub marks an entire sub-mesh busy. The overlap check walks
-// the rectangle it is about to write anyway; the index update touches
-// only the affected rows plus one journaled SAT delta.
+// the cuboid it is about to write anyway; the index update touches
+// only the affected plane-rows plus one journaled SAT delta.
 func (m *Mesh) AllocateSub(s Submesh) error {
 	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
 		return fmt.Errorf("mesh: allocate invalid sub-mesh %v", s)
 	}
-	if m.scanBusyRect(s.X1, s.Y1, s.X2, s.Y2) != 0 {
+	if m.scanBusyBox(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2) != 0 {
 		return fmt.Errorf("mesh: sub-mesh %v overlaps busy %v", s, m.firstInRect(s, true))
 	}
-	m.flipRect(s.X1, s.Y1, s.X2, s.Y2, true)
+	m.flipBox(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2, true)
 	m.freeCount -= s.Area()
 	return nil
 }
 
-// firstInRect returns the row-major first cell of s whose busy state
+// firstInRect returns the scan-order first cell of s whose busy state
 // matches want. It only runs on error paths, for diagnostics.
 func (m *Mesh) firstInRect(s Submesh, want bool) Coord {
-	for y := s.Y1; y <= s.Y2; y++ {
-		for x := s.X1; x <= s.X2; x++ {
-			if m.busy[y*m.w+x] == want {
-				return Coord{x, y}
+	for z := s.Z1; z <= s.Z2; z++ {
+		for y := s.Y1; y <= s.Y2; y++ {
+			for x := s.X1; x <= s.X2; x++ {
+				if m.busy[(z*m.l+y)*m.w+x] == want {
+					return Coord{x, y, z}
+				}
 			}
 		}
 	}
@@ -599,7 +720,7 @@ func (m *Mesh) Release(nodes []Coord) error {
 	return nil
 }
 
-// ReleaseSub marks an entire sub-mesh free, directly by rectangle (no
+// ReleaseSub marks an entire sub-mesh free, directly by cuboid (no
 // per-node materialization) with the same error checking as Release:
 // out-of-bounds or already-free processors are reported without side
 // effects. Invalid (empty) sub-meshes release nothing.
@@ -608,27 +729,30 @@ func (m *Mesh) ReleaseSub(s Submesh) error {
 		return nil
 	}
 	if !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
-		for y := s.Y1; y <= s.Y2; y++ {
-			for x := s.X1; x <= s.X2; x++ {
-				if !m.InBounds(Coord{x, y}) {
-					return fmt.Errorf("mesh: release out of bounds %v", Coord{x, y})
+		for z := s.Z1; z <= s.Z2; z++ {
+			for y := s.Y1; y <= s.Y2; y++ {
+				for x := s.X1; x <= s.X2; x++ {
+					if !m.InBounds(Coord{x, y, z}) {
+						return fmt.Errorf("mesh: release out of bounds %v", Coord{x, y, z})
+					}
 				}
 			}
 		}
 	}
-	if m.scanBusyRect(s.X1, s.Y1, s.X2, s.Y2) != s.Area() {
+	if m.scanBusyBox(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2) != s.Area() {
 		return fmt.Errorf("mesh: release already-free %v", m.firstInRect(s, false))
 	}
-	m.flipRect(s.X1, s.Y1, s.X2, s.Y2, false)
+	m.flipBox(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2, false)
 	m.freeCount += s.Area()
 	return nil
 }
 
 // SubFree reports whether every processor of s is free (paper
 // Definition 3) in O(1). On a torus, s may cross the wrap-around
-// seams. Out-of-range sub-meshes are not free. Shallow rectangles are
-// answered by a constant-bounded number of run probes (one per row),
-// which needs no journal fold; tall ones by the summed-area table.
+// seams. Out-of-range sub-meshes are not free. Shallow cuboids are
+// answered by a constant-bounded number of run probes (one per
+// plane-row), which needs no journal fold; thick ones by the
+// summed-volume table.
 func (m *Mesh) SubFree(s Submesh) bool {
 	if m.torus {
 		return m.torusSubFree(s)
@@ -636,18 +760,21 @@ func (m *Mesh) SubFree(s Submesh) bool {
 	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
 		return false
 	}
-	if w := s.W(); s.L() <= 8 {
-		for y := s.Y1; y <= s.Y2; y++ {
-			if m.rightRun[y*m.w+s.X1] < w {
-				return false
+	if w := s.W(); s.L()*s.H() <= 8 {
+		for z := s.Z1; z <= s.Z2; z++ {
+			for y := s.Y1; y <= s.Y2; y++ {
+				if m.rightRun[(z*m.l+y)*m.w+s.X1] < w {
+					return false
+				}
 			}
 		}
 		return true
 	}
-	return m.rectBusy(s.X1, s.Y1, s.X2, s.Y2) == 0
+	return m.boxBusy(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2) == 0
 }
 
-// FreeNodes returns the free processors in row-major order.
+// FreeNodes returns the free processors plane by plane in row-major
+// order.
 func (m *Mesh) FreeNodes() []Coord {
 	out := make([]Coord, 0, m.freeCount)
 	for c := range m.FreeSeq() {
@@ -657,16 +784,18 @@ func (m *Mesh) FreeNodes() []Coord {
 }
 
 // Clone returns an independent copy of the mesh occupancy, preserving
-// the topology.
+// the topology and geometry.
 func (m *Mesh) Clone() *Mesh {
 	m.drainSAT()
-	n := New(m.w, m.l)
+	n := New3D(m.w, m.l, m.h)
 	n.torus = m.torus
 	copy(n.busy, m.busy)
 	copy(n.rightRun, m.rightRun)
 	copy(n.rowMax, m.rowMax)
 	copy(n.rowMaxPos, m.rowMaxPos)
 	copy(n.rowStale, m.rowStale)
+	copy(n.planeMax, m.planeMax)
+	copy(n.planeStale, m.planeStale)
 	copy(n.sat, m.sat)
 	n.freeCount = m.freeCount
 	return n
@@ -682,19 +811,27 @@ func (m *Mesh) Reset() {
 	m.resetTables()
 }
 
-// String renders the occupancy as an ASCII grid, row y = L-1 at the
-// top (matching the paper's Fig. 1 orientation): '#' busy, '.' free.
+// String renders the occupancy as an ASCII grid per plane, row y = L-1
+// at the top (matching the paper's Fig. 1 orientation): '#' busy, '.'
+// free. Planes beyond the first are introduced by a "z=k" header; a 2D
+// mesh renders exactly as before.
 func (m *Mesh) String() string {
-	b := make([]byte, 0, (m.w+1)*m.l)
-	for y := m.l - 1; y >= 0; y-- {
-		for x := 0; x < m.w; x++ {
-			if m.busy[y*m.w+x] {
-				b = append(b, '#')
-			} else {
-				b = append(b, '.')
-			}
+	b := make([]byte, 0, (m.w+1)*m.l*m.h)
+	for z := 0; z < m.h; z++ {
+		if m.h > 1 {
+			b = append(b, fmt.Sprintf("z=%d\n", z)...)
 		}
-		b = append(b, '\n')
+		for y := m.l - 1; y >= 0; y-- {
+			row := (z*m.l + y) * m.w
+			for x := 0; x < m.w; x++ {
+				if m.busy[row+x] {
+					b = append(b, '#')
+				} else {
+					b = append(b, '.')
+				}
+			}
+			b = append(b, '\n')
+		}
 	}
 	return string(b)
 }

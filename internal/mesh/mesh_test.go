@@ -15,7 +15,7 @@ func TestNewMeshAllFree(t *testing.T) {
 	if m.FreeCount() != 352 || m.BusyCount() != 0 {
 		t.Fatalf("free=%d busy=%d", m.FreeCount(), m.BusyCount())
 	}
-	for _, c := range []Coord{{0, 0}, {15, 21}, {7, 10}} {
+	for _, c := range []Coord{{0, 0, 0}, {15, 21, 0}, {7, 10, 0}} {
 		if m.Busy(c) {
 			t.Fatalf("%v busy in fresh mesh", c)
 		}
@@ -51,7 +51,7 @@ func TestIndexCoordRoundTrip(t *testing.T) {
 
 func TestAllocateReleaseCycle(t *testing.T) {
 	m := New(4, 4)
-	nodes := []Coord{{0, 0}, {1, 0}, {2, 3}}
+	nodes := []Coord{{0, 0, 0}, {1, 0, 0}, {2, 3, 0}}
 	if err := m.Allocate(nodes); err != nil {
 		t.Fatal(err)
 	}
@@ -73,14 +73,14 @@ func TestAllocateReleaseCycle(t *testing.T) {
 
 func TestAllocateBusyFails(t *testing.T) {
 	m := New(4, 4)
-	if err := m.Allocate([]Coord{{1, 1}}); err != nil {
+	if err := m.Allocate([]Coord{{1, 1, 0}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Allocate([]Coord{{0, 0}, {1, 1}}); err == nil {
+	if err := m.Allocate([]Coord{{0, 0, 0}, {1, 1, 0}}); err == nil {
 		t.Fatal("allocating busy processor succeeded")
 	}
 	// The failed allocation must not have touched (0,0).
-	if m.Busy(Coord{0, 0}) {
+	if m.Busy(Coord{0, 0, 0}) {
 		t.Fatal("failed Allocate left side effects")
 	}
 	if m.FreeCount() != 15 {
@@ -90,7 +90,7 @@ func TestAllocateBusyFails(t *testing.T) {
 
 func TestAllocateOutOfBoundsFails(t *testing.T) {
 	m := New(4, 4)
-	for _, c := range []Coord{{4, 0}, {0, 4}, {-1, 0}, {0, -1}} {
+	for _, c := range []Coord{{4, 0, 0}, {0, 4, 0}, {-1, 0, 0}, {0, -1, 0}} {
 		if err := m.Allocate([]Coord{c}); err == nil {
 			t.Fatalf("Allocate(%v) succeeded out of bounds", c)
 		}
@@ -99,17 +99,17 @@ func TestAllocateOutOfBoundsFails(t *testing.T) {
 
 func TestAllocateDuplicateFails(t *testing.T) {
 	m := New(4, 4)
-	if err := m.Allocate([]Coord{{1, 1}, {1, 1}}); err == nil {
+	if err := m.Allocate([]Coord{{1, 1, 0}, {1, 1, 0}}); err == nil {
 		t.Fatal("duplicate coordinates accepted")
 	}
-	if m.Busy(Coord{1, 1}) || m.FreeCount() != 16 {
+	if m.Busy(Coord{1, 1, 0}) || m.FreeCount() != 16 {
 		t.Fatal("failed duplicate Allocate left side effects")
 	}
 }
 
 func TestReleaseFreeFails(t *testing.T) {
 	m := New(4, 4)
-	if err := m.Release([]Coord{{2, 2}}); err == nil {
+	if err := m.Release([]Coord{{2, 2, 0}}); err == nil {
 		t.Fatal("releasing free processor succeeded")
 	}
 }
@@ -155,10 +155,10 @@ func TestSubmeshGeometry(t *testing.T) {
 	if s.W() != 3 || s.L() != 2 || s.Area() != 6 {
 		t.Fatalf("W=%d L=%d Area=%d, want 3,2,6", s.W(), s.L(), s.Area())
 	}
-	if s.Base() != (Coord{0, 0}) || s.End() != (Coord{2, 1}) {
+	if s.Base() != (Coord{0, 0, 0}) || s.End() != (Coord{2, 1, 0}) {
 		t.Fatalf("Base=%v End=%v", s.Base(), s.End())
 	}
-	if !s.Contains(Coord{1, 1}) || s.Contains(Coord{3, 0}) {
+	if !s.Contains(Coord{1, 1, 0}) || s.Contains(Coord{3, 0, 0}) {
 		t.Fatal("Contains wrong")
 	}
 	if n := len(s.Nodes()); n != 6 {
@@ -177,24 +177,24 @@ func TestSubAt(t *testing.T) {
 }
 
 func TestManhattanDist(t *testing.T) {
-	if d := ManhattanDist(Coord{0, 0}, Coord{3, 4}); d != 7 {
+	if d := ManhattanDist(Coord{0, 0, 0}, Coord{3, 4, 0}); d != 7 {
 		t.Fatalf("dist = %d, want 7", d)
 	}
-	if d := ManhattanDist(Coord{5, 2}, Coord{1, 2}); d != 4 {
+	if d := ManhattanDist(Coord{5, 2, 0}, Coord{1, 2, 0}); d != 4 {
 		t.Fatalf("dist = %d, want 4", d)
 	}
-	if d := ManhattanDist(Coord{2, 2}, Coord{2, 2}); d != 0 {
+	if d := ManhattanDist(Coord{2, 2, 0}, Coord{2, 2, 0}); d != 0 {
 		t.Fatalf("dist = %d, want 0", d)
 	}
 }
 
 func TestFreeNodesRowMajor(t *testing.T) {
 	m := New(3, 2)
-	if err := m.Allocate([]Coord{{1, 0}, {2, 1}}); err != nil {
+	if err := m.Allocate([]Coord{{1, 0, 0}, {2, 1, 0}}); err != nil {
 		t.Fatal(err)
 	}
 	got := m.FreeNodes()
-	want := []Coord{{0, 0}, {2, 0}, {0, 1}, {1, 1}}
+	want := []Coord{{0, 0, 0}, {2, 0, 0}, {0, 1, 0}, {1, 1, 0}}
 	if len(got) != len(want) {
 		t.Fatalf("FreeNodes = %v", got)
 	}
@@ -207,7 +207,7 @@ func TestFreeNodesRowMajor(t *testing.T) {
 
 func TestStringRendersOccupancy(t *testing.T) {
 	m := New(3, 2)
-	if err := m.Allocate([]Coord{{0, 0}, {2, 1}}); err != nil {
+	if err := m.Allocate([]Coord{{0, 0, 0}, {2, 1, 0}}); err != nil {
 		t.Fatal(err)
 	}
 	// Row y=1 on top: "..#", row y=0 below: "#..".
@@ -219,17 +219,17 @@ func TestStringRendersOccupancy(t *testing.T) {
 
 func TestCloneIndependent(t *testing.T) {
 	m := New(4, 4)
-	if err := m.Allocate([]Coord{{1, 1}}); err != nil {
+	if err := m.Allocate([]Coord{{1, 1, 0}}); err != nil {
 		t.Fatal(err)
 	}
 	c := m.Clone()
-	if !c.Busy(Coord{1, 1}) || c.FreeCount() != 15 {
+	if !c.Busy(Coord{1, 1, 0}) || c.FreeCount() != 15 {
 		t.Fatal("clone does not match source")
 	}
-	if err := c.Allocate([]Coord{{2, 2}}); err != nil {
+	if err := c.Allocate([]Coord{{2, 2, 0}}); err != nil {
 		t.Fatal(err)
 	}
-	if m.Busy(Coord{2, 2}) {
+	if m.Busy(Coord{2, 2, 0}) {
 		t.Fatal("clone shares state with source")
 	}
 }

@@ -105,6 +105,11 @@ func (m *Mesh) FirstFit(w, l int) (Submesh, bool) {
 	if w <= 0 || l <= 0 || w > m.w || l > m.l {
 		return Submesh{}, false
 	}
+	if m.h > 1 {
+		// On a 3D mesh a 2D request is a depth-1 cuboid anywhere in the
+		// volume (volume.go).
+		return m.firstFit3D(w, l, 1)
+	}
 	fresh := true
 	for y := 0; ; y++ {
 		y = m.nextWindowRow(y, w, l, fresh)
@@ -131,6 +136,11 @@ func (m *Mesh) BestFit(w, l int) (Submesh, bool) {
 	}
 	if w <= 0 || l <= 0 || w > m.w || l > m.l {
 		return Submesh{}, false
+	}
+	if m.h > 1 {
+		// Depth-1 candidates over the whole volume, scored on all six
+		// faces (volume.go).
+		return m.BestFit3D(w, l, 1)
 	}
 	// boundaryPressure reads the SAT per candidate; back-to-back
 	// searches with no intervening mutation skip the fold entirely.
@@ -212,6 +222,11 @@ func (m *Mesh) LargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
 	if maxL > m.l {
 		maxL = m.l
 	}
+	if m.h > 1 {
+		// A 2D constrained-largest on a 3D mesh is the depth-capped-at-1
+		// volumetric search (volume.go).
+		return m.largestFree3D(maxW, maxL, 1, maxArea)
+	}
 	return m.largestFreeHist(maxW, maxL, maxArea)
 }
 
@@ -226,6 +241,9 @@ func (m *Mesh) largestFreeScan(maxW, maxL, maxArea int) (Submesh, bool) {
 	}
 	if maxW <= 0 || maxL <= 0 || maxArea <= 0 {
 		return Submesh{}, false
+	}
+	if m.h > 1 {
+		return m.largestFreeScan3D(maxW, maxL, 1, maxArea)
 	}
 	if maxW > m.w {
 		maxW = m.w
@@ -306,30 +324,32 @@ func (m *Mesh) largestFreeScan(maxW, maxL, maxArea int) (Submesh, bool) {
 	return best, bestFound
 }
 
-// LargestFreeAnywhere returns the unconstrained largest free sub-mesh.
+// LargestFreeAnywhere returns the unconstrained largest free sub-mesh
+// (the largest free cuboid on a 3D mesh).
 func (m *Mesh) LargestFreeAnywhere() (Submesh, bool) {
-	return m.LargestFree(m.w, m.l, m.Size())
+	return m.LargestFree3D(m.w, m.l, m.h, m.Size())
 }
 
-// FreeSeq yields the free processors in row-major order, jumping
-// through the rightRun table so busy processors cost one step each and
-// free runs are emitted directly.
+// FreeSeq yields the free processors plane by plane in row-major order,
+// jumping through the rightRun table so busy processors cost one step
+// each and free runs are emitted directly.
 func (m *Mesh) FreeSeq() iter.Seq[Coord] {
 	return func(yield func(Coord) bool) {
-		for y := 0; y < m.l; y++ {
-			row := y * m.w
+		for r := 0; r < m.rows(); r++ {
+			row := r * m.w
+			y, z := r%m.l, r/m.l
 			for x := 0; x < m.w; {
-				r := m.rightRun[row+x]
-				if r == 0 {
+				rr := m.rightRun[row+x]
+				if rr == 0 {
 					x++
 					continue
 				}
-				for i := 0; i < r; i++ {
-					if !yield(Coord{x + i, y}) {
+				for i := 0; i < rr; i++ {
+					if !yield(Coord{x + i, y, z}) {
 						return
 					}
 				}
-				x += r + 1 // the processor ending the run is busy
+				x += rr + 1 // the processor ending the run is busy
 			}
 		}
 	}

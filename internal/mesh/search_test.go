@@ -16,10 +16,10 @@ func paperExample(t *testing.T) *Mesh {
 	// Fig. 1 shows S = (0,0,2,1) allocated plus a diagonal-ish pattern;
 	// we reconstruct an occupancy with exactly 4 scattered free nodes.
 	busy := []Coord{
-		{0, 0}, {1, 0}, {2, 0},
-		{0, 1}, {1, 1}, {2, 1},
-		{1, 2}, {3, 2},
-		{0, 3}, {2, 3}, {3, 3}, {3, 0},
+		{0, 0, 0}, {1, 0, 0}, {2, 0, 0},
+		{0, 1, 0}, {1, 1, 0}, {2, 1, 0},
+		{1, 2, 0}, {3, 2, 0},
+		{0, 3, 0}, {2, 3, 0}, {3, 3, 0}, {3, 0, 0},
 	}
 	if err := m.Allocate(busy); err != nil {
 		t.Fatal(err)

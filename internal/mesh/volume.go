@@ -1,0 +1,557 @@
+package mesh
+
+// This file is the 3D query and search layer of the occupancy index
+// (PR 4). The incremental tables are dimension-general (mesh.go): the
+// run table is per-(row, plane), the per-row aggregates stack into the
+// z-axis planeMax aggregate, and the journaled far-corner summed-area
+// table is a 3D prefix volume, so SubFree/FitsAt/BusyInRect/FreeInRect
+// are O(1) on cuboids. The searches here port the planar ones:
+//
+//   - firstFit3D / bestFit3D scan candidate bases in (z, y, x) order,
+//     pruning whole planes with planeMax (z-pruning) and whole window
+//     rows with rowMax, and skip blocked bases run by run exactly like
+//     the planar CandidatesRow;
+//   - largestFree3D runs the PR 3 maximal-rectangle-in-histogram sweep
+//     per projected plane under a z-extent outer loop: for every
+//     (base plane, depth) pair the planes are AND-projected and one
+//     O(W·L) sweep yields the widest free cuboid per height, folded
+//     into the best capped (volume, spread) and located with
+//     firstFit3D. The naive volumetric scan is retained verbatim as
+//     largestFreeScan3D — the reference the differential tests hold
+//     the sweep to, result for result (mirroring largestFreeScan).
+//
+// A depth-1 mesh never reaches this file: every public 3D entry point
+// delegates to the planar machinery there, so 2D (and torus) behaviour
+// is bit-identical to PR 3 by construction.
+
+// planeMaxRescan re-derives plane z's aggregate from the per-row
+// bounds. The row bounds themselves may be stale-high, so the result
+// stays an upper bound — which is all the plane filter needs — but it
+// sheds the over-estimate left by a lowered row. Called by searches on
+// stale planes only.
+func (m *Mesh) planeMaxRescan(z int) {
+	max := 0
+	for r := z * m.l; r < (z+1)*m.l; r++ {
+		if m.rowMax[r] > max {
+			max = m.rowMax[r]
+		}
+	}
+	m.planeMax[z], m.planeStale[z] = max, false
+}
+
+// planeFitsWidth reports whether plane z can possibly hold a free run
+// of width w. The stored aggregate bounds the true widest run from
+// above even when stale, so a value below w rejects the plane in O(1);
+// an inconclusive stale plane pays one O(L) re-derivation.
+func (m *Mesh) planeFitsWidth(z, w int) bool {
+	if m.planeMax[z] < w {
+		return false
+	}
+	if m.planeStale[z] {
+		m.planeMaxRescan(z)
+	}
+	return m.planeMax[z] >= w
+}
+
+// FitsAt3D reports in O(1) whether the w x l x h cuboid based at
+// (x, y, z) lies on the mesh and is entirely free. The torus query
+// layer is 2D-only, so on a torus any h other than 1 reports false and
+// h == 1 defers to the wrap-aware FitsAt.
+func (m *Mesh) FitsAt3D(x, y, z, w, l, h int) bool {
+	if m.torus {
+		return h == 1 && z == 0 && m.FitsAt(x, y, w, l)
+	}
+	if w <= 0 || l <= 0 || h <= 0 || x < 0 || y < 0 || z < 0 ||
+		x+w > m.w || y+l > m.l || z+h > m.h {
+		return false
+	}
+	return m.boxBusy(x, y, z, x+w-1, y+l-1, z+h-1) == 0
+}
+
+// blockedUntil3D returns 0 when the w x l x h cuboid based at (x, y, z)
+// is free, and otherwise the number of bases to skip: the first
+// blocking plane-row's busy processor at x+run blocks every base in
+// [x, x+run], exactly as in the planar search.
+func (m *Mesh) blockedUntil3D(x, y, z, w, l, h int) int {
+	for zz := z; zz < z+h; zz++ {
+		row := (zz*m.l + y) * m.w
+		for yy := 0; yy < l; yy++ {
+			if r := m.rightRun[row+yy*m.w+x]; r < w {
+				return r + 1
+			}
+		}
+	}
+	return 0
+}
+
+// nextWindowPlane advances the base plane past every z-window that
+// contains a plane too narrow for width w (planeMax < w): it returns
+// the next base plane >= z whose window planes z..z+h-1 all pass the
+// plane filter, or m.h when none remains. A blocking plane rules out
+// every window containing it, so the scan jumps straight past it.
+func (m *Mesh) nextWindowPlane(z, w, h int) int {
+	for z+h <= m.h {
+		bad := -1
+		for i := h - 1; i >= 0; i-- {
+			if !m.planeFitsWidth(z+i, w) {
+				bad = z + i
+				break
+			}
+		}
+		if bad < 0 {
+			return z
+		}
+		z = bad + 1
+	}
+	return m.h
+}
+
+// blockingWindowRow returns the highest row yy in [y, y+l-1] whose
+// plane-rows across the z-window cannot hold width w, or -1 when every
+// window row passes. Any base row in [y, yy] would contain row yy, so
+// the search jumps to yy+1.
+func (m *Mesh) blockingWindowRow(y, z, w, l, h int) int {
+	for yy := y + l - 1; yy >= y; yy-- {
+		for zz := z; zz < z+h; zz++ {
+			if !m.rowFitsWidth(m.rowIdx(yy, zz), w) {
+				return yy
+			}
+		}
+	}
+	return -1
+}
+
+// FirstFit3D returns the first (in (z, y, x) base order) free
+// w x l x h cuboid — the contiguous first-fit search generalized with
+// the depth axis. On a depth-1 mesh (including the torus, where h must
+// be 1) it is exactly the planar FirstFit.
+func (m *Mesh) FirstFit3D(w, l, h int) (Submesh, bool) {
+	if w <= 0 || l <= 0 || h <= 0 || w > m.w || l > m.l || h > m.h {
+		return Submesh{}, false
+	}
+	if m.h == 1 {
+		return m.FirstFit(w, l)
+	}
+	return m.firstFit3D(w, l, h)
+}
+
+// firstFit3D scans the candidate space plane window by plane window.
+// Arguments are positive and within the mesh sides; the mesh has
+// depth > 1 (planar meshes take the 2D path).
+func (m *Mesh) firstFit3D(w, l, h int) (Submesh, bool) {
+	for z := 0; ; z++ {
+		z = m.nextWindowPlane(z, w, h)
+		if z+h > m.h {
+			return Submesh{}, false
+		}
+		for y := 0; y+l <= m.l; {
+			if bad := m.blockingWindowRow(y, z, w, l, h); bad >= 0 {
+				y = bad + 1
+				continue
+			}
+			for x := 0; x+w <= m.w; {
+				skip := m.blockedUntil3D(x, y, z, w, l, h)
+				if skip == 0 {
+					return SubAt3D(x, y, z, w, l, h), true
+				}
+				x += skip
+			}
+			y++
+		}
+	}
+}
+
+// BestFit3D returns the free w x l x h cuboid whose placement touches
+// the most busy-or-border processors across its six faces (the planar
+// boundary-pressure score generalized from perimeter edges to faces).
+// The (z, y, x)-first candidate wins ties. On a depth-1 mesh it is
+// exactly the planar BestFit.
+func (m *Mesh) BestFit3D(w, l, h int) (Submesh, bool) {
+	if w <= 0 || l <= 0 || h <= 0 || w > m.w || l > m.l || h > m.h {
+		return Submesh{}, false
+	}
+	if m.h == 1 {
+		return m.BestFit(w, l)
+	}
+	// boundaryPressure3D reads the SAT per candidate; back-to-back
+	// searches with no intervening mutation skip the fold entirely.
+	if len(m.pending) > 0 {
+		m.drainSAT()
+	}
+	best := Submesh{}
+	bestScore := -1
+	for z := 0; ; z++ {
+		z = m.nextWindowPlane(z, w, h)
+		if z+h > m.h {
+			break
+		}
+		for y := 0; y+l <= m.l; {
+			if bad := m.blockingWindowRow(y, z, w, l, h); bad >= 0 {
+				y = bad + 1
+				continue
+			}
+			for x := 0; x+w <= m.w; {
+				skip := m.blockedUntil3D(x, y, z, w, l, h)
+				if skip > 0 {
+					x += skip
+					continue
+				}
+				s := SubAt3D(x, y, z, w, l, h)
+				if score := m.boundaryPressure3D(s); score > bestScore {
+					bestScore = score
+					best = s
+				}
+				x++
+			}
+			y++
+		}
+	}
+	if bestScore < 0 {
+		return Submesh{}, false
+	}
+	return best, true
+}
+
+// boundaryPressure3D counts face-adjacent positions of s that abut the
+// mesh border or a busy processor. Each of the six face slabs is one
+// O(1) summed-volume query; slabs falling off the mesh count whole as
+// border. Edges and corners are not counted, matching the planar
+// score's edge-only perimeter. Requires a drained journal.
+func (m *Mesh) boundaryPressure3D(s Submesh) int {
+	score := 0
+	if s.Y1 == 0 {
+		score += s.W() * s.H()
+	} else {
+		score += m.busyInBox(s.X1, s.Y1-1, s.Z1, s.X2, s.Y1-1, s.Z2)
+	}
+	if s.Y2 == m.l-1 {
+		score += s.W() * s.H()
+	} else {
+		score += m.busyInBox(s.X1, s.Y2+1, s.Z1, s.X2, s.Y2+1, s.Z2)
+	}
+	if s.X1 == 0 {
+		score += s.L() * s.H()
+	} else {
+		score += m.busyInBox(s.X1-1, s.Y1, s.Z1, s.X1-1, s.Y2, s.Z2)
+	}
+	if s.X2 == m.w-1 {
+		score += s.L() * s.H()
+	} else {
+		score += m.busyInBox(s.X2+1, s.Y1, s.Z1, s.X2+1, s.Y2, s.Z2)
+	}
+	if s.Z1 == 0 {
+		score += s.W() * s.L()
+	} else {
+		score += m.busyInBox(s.X1, s.Y1, s.Z1-1, s.X2, s.Y2, s.Z1-1)
+	}
+	if s.Z2 == m.h-1 {
+		score += s.W() * s.L()
+	} else {
+		score += m.busyInBox(s.X1, s.Y1, s.Z2+1, s.X2, s.Y2, s.Z2+1)
+	}
+	return score
+}
+
+// spread3 is the 3D shape tie-breaker: the spread between the longest
+// and shortest side. On depth-1 shapes it ranks equal-volume
+// candidates exactly as the planar |w−l| skew does (for a fixed
+// product both are monotone in the longer side), so the 2D and 3D
+// preferences agree where they overlap.
+func spread3(w, l, h int) int {
+	lo, hi := w, w
+	if l < lo {
+		lo = l
+	}
+	if l > hi {
+		hi = l
+	}
+	if h < lo {
+		lo = h
+	}
+	if h > hi {
+		hi = h
+	}
+	return hi - lo
+}
+
+// LargestFree3D returns the free cuboid of maximum volume subject to
+// width <= maxW, length <= maxL, height <= maxH and volume <= maxVol.
+// Ties prefer the smaller side spread (spread3) and then the first
+// base in (z, y, x) order, smaller heights then lengths winning at an
+// equal base — exactly the candidate and tie rules of the retained
+// largestFreeScan3D, which the differential tests hold it to. On a
+// depth-1 mesh (and the torus) it is the planar LargestFree.
+func (m *Mesh) LargestFree3D(maxW, maxL, maxH, maxVol int) (Submesh, bool) {
+	if maxH <= 0 || maxVol <= 0 {
+		return Submesh{}, false
+	}
+	if m.h == 1 {
+		return m.LargestFree(maxW, maxL, maxVol)
+	}
+	if maxW <= 0 || maxL <= 0 {
+		return Submesh{}, false
+	}
+	if maxW > m.w {
+		maxW = m.w
+	}
+	if maxL > m.l {
+		maxL = m.l
+	}
+	if maxH > m.h {
+		maxH = m.h
+	}
+	return m.largestFree3D(maxW, maxL, maxH, maxVol)
+}
+
+// largestFree3D is the sweep-backed LargestFree3D. Caps are positive
+// and clamped; the mesh has depth > 1.
+//
+// Phase 1 computes MW(d, l) — the widest free cuboid of height >= l
+// and depth >= d — by AND-projecting every (base plane, depth) pair
+// into a planar occupancy and running the monotonic-stack
+// maximal-rectangle sweep on it (sweepProjection). Phase 2 folds the
+// capped (volume, spread) optimum over (d, l): every scan candidate at
+// (d, l) has width at most fw(d, l) = min(MW(d, l), maxW,
+// maxVol/(l·d)), and fw is itself achieved inside the maximal cuboid,
+// so the fold is exact (the planar reduction of
+// docs/occupancy-index.md §6, applied per (d, l) pair). Phase 3
+// locates the winner: each shape achieving the optimum is placed with
+// firstFit3D and the (z, y, x)-first base wins, smaller d then l at an
+// equal base — the scan's own enumeration order.
+func (m *Mesh) largestFree3D(maxW, maxL, maxH, maxVol int) (Submesh, bool) {
+	mw := sizedScratch(&m.hist.mw3, (maxH+1)*(maxL+1))
+	clear(mw)
+	proj := sizedBoolScratch(&m.hist.proj, m.w*m.l)
+	cand := sizedScratch(&m.hist.cand3, maxL+1)
+	for z0 := 0; z0 < m.h; z0++ {
+		dMax := maxH
+		if rest := m.h - z0; rest < dMax {
+			dMax = rest
+		}
+		for d := 1; d <= dMax; d++ {
+			plane := m.busy[(z0+d-1)*m.l*m.w : (z0+d)*m.l*m.w]
+			if d == 1 {
+				copy(proj, plane)
+			} else {
+				for i, b := range plane {
+					if b {
+						proj[i] = true
+					}
+				}
+			}
+			m.sweepProjection(proj, maxL, cand)
+			if cand[1] == 0 {
+				break // projection fully busy: deeper extents only worse
+			}
+			row := mw[d*(maxL+1):]
+			for l := 1; l <= maxL; l++ {
+				if cand[l] > row[l] {
+					row[l] = cand[l]
+				}
+			}
+		}
+	}
+
+	// Phase 2: fold the capped (volume, spread) optimum over (d, l).
+	bestVol, bestSpr := 0, 0
+	for d := 1; d <= maxH; d++ {
+		row := mw[d*(maxL+1):]
+		for l := 1; l <= maxL; l++ {
+			w := row[l]
+			if w == 0 {
+				break // suffix max in l: taller is never wider
+			}
+			if w > maxW {
+				w = maxW
+			}
+			if w*l*d > maxVol {
+				w = maxVol / (l * d)
+			}
+			if w == 0 {
+				continue
+			}
+			vol, spr := w*l*d, spread3(w, l, d)
+			if vol > bestVol || (vol == bestVol && spr < bestSpr) {
+				bestVol, bestSpr = vol, spr
+			}
+		}
+	}
+	if bestVol == 0 {
+		return Submesh{}, false
+	}
+
+	// Phase 3: the scan's winner is the (z, y, x)-first base admitting
+	// a winning shape; d then l ascending keeps equal-base ties on the
+	// scan's within-anchor order.
+	var best Submesh
+	found := false
+	for d := 1; d <= maxH; d++ {
+		row := mw[d*(maxL+1):]
+		for l := 1; l <= maxL; l++ {
+			w := row[l]
+			if w > maxW {
+				w = maxW
+			}
+			if w*l*d > maxVol {
+				w = maxVol / (l * d)
+			}
+			if w == 0 || w*l*d != bestVol || spread3(w, l, d) != bestSpr {
+				continue
+			}
+			s, ok := m.firstFit3D(w, l, d)
+			if !ok {
+				// MW(d, l) >= w guarantees a free w x l x d cuboid
+				// exists; firstFit3D not finding one means the sweep
+				// and the search disagree on occupancy.
+				panic("mesh: 3D sweep found no base for its best shape")
+			}
+			if !found || s.Z1 < best.Z1 ||
+				(s.Z1 == best.Z1 && (s.Y1 < best.Y1 ||
+					(s.Y1 == best.Y1 && s.X1 < best.X1))) {
+				best, found = s, true
+			}
+		}
+	}
+	return best, found
+}
+
+// sweepProjection runs the maximal-rectangle-in-histogram sweep of
+// maxWidthByHeight over an explicit planar occupancy (the AND
+// projection of a z-extent) instead of the live busy map: cand[l] is
+// set to the width of the widest free rectangle of height
+// exactly-or-more l in the projection, for l in 1..maxL. O(W·L),
+// allocation-free after the scratch buffers exist.
+func (m *Mesh) sweepProjection(proj []bool, maxL int, cand []int) {
+	heights := sizedScratch(&m.hist.heights, m.w)
+	stackS := sizedScratch(&m.hist.stackS, m.w+1)
+	stackH := sizedScratch(&m.hist.stackH, m.w+1)
+	clear(heights)
+	clear(cand)
+	for y := 0; y < m.l; y++ {
+		brow := proj[y*m.w : (y+1)*m.w]
+		top := 0
+		for x := 0; x <= m.w; x++ {
+			h := 0
+			if x < m.w {
+				if brow[x] {
+					heights[x] = 0
+				} else {
+					h = heights[x]
+					if h < maxL {
+						h++
+						heights[x] = h
+					}
+				}
+			}
+			start := x
+			for top > 0 && stackH[top-1] >= h {
+				top--
+				hh := stackH[top]
+				start = stackS[top]
+				if w := x - start; w > cand[hh] {
+					cand[hh] = w
+				}
+			}
+			if h > 0 {
+				stackS[top], stackH[top] = start, h
+				top++
+			}
+		}
+	}
+	// A rectangle of height h contains one of every lesser height, so
+	// the per-height records suffix-max into MW.
+	for h := maxL - 1; h >= 1; h-- {
+		if cand[h] < cand[h+1] {
+			cand[h] = cand[h+1]
+		}
+	}
+}
+
+// largestFreeScan3D is the naive volumetric LargestFree3D: a per-anchor
+// growth scan over depth and height with anchor-maximal capped widths,
+// O(W·L·H·maxH·maxL) worst case. It is retained as the reference
+// implementation the per-plane sweep is differentially tested against,
+// exactly as largestFreeScan is for the planar search. Caps follow
+// LargestFree3D; on a depth-1 mesh it defers to largestFreeScan.
+func (m *Mesh) largestFreeScan3D(maxW, maxL, maxH, maxVol int) (Submesh, bool) {
+	if maxH <= 0 || maxVol <= 0 {
+		return Submesh{}, false
+	}
+	if m.h == 1 {
+		return m.largestFreeScan(maxW, maxL, maxVol)
+	}
+	if maxW <= 0 || maxL <= 0 {
+		return Submesh{}, false
+	}
+	if maxW > m.w {
+		maxW = m.w
+	}
+	if maxL > m.l {
+		maxL = m.l
+	}
+	if maxH > m.h {
+		maxH = m.h
+	}
+	rowMin := sizedScratch(&m.hist.rowMin3, maxL)
+	var (
+		best      Submesh
+		bestVol   int
+		bestSpr   int
+		bestFound bool
+	)
+	for z := 0; z < m.h; z++ {
+		hCap := maxH
+		if rest := m.h - z; rest < hCap {
+			hCap = rest
+		}
+		for y := 0; y < m.l; y++ {
+			lCap := maxL
+			if rest := m.l - y; rest < lCap {
+				lCap = rest
+			}
+			for x := 0; x < m.w; x++ {
+				if m.rightRun[(z*m.l+y)*m.w+x] == 0 {
+					continue
+				}
+				for d := 1; d <= hCap; d++ {
+					zz := z + d - 1
+					for j := 0; j < lCap; j++ {
+						r := m.rightRun[(zz*m.l+y+j)*m.w+x]
+						if d == 1 || r < rowMin[j] {
+							rowMin[j] = r
+						}
+					}
+					if rowMin[0] == 0 {
+						break // anchor column blocked at this depth and deeper
+					}
+					minRun := m.w
+					for l := 1; l <= lCap; l++ {
+						if rowMin[l-1] < minRun {
+							minRun = rowMin[l-1]
+						}
+						if minRun == 0 {
+							break
+						}
+						w := minRun
+						if w > maxW {
+							w = maxW
+						}
+						if w*l*d > maxVol {
+							w = maxVol / (l * d)
+						}
+						if w == 0 {
+							continue
+						}
+						vol, spr := w*l*d, spread3(w, l, d)
+						if vol > bestVol || (vol == bestVol && bestFound && spr < bestSpr) {
+							best = SubAt3D(x, y, z, w, l, d)
+							bestVol, bestSpr = vol, spr
+							bestFound = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return best, bestFound
+}

@@ -1,5 +1,5 @@
-// Package network simulates a wormhole-switched 2D mesh interconnect at
-// channel granularity on top of the des engine.
+// Package network simulates a wormhole-switched mesh interconnect — 2D
+// or, with New3D, 3D — at channel granularity on top of the des engine.
 //
 // Model (see DESIGN.md §3.2): every unidirectional link — including each
 // node's injection and ejection links — is a channel that one packet
@@ -34,18 +34,22 @@ import (
 // Direction indexes a node's output channels.
 type Direction int
 
-// The four mesh directions plus the processor-router links.
+// The six mesh directions plus the processor-router links. Up and Down
+// exist on every node for uniform channel indexing but are only routed
+// over on meshes with depth > 1.
 const (
 	East   Direction = iota // +x
 	West                    // -x
 	North                   // +y
 	South                   // -y
+	Up                      // +z
+	Down                    // -z
 	Inject                  // processor -> router (source)
 	Eject                   // router -> processor (destination)
 	numDirs
 )
 
-var dirNames = [...]string{"East", "West", "North", "South", "Inject", "Eject"}
+var dirNames = [...]string{"East", "West", "North", "South", "Up", "Down", "Inject", "Eject"}
 
 // String names the direction.
 func (d Direction) String() string {
@@ -132,11 +136,13 @@ type channel struct {
 	queue []*Packet // FIFO of waiting headers
 }
 
-// Network is the wormhole interconnect for a w x l mesh.
+// Network is the wormhole interconnect for a w x l x d mesh (d == 1 is
+// the paper's 2D fabric).
 type Network struct {
 	eng *des.Engine
 	w   int
 	l   int
+	d   int
 	cfg Config
 
 	channels []channel
@@ -155,20 +161,33 @@ type Network struct {
 	deliverFn des.EventFunc
 }
 
-// New builds the interconnect on the given engine and mesh dimensions.
+// New builds the interconnect on the given engine and 2D mesh
+// dimensions — the depth-1 case of New3D.
 func New(eng *des.Engine, w, l int, cfg Config) *Network {
-	if w <= 0 || l <= 0 {
-		panic(fmt.Sprintf("network: invalid dimensions %dx%d", w, l))
+	return New3D(eng, w, l, 1, cfg)
+}
+
+// New3D builds the interconnect on the given engine and w x l x d mesh
+// dimensions. Routing is XYZ dimension-ordered, which is deadlock-free
+// on the mesh; the torus topology wraps the x and y rings only and is
+// rejected on depths above 1.
+func New3D(eng *des.Engine, w, l, d int, cfg Config) *Network {
+	if w <= 0 || l <= 0 || d <= 0 {
+		panic(fmt.Sprintf("network: invalid dimensions %dx%dx%d", w, l, d))
 	}
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
+	}
+	if cfg.Topology == TorusTopology && d > 1 {
+		panic("network: torus topology is 2D-only (no z rings); use depth 1")
 	}
 	n := &Network{
 		eng:      eng,
 		w:        w,
 		l:        l,
+		d:        d,
 		cfg:      cfg,
-		channels: make([]channel, w*l*int(numDirs)*numVCs),
+		channels: make([]channel, w*l*d*int(numDirs)*numVCs),
 	}
 	n.requestFn = func(a any) { n.request(a.(*Packet)) }
 	n.releaseFn = func(a any) {
@@ -186,6 +205,9 @@ func (n *Network) W() int { return n.w }
 
 // L returns the mesh length.
 func (n *Network) L() int { return n.l }
+
+// D returns the mesh depth; 1 for the 2D fabric.
+func (n *Network) D() int { return n.d }
 
 // Config returns the network parameters.
 func (n *Network) Config() Config { return n.cfg }
@@ -208,16 +230,22 @@ func (n *Network) BusyChannels() int {
 	return c
 }
 
-// chanID computes the channel id for node (x,y) direction d on virtual
-// channel 0.
+// chanID computes the channel id for node (x,y) in plane 0, direction
+// d, on virtual channel 0.
 func (n *Network) chanID(x, y int, d Direction) int32 {
 	return n.chanIDVC(x, y, d, 0)
 }
 
-// chanIDVC computes the channel id for node (x,y), direction d, virtual
-// channel vc.
+// chanIDVC computes the channel id for node (x,y) in plane 0,
+// direction d, virtual channel vc.
 func (n *Network) chanIDVC(x, y int, d Direction, vc int) int32 {
-	return int32(((y*n.w+x)*int(numDirs)+int(d))*numVCs + vc)
+	return n.chanID3D(x, y, 0, d, vc)
+}
+
+// chanID3D computes the channel id for node (x,y,z), direction d,
+// virtual channel vc.
+func (n *Network) chanID3D(x, y, z int, d Direction, vc int) int32 {
+	return int32((((z*n.l+y)*n.w+x)*int(numDirs)+int(d))*numVCs + vc)
 }
 
 // NoContentionLatency returns the latency of a packet over d link hops
@@ -228,45 +256,55 @@ func (n *Network) NoContentionLatency(d int) des.Time {
 	return des.Time(d+1)*(1+n.cfg.RouterDelay) + des.Time(n.cfg.PacketLen)
 }
 
-// Route returns the XY dimension-ordered channel path from src to dst:
-// correct x first, then y, bracketed by src's injection and dst's
-// ejection channels. On the torus each dimension takes the minimal ring
-// direction with the dateline virtual-channel switch (see Topology).
+// Route returns the XYZ dimension-ordered channel path from src to
+// dst: correct x first, then y, then z, bracketed by src's injection
+// and dst's ejection channels. On the (depth-1) torus each planar
+// dimension takes the minimal ring direction with the dateline
+// virtual-channel switch (see Topology).
 func (n *Network) Route(src, dst mesh.Coord) []int32 {
 	n.checkCoord(src)
 	n.checkCoord(dst)
 	path := make([]int32, 0, n.cfg.Topology.Distance(n.w, n.l, src, dst)+2)
-	path = append(path, n.chanID(src.X, src.Y, Inject))
+	path = append(path, n.chanID3D(src.X, src.Y, src.Z, Inject, 0))
 	if n.cfg.Topology == TorusTopology {
 		path = n.torusRoute(path, src, dst)
 	} else {
-		x, y := src.X, src.Y
+		x, y, z := src.X, src.Y, src.Z
 		for x != dst.X {
 			if dst.X > x {
-				path = append(path, n.chanID(x, y, East))
+				path = append(path, n.chanID3D(x, y, z, East, 0))
 				x++
 			} else {
-				path = append(path, n.chanID(x, y, West))
+				path = append(path, n.chanID3D(x, y, z, West, 0))
 				x--
 			}
 		}
 		for y != dst.Y {
 			if dst.Y > y {
-				path = append(path, n.chanID(x, y, North))
+				path = append(path, n.chanID3D(x, y, z, North, 0))
 				y++
 			} else {
-				path = append(path, n.chanID(x, y, South))
+				path = append(path, n.chanID3D(x, y, z, South, 0))
 				y--
 			}
 		}
+		for z != dst.Z {
+			if dst.Z > z {
+				path = append(path, n.chanID3D(x, y, z, Up, 0))
+				z++
+			} else {
+				path = append(path, n.chanID3D(x, y, z, Down, 0))
+				z--
+			}
+		}
 	}
-	path = append(path, n.chanID(dst.X, dst.Y, Eject))
+	path = append(path, n.chanID3D(dst.X, dst.Y, dst.Z, Eject, 0))
 	return path
 }
 
 func (n *Network) checkCoord(c mesh.Coord) {
-	if c.X < 0 || c.X >= n.w || c.Y < 0 || c.Y >= n.l {
-		panic(fmt.Sprintf("network: coordinate %v outside %dx%d mesh", c, n.w, n.l))
+	if c.X < 0 || c.X >= n.w || c.Y < 0 || c.Y >= n.l || c.Z < 0 || c.Z >= n.d {
+		panic(fmt.Sprintf("network: coordinate %v outside %dx%dx%d mesh", c, n.w, n.l, n.d))
 	}
 }
 

@@ -57,8 +57,9 @@ func ParseTopology(s string) (Topology, error) {
 const numVCs = 2
 
 // Distance returns the link distance between two nodes under the
-// topology: Manhattan on the mesh, minimal ring distance per dimension
-// on the torus.
+// topology: Manhattan (XYZ) on the mesh, minimal ring distance per
+// planar dimension on the torus (the torus fabric is depth-1, so its
+// coordinates carry Z == 0).
 func (t Topology) Distance(w, l int, a, b mesh.Coord) int {
 	if t == MeshTopology {
 		return mesh.ManhattanDist(a, b)

@@ -1,0 +1,91 @@
+package network
+
+// 3D interconnect tests: XYZ dimension-ordered routing over the depth
+// axis, distance accounting, and traffic conservation on a cube.
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/mesh"
+)
+
+func TestRoute3DXYZOrder(t *testing.T) {
+	eng := des.NewEngine()
+	n := New3D(eng, 4, 4, 4, DefaultConfig())
+	src := mesh.Coord{X: 0, Y: 0, Z: 0}
+	dst := mesh.Coord{X: 2, Y: 1, Z: 3}
+	path := n.Route(src, dst)
+	// inject + 2 east + 1 north + 3 up + eject
+	if len(path) != 8 {
+		t.Fatalf("path length %d, want 8", len(path))
+	}
+	dirOf := func(id int32) Direction {
+		return Direction(int(id) / numVCs % int(numDirs))
+	}
+	want := []Direction{Inject, East, East, North, Up, Up, Up, Eject}
+	for i, id := range path {
+		if dirOf(id) != want[i] {
+			t.Fatalf("hop %d direction %v, want %v", i, dirOf(id), want[i])
+		}
+	}
+}
+
+func TestManhattanDistanceCountsDepth(t *testing.T) {
+	a := mesh.Coord{X: 0, Y: 0, Z: 0}
+	b := mesh.Coord{X: 1, Y: 2, Z: 3}
+	if d := MeshTopology.Distance(4, 4, a, b); d != 6 {
+		t.Fatalf("3D mesh distance = %d, want 6", d)
+	}
+}
+
+func TestNew3DRejectsTorus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New3D accepted a depth-4 torus")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Topology = TorusTopology
+	New3D(des.NewEngine(), 4, 4, 4, cfg)
+}
+
+func TestTraffic3DDrains(t *testing.T) {
+	eng := des.NewEngine()
+	n := New3D(eng, 3, 3, 3, DefaultConfig())
+	delivered := 0
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				src := mesh.Coord{X: x, Y: y, Z: z}
+				dst := mesh.Coord{X: 2 - x, Y: 2 - y, Z: 2 - z}
+				n.Send(src, dst, func(*Packet) { delivered++ })
+			}
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 27 {
+		t.Fatalf("delivered %d packets, want 27", delivered)
+	}
+	if n.InFlight() != 0 || n.BusyChannels() != 0 {
+		t.Fatalf("in flight %d, busy channels %d after drain", n.InFlight(), n.BusyChannels())
+	}
+}
+
+func TestNoContentionLatency3D(t *testing.T) {
+	eng := des.NewEngine()
+	n := New3D(eng, 2, 2, 2, DefaultConfig())
+	var got des.Time
+	p := n.Send(mesh.Coord{}, mesh.Coord{X: 1, Y: 1, Z: 1}, func(pk *Packet) { got = pk.Latency() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops != 3 {
+		t.Fatalf("hops = %d, want 3", p.Hops)
+	}
+	if want := n.NoContentionLatency(3); got != want {
+		t.Fatalf("latency %v, want %v", got, want)
+	}
+}

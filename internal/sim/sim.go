@@ -1,6 +1,7 @@
 // Package sim runs the end-to-end simulation of the paper's system: a
-// job stream (workload.Source) is scheduled (sched) onto a 2D mesh
-// (mesh) by an allocation strategy (alloc); allocated jobs execute an
+// job stream (workload.Source) is scheduled (sched) onto a mesh — 2D,
+// torus, or 3D via Config.MeshH — by an allocation strategy (alloc);
+// allocated jobs execute an
 // all-to-all communication phase on the wormhole network (network) plus
 // any trace compute demand, then depart and free their processors.
 //
@@ -23,8 +24,14 @@ import (
 
 // Config parameterises one simulation run.
 type Config struct {
-	MeshW, MeshL int            // mesh geometry (paper: 16 x 22)
-	Network      network.Config // t_s and P_len (paper: 3 and 8)
+	MeshW, MeshL int // mesh geometry (paper: 16 x 22)
+	// MeshH is the mesh depth. Zero or one selects the paper's 2D
+	// fabric; above one the allocators place cuboids and the network
+	// routes XYZ over the volume. Depth > 1 requires the mesh topology
+	// and a 3D-capable strategy (alloc.Supports3D) — New fails fast on
+	// inconsistent geometry instead of ignoring the extra axis.
+	MeshH   int
+	Network network.Config // t_s and P_len (paper: 3 and 8)
 
 	// Strategy is the allocation strategy name understood by
 	// alloc.ByName (GABL, Paging(0), MBS, FirstFit, BestFit, Random).
@@ -187,13 +194,28 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 	if cfg.MeshW <= 0 || cfg.MeshL <= 0 {
 		return nil, fmt.Errorf("sim: invalid mesh %dx%d", cfg.MeshW, cfg.MeshL)
 	}
+	if cfg.MeshH < 0 {
+		return nil, fmt.Errorf("sim: negative mesh depth %d", cfg.MeshH)
+	}
+	depth := cfg.MeshH
+	if depth == 0 {
+		depth = 1
+	}
 	eng := des.NewEngine()
 	// The interconnect topology governs the occupancy model too: on a
 	// torus the allocators may place sub-meshes across the wrap-around
-	// seams, matching the wrap links the network routes over.
-	m := mesh.New(cfg.MeshW, cfg.MeshL)
-	if cfg.Network.Topology == network.TorusTopology {
+	// seams, matching the wrap links the network routes over. The torus
+	// occupancy and routing layers are 2D-only, so a depth above 1 is
+	// an inconsistent geometry, reported here rather than silently
+	// flattened.
+	var m *mesh.Mesh
+	switch {
+	case cfg.Network.Topology == network.TorusTopology && depth > 1:
+		return nil, fmt.Errorf("sim: torus topology is 2D-only, got depth %d (use -topology mesh or depth 1)", depth)
+	case cfg.Network.Topology == network.TorusTopology:
 		m = mesh.NewTorus(cfg.MeshW, cfg.MeshL)
+	default:
+		m = mesh.New3D(cfg.MeshW, cfg.MeshL, depth)
 	}
 	if cfg.ThinkMean < 0 {
 		return nil, fmt.Errorf("sim: negative ThinkMean %v", cfg.ThinkMean)
@@ -206,6 +228,11 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 	al, err := alloc.ByName(cfg.Strategy, m, stats.NewStream(cfg.Seed+1))
 	if err != nil {
 		return nil, err
+	}
+	// Checked after ByName so a misspelled name reports "unknown
+	// strategy" rather than "2D-only".
+	if depth > 1 && !alloc.Supports3D(cfg.Strategy) {
+		return nil, fmt.Errorf("sim: strategy %q is 2D-only and cannot run on a depth-%d mesh", cfg.Strategy, depth)
 	}
 	s := &Simulator{
 		cfg:     cfg,
@@ -244,7 +271,7 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 // event order and no metric.
 func (s *Simulator) network() *network.Network {
 	if s.net == nil {
-		s.net = network.New(s.eng, s.cfg.MeshW, s.cfg.MeshL, s.cfg.Network)
+		s.net = network.New3D(s.eng, s.cfg.MeshW, s.cfg.MeshL, s.mesh.H(), s.cfg.Network)
 	}
 	return s.net
 }
@@ -374,9 +401,10 @@ func (s *Simulator) arrive(job workload.Job) {
 	if s.done {
 		return
 	}
-	if job.W <= 0 || job.L <= 0 || job.W > s.cfg.MeshW || job.L > s.cfg.MeshL {
-		panic(fmt.Sprintf("sim: job %d request %dx%d does not fit %dx%d mesh",
-			job.ID, job.W, job.L, s.cfg.MeshW, s.cfg.MeshL))
+	if job.W <= 0 || job.L <= 0 || job.W > s.cfg.MeshW || job.L > s.cfg.MeshL ||
+		job.Depth() > s.mesh.H() {
+		panic(fmt.Sprintf("sim: job %d request %dx%dx%d does not fit %dx%dx%d mesh",
+			job.ID, job.W, job.L, job.Depth(), s.cfg.MeshW, s.cfg.MeshL, s.mesh.H()))
 	}
 	s.queue.Push(s.newJobState(job))
 	s.queueInt.Observe(s.eng.Now(), float64(s.queue.Len()))
@@ -415,7 +443,7 @@ func (s *Simulator) trySchedule() {
 // tryStart attempts to allocate and launch one job, tracking the
 // fragmentation statistics. It reports whether the job started.
 func (s *Simulator) tryStart(j *jobState) bool {
-	req := alloc.Request{W: j.job.W, L: j.job.L}
+	req := alloc.Request{W: j.job.W, L: j.job.L, H: j.job.H}
 	s.allocAttempts++
 	a, ok := s.alloc.Allocate(req)
 	if !ok {

@@ -1,0 +1,126 @@
+package sim
+
+// End-to-end 3D simulation tests: cuboid requests scheduled onto a
+// multi-plane mesh with XYZ-routed communication, plus the fail-fast
+// geometry validation and the depth-0 backwards-compatibility contract.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// cfg3D is a small 3D configuration that completes quickly.
+func cfg3D() Config {
+	cfg := DefaultConfig()
+	cfg.MeshW, cfg.MeshL, cfg.MeshH = 8, 8, 4
+	cfg.MaxCompleted = 200
+	cfg.WarmupJobs = 20
+	cfg.MaxQueued = 2000
+	return cfg
+}
+
+func TestRun3DEndToEnd(t *testing.T) {
+	cfg := cfg3D()
+	src := workload.NewStochastic3D(stats.NewStream(5), 8, 8, 4, workload.UniformSides, 0.002, 5)
+	res, err := Run(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 200 {
+		t.Fatalf("completed %d jobs, want 200", res.Completed)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization %v out of range", res.Utilization)
+	}
+	if res.MeanLatency <= 0 || res.PacketCount == 0 {
+		t.Fatalf("no communication simulated: latency %v over %d packets", res.MeanLatency, res.PacketCount)
+	}
+	if res.MeanTurnaround < res.MeanService {
+		t.Fatalf("turnaround %v below service %v", res.MeanTurnaround, res.MeanService)
+	}
+}
+
+func TestRun3DDeterministic(t *testing.T) {
+	run := func() Result {
+		cfg := cfg3D()
+		cfg.MaxCompleted = 120
+		src := workload.NewStochastic3D(stats.NewStream(9), 8, 8, 4, workload.UniformSides, 0.002, 5)
+		res, err := Run(cfg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical 3D runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestAll3DStrategySchedulerPairsRun(t *testing.T) {
+	for _, strategy := range []string{"GABL", "FirstFit", "BestFit", "ANCA", "FrameSliding", "Paging(0)", "Random"} {
+		for _, sched := range []string{"FCFS", "SSD"} {
+			cfg := cfg3D()
+			cfg.MaxCompleted = 60
+			cfg.WarmupJobs = 5
+			cfg.Strategy = strategy
+			cfg.Scheduler = sched
+			src := workload.NewStochastic3D(stats.NewStream(3), 8, 8, 4, workload.UniformSides, 0.001, 2)
+			res, err := Run(cfg, src)
+			if err != nil {
+				t.Fatalf("%s(%s): %v", strategy, sched, err)
+			}
+			if res.Completed == 0 {
+				t.Fatalf("%s(%s): no jobs completed", strategy, sched)
+			}
+		}
+	}
+}
+
+func TestNewRejectsInconsistentGeometry(t *testing.T) {
+	cfg := cfg3D()
+	cfg.Network.Topology = network.TorusTopology
+	if _, err := New(cfg, emptySource{}); err == nil || !strings.Contains(err.Error(), "2D-only") {
+		t.Fatalf("torus + depth 4 = %v, want a 2D-only error", err)
+	}
+	cfg = cfg3D()
+	cfg.Strategy = "MBS"
+	if _, err := New(cfg, emptySource{}); err == nil || !strings.Contains(err.Error(), "2D-only") {
+		t.Fatalf("MBS + depth 4 = %v, want a 2D-only error", err)
+	}
+	cfg = cfg3D()
+	cfg.MeshH = -1
+	if _, err := New(cfg, emptySource{}); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+}
+
+// TestDepthZeroMatchesDepthOne pins the compatibility contract: the
+// zero value of MeshH is the paper's 2D model, bit-identical to an
+// explicit depth of 1.
+func TestDepthZeroMatchesDepthOne(t *testing.T) {
+	run := func(h int) Result {
+		cfg := DefaultConfig()
+		cfg.MeshH = h
+		cfg.MaxCompleted = 150
+		cfg.WarmupJobs = 10
+		cfg.Seed = 4
+		src := workload.NewStochastic(stats.NewStream(4), cfg.MeshW, cfg.MeshL, workload.UniformSides, 0.002, 5)
+		res, err := Run(cfg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(0), run(1); a != b {
+		t.Fatalf("MeshH 0 and 1 diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+type emptySource struct{}
+
+func (emptySource) Next() (workload.Job, bool) { return workload.Job{}, false }
+func (emptySource) Name() string               { return "empty" }

@@ -15,7 +15,9 @@ import (
 //
 //   - the native format: one "arrival procs runtime" triple per line
 //     (whitespace separated; '#' comments), which is what cmd/tracegen
-//     emits; and
+//     emits. A fourth optional field carries the requested depth for
+//     3D-mesh traces (tracegen -depth); triples read as depth 1, so
+//     every pre-PR 4 trace still parses; and
 //   - the Standard Workload Format (SWF) of the Feitelson archive,
 //     where the SDSC Paragon traces are published: ';' header comments
 //     and 18 whitespace-separated fields per job, of which we use
@@ -25,9 +27,10 @@ import (
 // runtimes) exactly as trace-driven studies conventionally do.
 
 // ReadTrace parses a native-format trace. Shapes are derived with
-// ShapeFor against the given mesh geometry; per-processor message
-// counts are drawn from rng with mean numMes (they are a property of
-// the simulated communication, not of the trace).
+// ShapeFor against the given mesh geometry (a depth-d record shapes
+// its per-plane processors and requests d planes); per-processor
+// message counts are drawn from rng with mean numMes (they are a
+// property of the simulated communication, not of the trace).
 func ReadTrace(r io.Reader, meshW, meshL int, numMes float64, rng *stats.Stream) ([]Job, error) {
 	var jobs []Job
 	sc := bufio.NewScanner(r)
@@ -55,15 +58,31 @@ func ReadTrace(r io.Reader, meshW, meshL int, numMes float64, rng *stats.Stream)
 		if err != nil {
 			return nil, fmt.Errorf("workload: trace line %d: bad runtime: %v", line, err)
 		}
-		if procs <= 0 || procs > meshW*meshL || runtime < 0 {
+		depth := 1
+		if len(fields) >= 4 {
+			depth, err = strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace line %d: bad depth: %v", line, err)
+			}
+		}
+		if procs <= 0 || depth <= 0 || runtime < 0 {
 			continue // unusable record
 		}
-		w, l := ShapeFor(procs, meshW, meshL)
+		perPlane := (procs + depth - 1) / depth
+		if perPlane > meshW*meshL {
+			continue // unusable record
+		}
+		w, l := ShapeFor(perPlane, meshW, meshL)
+		h := 0
+		if depth > 1 {
+			h = depth
+		}
 		jobs = append(jobs, Job{
 			ID:       len(jobs),
 			Arrival:  arrival,
 			W:        w,
 			L:        l,
+			H:        h,
 			Compute:  runtime,
 			Messages: rng.ExpInt(numMes),
 		})
@@ -75,14 +94,34 @@ func ReadTrace(r io.Reader, meshW, meshL int, numMes float64, rng *stats.Stream)
 	return jobs, nil
 }
 
-// WriteTrace emits jobs in the native format.
+// WriteTrace emits jobs in the native format. A trace containing any
+// depth-carrying job is written in the four-field "arrival procs
+// runtime depth" form; all-planar traces keep the classic triple, so
+// 2D traces round-trip byte-identically.
 func WriteTrace(w io.Writer, jobs []Job) error {
+	deep := false
+	for _, j := range jobs {
+		if j.Depth() > 1 {
+			deep = true
+			break
+		}
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "# arrival procs runtime"); err != nil {
+	header := "# arrival procs runtime"
+	if deep {
+		header += " depth"
+	}
+	if _, err := fmt.Fprintln(bw, header); err != nil {
 		return err
 	}
 	for _, j := range jobs {
-		if _, err := fmt.Fprintf(bw, "%.3f %d %.3f\n", j.Arrival, j.Size(), j.Compute); err != nil {
+		var err error
+		if deep {
+			_, err = fmt.Fprintf(bw, "%.3f %d %.3f %d\n", j.Arrival, j.Size(), j.Compute, j.Depth())
+		} else {
+			_, err = fmt.Fprintf(bw, "%.3f %d %.3f\n", j.Arrival, j.Size(), j.Compute)
+		}
+		if err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,145 @@
+package workload
+
+// 3D workload tests: depth-carrying jobs, the 3D stochastic draws, the
+// unchanged-2D-stream guarantee, trace depth-column round trips and
+// DeepenTrace reshaping.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestJobDepthDefaults(t *testing.T) {
+	j := Job{W: 4, L: 3}
+	if j.Depth() != 1 || j.Size() != 12 {
+		t.Fatalf("2D job depth %d size %d", j.Depth(), j.Size())
+	}
+	j.H = 2
+	if j.Depth() != 2 || j.Size() != 24 {
+		t.Fatalf("3D job depth %d size %d", j.Depth(), j.Size())
+	}
+}
+
+func TestStochastic3DDrawsDepth(t *testing.T) {
+	src := NewStochastic3D(stats.NewStream(3), 8, 8, 4, UniformSides, 0.01, 5)
+	deep := false
+	for i := 0; i < 200; i++ {
+		j, ok := src.Next()
+		if !ok {
+			t.Fatal("stochastic source exhausted")
+		}
+		if j.W < 1 || j.W > 8 || j.L < 1 || j.L > 8 || j.Depth() < 1 || j.Depth() > 4 {
+			t.Fatalf("job %d shape %dx%dx%d out of range", i, j.W, j.L, j.Depth())
+		}
+		if j.Depth() > 1 {
+			deep = true
+		}
+	}
+	if !deep {
+		t.Fatal("200 uniform draws never produced a depth above 1")
+	}
+}
+
+// TestStochasticDepthOneStreamUnchanged pins the backwards
+// compatibility of the random stream: a depth-1 3D source must emit
+// exactly the jobs the 2D constructor emits.
+func TestStochasticDepthOneStreamUnchanged(t *testing.T) {
+	a := NewStochastic(stats.NewStream(7), 16, 22, ExpSides, 0.01, 5)
+	b := NewStochastic3D(stats.NewStream(7), 16, 22, 1, ExpSides, 0.01, 5)
+	for i := 0; i < 100; i++ {
+		ja, _ := a.Next()
+		jb, _ := b.Next()
+		if ja != jb {
+			t.Fatalf("job %d diverged: %+v vs %+v", i, ja, jb)
+		}
+	}
+}
+
+func TestAllocStressDepthOneStreamUnchanged(t *testing.T) {
+	a := NewAllocStress(stats.NewStream(7), 64, 64, 0.07, 100)
+	b := NewAllocStress3D(stats.NewStream(7), 64, 64, 1, 0.07, 100)
+	for i := 0; i < 100; i++ {
+		ja, _ := a.Next()
+		jb, _ := b.Next()
+		if ja != jb {
+			t.Fatalf("job %d diverged: %+v vs %+v", i, ja, jb)
+		}
+	}
+}
+
+func TestTraceDepthColumnRoundTrip(t *testing.T) {
+	jobs := []Job{
+		{ID: 0, Arrival: 1, W: 2, L: 3, Compute: 5},
+		{ID: 1, Arrival: 2, W: 2, L: 2, H: 3, Compute: 7},
+	}
+	var buf strings.Builder
+	if err := WriteTrace(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "depth") {
+		t.Fatalf("deep trace header lacks the depth column:\n%s", buf.String())
+	}
+	got, err := ReadTrace(strings.NewReader(buf.String()), 8, 8, 5, stats.NewStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round trip kept %d jobs, want 2", len(got))
+	}
+	if got[0].Depth() != 1 || got[0].Size() != 6 {
+		t.Fatalf("planar job came back as %+v", got[0])
+	}
+	if got[1].Depth() != 3 || got[1].Size() != 12 {
+		t.Fatalf("deep job came back as %+v", got[1])
+	}
+}
+
+func TestTracePlanarFormatUnchanged(t *testing.T) {
+	jobs := []Job{{ID: 0, Arrival: 1, W: 2, L: 3, Compute: 5}}
+	var buf strings.Builder
+	if err := WriteTrace(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	want := "# arrival procs runtime\n1.000 6 5.000\n"
+	if buf.String() != want {
+		t.Fatalf("planar trace format changed:\n%q\nwant\n%q", buf.String(), want)
+	}
+}
+
+func TestDeepenTrace(t *testing.T) {
+	spec := DefaultParagon()
+	spec.Jobs = 300
+	spec.MeshW, spec.MeshL = 8, 8
+	base := SyntheticParagon(spec, 3)
+	deep := DeepenTrace(base, 8, 8, 4, stats.NewStream(4))
+	if len(deep) != len(base) {
+		t.Fatalf("DeepenTrace changed the job count: %d vs %d", len(deep), len(base))
+	}
+	sawDepth := false
+	for i, j := range deep {
+		if j.W < 1 || j.W > 8 || j.L < 1 || j.L > 8 || j.Depth() < 1 || j.Depth() > 4 {
+			t.Fatalf("job %d shape %dx%dx%d out of range", i, j.W, j.L, j.Depth())
+		}
+		if j.Size() < base[i].Size() {
+			t.Fatalf("job %d shrank: %d -> %d processors", i, base[i].Size(), j.Size())
+		}
+		if j.Arrival != base[i].Arrival || j.Compute != base[i].Compute {
+			t.Fatalf("job %d timing changed", i)
+		}
+		if j.Depth() > 1 {
+			sawDepth = true
+		}
+	}
+	if !sawDepth {
+		t.Fatal("no job gained depth")
+	}
+	// Depth 1 must be the identity.
+	same := DeepenTrace(base, 8, 8, 1, stats.NewStream(4))
+	for i := range same {
+		if same[i] != base[i] {
+			t.Fatalf("depth-1 DeepenTrace modified job %d", i)
+		}
+	}
+}

@@ -18,7 +18,10 @@ import (
 type Job struct {
 	ID      int
 	Arrival float64 // submission time, simulation time units
-	W, L    int     // requested sub-mesh shape (allocation consumes W*L)
+	W, L    int     // requested sub-mesh shape (allocation consumes Size())
+	// H is the requested depth on a 3D mesh; zero (every 2D generator)
+	// means 1.
+	H int
 	// Compute is the job's computation demand in time units: the
 	// runtime recorded in a trace. It is zero for stochastic jobs,
 	// whose residence time is determined entirely by the simulated
@@ -32,8 +35,16 @@ type Job struct {
 	Messages int
 }
 
+// Depth returns the requested depth, treating the zero value as 1.
+func (j Job) Depth() int {
+	if j.H < 1 {
+		return 1
+	}
+	return j.H
+}
+
 // Size returns the number of processors the job occupies.
-func (j Job) Size() int { return j.W * j.L }
+func (j Job) Size() int { return j.W * j.L * j.Depth() }
 
 // ServiceDemand is the a priori service-demand key used by the SSD
 // (Shortest-Service-Demand) scheduler: the known compute demand plus
@@ -113,11 +124,12 @@ func drawQuartered(rng *stats.Stream, max int, increasing bool) int {
 }
 
 // Stochastic is the paper's stochastic workload: Poisson arrivals and
-// probabilistic request sides.
+// probabilistic request sides (three sides on a 3D mesh).
 type Stochastic struct {
 	rng    *stats.Stream
 	meshW  int
 	meshL  int
+	meshH  int
 	dist   SideDist
 	mean   float64 // mean inter-arrival time
 	numMes float64 // mean per-processor message count
@@ -125,21 +137,33 @@ type Stochastic struct {
 	clock  float64
 }
 
-// NewStochastic builds the stochastic source. arrivalRate is the system
-// load in jobs per time unit (the paper's independent variable, the
-// inverse of mean inter-arrival time); numMes is the mean message
-// count (the paper uses 5).
+// NewStochastic builds the stochastic source for a 2D mesh. arrivalRate
+// is the system load in jobs per time unit (the paper's independent
+// variable, the inverse of mean inter-arrival time); numMes is the
+// mean message count (the paper uses 5).
 func NewStochastic(rng *stats.Stream, meshW, meshL int, dist SideDist, arrivalRate, numMes float64) *Stochastic {
+	return NewStochastic3D(rng, meshW, meshL, 1, dist, arrivalRate, numMes)
+}
+
+// NewStochastic3D builds the stochastic source for a meshW x meshL x
+// meshH mesh: the depth side is drawn from the same distribution as
+// the planar sides. Depth 1 draws no depth at all, so its random
+// stream — and therefore every 2D result — is unchanged.
+func NewStochastic3D(rng *stats.Stream, meshW, meshL, meshH int, dist SideDist, arrivalRate, numMes float64) *Stochastic {
 	if arrivalRate <= 0 {
 		panic("workload: arrival rate must be positive")
 	}
 	if numMes <= 0 {
 		panic("workload: numMes must be positive")
 	}
+	if meshH < 1 {
+		panic("workload: mesh depth must be at least 1")
+	}
 	return &Stochastic{
 		rng:    rng,
 		meshW:  meshW,
 		meshL:  meshL,
+		meshH:  meshH,
 		dist:   dist,
 		mean:   1 / arrivalRate,
 		numMes: numMes,
@@ -151,23 +175,37 @@ func (s *Stochastic) Name() string {
 	return fmt.Sprintf("stochastic-%v", s.dist)
 }
 
-// Next implements Source.
+// Next implements Source. On a 3D source the depth side is drawn right
+// after the planar sides; depth-1 sources draw nothing extra, keeping
+// the 2D stream bit-identical.
 func (s *Stochastic) Next() (Job, bool) {
 	s.clock += s.rng.Exp(s.mean)
-	var w, l int
+	var w, l, h int
 	switch s.dist {
 	case UniformSides:
 		w = s.rng.UniformInt(1, s.meshW)
 		l = s.rng.UniformInt(1, s.meshL)
+		if s.meshH > 1 {
+			h = s.rng.UniformInt(1, s.meshH)
+		}
 	case ExpSides:
 		w = s.rng.ExpIntCapped(float64(s.meshW)/2, s.meshW)
 		l = s.rng.ExpIntCapped(float64(s.meshL)/2, s.meshL)
+		if s.meshH > 1 {
+			h = s.rng.ExpIntCapped(float64(s.meshH)/2, s.meshH)
+		}
 	case UniformDecSides:
 		w = drawQuartered(s.rng, s.meshW, false)
 		l = drawQuartered(s.rng, s.meshL, false)
+		if s.meshH > 1 {
+			h = drawQuartered(s.rng, s.meshH, false)
+		}
 	case UniformIncSides:
 		w = drawQuartered(s.rng, s.meshW, true)
 		l = drawQuartered(s.rng, s.meshL, true)
+		if s.meshH > 1 {
+			h = drawQuartered(s.rng, s.meshH, true)
+		}
 	default:
 		panic(fmt.Sprintf("workload: unknown side distribution %d", int(s.dist)))
 	}
@@ -176,6 +214,7 @@ func (s *Stochastic) Next() (Job, bool) {
 		Arrival:  s.clock,
 		W:        w,
 		L:        l,
+		H:        h,
 		Messages: s.rng.ExpInt(s.numMes),
 	}
 	s.next++
@@ -193,25 +232,38 @@ type AllocStress struct {
 	rng         *stats.Stream
 	meshW       int
 	meshL       int
+	meshH       int
 	mean        float64 // mean inter-arrival time
 	computeMean float64
 	next        int
 	clock       float64
 }
 
-// NewAllocStress builds the allocation-stress source. arrivalRate is
-// jobs per time unit; computeMean is the mean residence time.
+// NewAllocStress builds the allocation-stress source for a 2D mesh.
+// arrivalRate is jobs per time unit; computeMean is the mean residence
+// time.
 func NewAllocStress(rng *stats.Stream, meshW, meshL int, arrivalRate, computeMean float64) *AllocStress {
+	return NewAllocStress3D(rng, meshW, meshL, 1, arrivalRate, computeMean)
+}
+
+// NewAllocStress3D builds the allocation-stress source for a 3D mesh:
+// requests gain a depth side up to half the mesh depth. Depth 1 draws
+// no depth at all, keeping the 2D stream bit-identical.
+func NewAllocStress3D(rng *stats.Stream, meshW, meshL, meshH int, arrivalRate, computeMean float64) *AllocStress {
 	if arrivalRate <= 0 {
 		panic("workload: arrival rate must be positive")
 	}
 	if computeMean <= 0 {
 		panic("workload: compute mean must be positive")
 	}
+	if meshH < 1 {
+		panic("workload: mesh depth must be at least 1")
+	}
 	return &AllocStress{
 		rng:         rng,
 		meshW:       meshW,
 		meshL:       meshL,
+		meshH:       meshH,
 		mean:        1 / arrivalRate,
 		computeMean: computeMean,
 	}
@@ -229,6 +281,9 @@ func (s *AllocStress) Next() (Job, bool) {
 		W:       s.rng.UniformInt(1, max(2, s.meshW/2)),
 		L:       s.rng.UniformInt(1, max(2, s.meshL/2)),
 		Compute: s.rng.Exp(s.computeMean),
+	}
+	if s.meshH > 1 {
+		j.H = s.rng.UniformInt(1, max(2, s.meshH/2))
 	}
 	s.next++
 	return j, true
@@ -278,6 +333,35 @@ func ScaleArrivals(jobs []Job, f float64) []Job {
 	out := make([]Job, len(jobs))
 	for i, j := range jobs {
 		j.Arrival *= f
+		out[i] = j
+	}
+	return out
+}
+
+// DeepenTrace redistributes each job's processor count into a cuboid
+// request for a meshW x meshL x meshH mesh: a depth is drawn uniformly
+// per job (raised just enough when the per-plane remainder would not
+// fit the plane) and the per-plane processors are reshaped with
+// ShapeFor. Depth 1 returns the jobs unchanged. cmd/tracegen uses this
+// to emit 3D traces from the 2D Paragon model.
+func DeepenTrace(jobs []Job, meshW, meshL, meshH int, rng *stats.Stream) []Job {
+	if meshH <= 1 {
+		return jobs
+	}
+	out := make([]Job, len(jobs))
+	for i, j := range jobs {
+		p := j.Size()
+		h := rng.UniformInt(1, meshH)
+		if min := (p + meshW*meshL - 1) / (meshW * meshL); h < min {
+			h = min
+		}
+		perPlane := (p + h - 1) / h
+		w, l := ShapeFor(perPlane, meshW, meshL)
+		j.W, j.L = w, l
+		j.H = 0
+		if h > 1 {
+			j.H = h
+		}
 		out[i] = j
 	}
 	return out

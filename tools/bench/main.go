@@ -7,15 +7,17 @@
 //
 //   - des/*: the discrete-event core's steady-state schedule+fire cycle
 //     (must stay allocation-free);
-//   - search/*: mesh occupancy searches on a fragmented mesh, planar
-//     and torus (must stay allocation-free once warm);
+//   - search/*: mesh occupancy searches on a fragmented mesh — planar,
+//     torus and the 32x32x8 volumetric LargestFree3D (all must stay
+//     allocation-free once warm);
 //   - alloc/*: full simulation runs (arrival → schedule → allocate →
-//     release) on 64x64 and 256x256 meshes, both topologies, under the
-//     allocation-stress workload with zero communication.
+//     release) on 64x64 and 256x256 meshes, both topologies, plus the
+//     32x32x8 3D mesh, under the allocation-stress workload with zero
+//     communication.
 //
 // Usage:
 //
-//	go run ./tools/bench [-short] [-check] [-o BENCH_PR3.json]
+//	go run ./tools/bench [-short] [-check] [-o BENCH_PR4.json]
 //
 // -short trims the job counts and case list for CI smoke runs. -check
 // exits non-zero if any des/* or search/* case reports a non-zero
@@ -62,7 +64,7 @@ func main() {
 	short := flag.Bool("short", false, "smoke mode: fewer jobs, fewer cases")
 	check := flag.Bool("check", false, "fail on alloc-count regressions in des/* and search/*")
 	out := flag.String("o", "", "write the JSON snapshot to this file (default: stdout)")
-	label := flag.String("label", "PR3", "snapshot label")
+	label := flag.String("label", "PR4", "snapshot label")
 	flag.Parse()
 
 	snap := Snapshot{Label: *label, Go: runtime.Version(), Short: *short}
@@ -167,11 +169,22 @@ func searchCases() []Case {
 			}
 		})
 	}
+	mk3 := func(name string, m *mesh.Mesh, maxW, maxL, maxH, maxVol int) Case {
+		m = fragmented(m)
+		m.LargestFree3D(maxW, maxL, maxH, maxVol) // warm the sweep scratch
+		return record(name, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.LargestFree3D(maxW, maxL, maxH, maxVol)
+			}
+		})
+	}
 	return []Case{
 		mk("search/largest_free/64x64/mesh", mesh.New(64, 64), 32, 32, 512),
 		mk("search/largest_free/64x64/torus", mesh.NewTorus(64, 64), 32, 32, 512),
 		mk("search/largest_free/256x256/mesh", mesh.New(256, 256), 128, 128, 4096),
 		mk("search/largest_free/256x256/torus", mesh.NewTorus(256, 256), 128, 128, 4096),
+		mk3("search/largest_free3d/32x32x8/mesh", mesh.New3D(32, 32, 8), 16, 16, 4, 1024),
 	}
 }
 
@@ -179,41 +192,48 @@ func searchCases() []Case {
 // scheduler → strategy → occupancy-index stack at production scale.
 func allocCases(short bool) []Case {
 	type cfg struct {
-		w, l     int
+		w, l, h  int
 		topology network.Topology
 		strategy string
 		jobs     int
 	}
 	cases := []cfg{
-		{64, 64, network.MeshTopology, "GABL", 2000},
-		{64, 64, network.MeshTopology, "FirstFit", 2000},
-		{64, 64, network.MeshTopology, "BestFit", 2000},
-		{64, 64, network.MeshTopology, "MBS", 2000},
-		{64, 64, network.TorusTopology, "GABL", 2000},
-		{256, 256, network.MeshTopology, "GABL", 800},
-		{256, 256, network.MeshTopology, "ANCA", 800},
-		{256, 256, network.TorusTopology, "GABL", 400},
+		{64, 64, 1, network.MeshTopology, "GABL", 2000},
+		{64, 64, 1, network.MeshTopology, "FirstFit", 2000},
+		{64, 64, 1, network.MeshTopology, "BestFit", 2000},
+		{64, 64, 1, network.MeshTopology, "MBS", 2000},
+		{64, 64, 1, network.TorusTopology, "GABL", 2000},
+		{256, 256, 1, network.MeshTopology, "GABL", 800},
+		{256, 256, 1, network.MeshTopology, "ANCA", 800},
+		{256, 256, 1, network.TorusTopology, "GABL", 400},
+		{32, 32, 8, network.MeshTopology, "GABL", 2000},
+		{32, 32, 8, network.MeshTopology, "FirstFit", 2000},
 	}
 	if short {
 		cases = []cfg{
-			{64, 64, network.MeshTopology, "GABL", 300},
-			{64, 64, network.TorusTopology, "GABL", 300},
-			{256, 256, network.MeshTopology, "GABL", 150},
+			{64, 64, 1, network.MeshTopology, "GABL", 300},
+			{64, 64, 1, network.TorusTopology, "GABL", 300},
+			{256, 256, 1, network.MeshTopology, "GABL", 150},
+			{32, 32, 8, network.MeshTopology, "GABL", 300},
 		}
 	}
 	out := make([]Case, 0, len(cases))
 	for _, c := range cases {
-		name := fmt.Sprintf("alloc/%dx%d/%s/%s", c.w, c.l, c.topology, c.strategy)
+		geom := fmt.Sprintf("%dx%d", c.w, c.l)
+		if c.h > 1 {
+			geom = fmt.Sprintf("%dx%dx%d", c.w, c.l, c.h)
+		}
+		name := fmt.Sprintf("alloc/%s/%s/%s", geom, c.topology, c.strategy)
 		out = append(out, record(name, c.jobs, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sc := sim.DefaultConfig()
-				sc.MeshW, sc.MeshL = c.w, c.l
+				sc.MeshW, sc.MeshL, sc.MeshH = c.w, c.l, c.h
 				sc.Strategy = c.strategy
 				sc.MaxCompleted = c.jobs
 				sc.WarmupJobs = c.jobs / 10
 				sc.Network.Topology = c.topology
-				src := workload.NewAllocStress(stats.NewStream(17), c.w, c.l, 0.07, 100)
+				src := workload.NewAllocStress3D(stats.NewStream(17), c.w, c.l, c.h, 0.07, 100)
 				res, err := sim.Run(sc, src)
 				if err != nil {
 					b.Fatal(err)
