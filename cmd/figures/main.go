@@ -52,10 +52,15 @@ func main() {
 		csvDir  = flag.String("csv", "", "write one CSV per experiment into this directory")
 		topo    = flag.String("topology", "", "override interconnect topology for every experiment: mesh, torus")
 		depth   = flag.Int("depth", 0, "override mesh depth for every experiment (0 keeps each experiment's own; above 1 runs 3D)")
+		workers = flag.Int("workers", 0, "search workers per simulation (0 = serial scans, cells already run one per core); cells x workers stays capped at GOMAXPROCS")
 	)
 	flag.Parse()
 
-	opt := core.Options{BaseSeed: *seed, Think: *think}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -workers %d is invalid; workers must be at least 0\n", *workers)
+		os.Exit(1)
+	}
+	opt := core.Options{BaseSeed: *seed, Think: *think, Workers: *workers}
 	if *quick {
 		opt.Jobs = 200
 		opt.Replicator = stats.Replicator{MinReps: 2, MaxReps: 2, RelTol: 0.05}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/mesh"
 	"repro/internal/network"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -48,6 +49,7 @@ func main() {
 		think     = flag.Float64("think", 0, "mean compute gap between sends")
 		backfill  = flag.Int("backfill", 0, "aggressive backfilling depth (0 = paper semantics)")
 		topology  = flag.String("topology", "mesh", "interconnect topology: mesh, torus (torus wraps routing AND placement)")
+		workers   = flag.Int("workers", 0, "parallel search workers for the run's candidate scans (0 = one per core); results are identical at every count")
 		pattern   = flag.String("pattern", "all-to-all", "communication pattern: all-to-all, one-to-all, all-to-one, random-pairs, near-neighbour")
 		seed      = flag.Int64("seed", 1, "random seed")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -95,6 +97,9 @@ func main() {
 	cfg.Network.BufferDepth = *buffers
 	cfg.ThinkMean = *think
 	cfg.BackfillDepth = *backfill
+	// A single-run CLI owns the whole machine: 0 resolves to one
+	// worker per core (the library default stays serial).
+	cfg.Workers = mesh.DefaultWorkers(*workers)
 	cfg.Seed = *seed
 	top, err := network.ParseTopology(*topology)
 	if err != nil {
@@ -108,6 +113,9 @@ func main() {
 	switch {
 	case *meshH < 1:
 		fmt.Fprintf(os.Stderr, "meshsim: -depth %d is invalid; depth must be at least 1\n", *meshH)
+		os.Exit(1)
+	case *workers < 0:
+		fmt.Fprintf(os.Stderr, "meshsim: -workers %d is invalid; workers must be at least 0 (0 selects one per core)\n", *workers)
 		os.Exit(1)
 	case *meshH > 1 && top == network.TorusTopology:
 		fmt.Fprintf(os.Stderr, "meshsim: -depth %d conflicts with -topology torus: the torus fabric is 2D-only; use -topology mesh or -depth 1\n", *meshH)

@@ -13,13 +13,17 @@ import (
 // motivation for non-contiguous allocation.
 type FrameSliding struct {
 	m      *mesh.Mesh
+	search mesh.Searcher
 	rotate bool
 }
 
 // NewFrameSliding builds a frame-sliding allocator.
 func NewFrameSliding(m *mesh.Mesh, rotate bool) *FrameSliding {
-	return &FrameSliding{m: m, rotate: rotate}
+	return &FrameSliding{m: m, search: mesh.NewSerial(m), rotate: rotate}
 }
+
+// SetSearcher implements SearchUser.
+func (f *FrameSliding) SetSearcher(s mesh.Searcher) { f.search = s }
 
 // Name implements Allocator.
 func (f *FrameSliding) Name() string {
@@ -38,44 +42,20 @@ func (f *FrameSliding) Allocate(req Request) (Allocation, bool) {
 	if req.Size() > f.m.FreeCount() {
 		return Allocation{}, false
 	}
+	// The stride scan itself lives on the occupancy index
+	// (mesh.SlideFit) and runs through the search executor, so a
+	// sharded executor probes frame rows in parallel like any other
+	// candidate scan.
 	h := req.Depth()
-	if s, ok := f.slide(req.W, req.L, h); ok {
+	if s, ok := f.search.FrameSlide(req.W, req.L, h); ok {
 		return commitWhole(f.m, s), true
 	}
 	if f.rotate && req.W != req.L {
-		if s, ok := f.slide(req.L, req.W, h); ok {
+		if s, ok := f.search.FrameSlide(req.L, req.W, h); ok {
 			return commitWhole(f.m, s), true
 		}
 	}
 	return Allocation{}, false
-}
-
-// slide scans candidate bases with strides (w, l, h) from the origin.
-// Each probe is a single O(1) summed-area query on the mesh index, so
-// a full slide costs O((W/w)·(L/l)·(H/h)) regardless of frame size. On
-// a torus the stride pattern keeps going past the edges: the last
-// frame of a row or column wraps around the seam instead of being
-// dropped (the torus fabric is depth-1, so the z stride degenerates).
-func (f *FrameSliding) slide(w, l, h int) (mesh.Submesh, bool) {
-	if w <= 0 || l <= 0 || h <= 0 || w > f.m.W() || l > f.m.L() || h > f.m.H() {
-		return mesh.Submesh{}, false
-	}
-	ymax, xmax := f.m.L()-l, f.m.W()-w
-	if f.m.Torus() {
-		ymax, xmax = f.m.L()-1, f.m.W()-1
-	}
-	zmax := f.m.H() - h
-	for z := 0; z <= zmax; z += h {
-		for y := 0; y <= ymax; y += l {
-			for x := 0; x <= xmax; x += w {
-				s := mesh.SubAt3D(x, y, z, w, l, h)
-				if f.m.SubFree(s) {
-					return s, true
-				}
-			}
-		}
-	}
-	return mesh.Submesh{}, false
 }
 
 // Release implements Allocator.

@@ -57,6 +57,18 @@
 // tie-breaking, memoization — is bit-identical to the planar-only
 // engine by construction (volume.go).
 //
+// # Search executors
+//
+// Every search also runs behind the Searcher interface: NewSerial
+// binds the scans above to the calling goroutine, and NewSharded runs
+// them on a pool of workers — the (z, y) base space split into
+// contiguous stripes, per-worker scratch, owner-side journal drains,
+// and stripe-ordered reductions that reproduce the serial tie-breaks
+// exactly, so placements are bit-identical at every worker count
+// (sharded.go, docs/occupancy-index.md §8). The allocation strategies
+// route their scans through a Searcher, which is how one -workers knob
+// parallelizes a whole simulation's searches.
+//
 // # Coordinates
 //
 // Coordinates follow the paper: processor (x, y) with 0 <= x < W,

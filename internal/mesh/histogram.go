@@ -166,8 +166,11 @@ const (
 )
 
 // largestFreeHist is the histogram-backed LargestFree. Caps must be
-// positive and already clamped to the mesh sides.
-func (m *Mesh) largestFreeHist(maxW, maxL, maxArea int) (Submesh, bool) {
+// positive and already clamped to the mesh sides. A non-nil sh runs
+// the FirstFit probes and the band sweep on the sharded executor —
+// both are result-identical to their serial forms (§8), so the
+// search's answer never depends on the executor.
+func (m *Mesh) largestFreeHist(maxW, maxL, maxArea int, sh *Sharded) (Submesh, bool) {
 	// The cached sweep bounds this call's best area from above while no
 	// release intervened; zero means no candidate can exist under the
 	// caps at all.
@@ -185,13 +188,18 @@ func (m *Mesh) largestFreeHist(maxW, maxL, maxArea int) (Submesh, bool) {
 	// pair with a placeable shape is the optimum — every strictly
 	// better pair was just proven empty — so a hit answers the call in
 	// a handful of pruned first-fit searches instead of a mesh sweep.
-	if s, ok, decided := m.bestFirstProbe(startArea, maxW, maxL); decided {
+	if s, ok, decided := m.bestFirstProbe(startArea, maxW, maxL, sh); decided {
 		return s, ok
 	}
 
 	// Phase 1: sweep the row bands for MW(l), then fold the capped
 	// (area, skew) optimum over heights.
-	mw := m.maxWidthByHeight(maxL)
+	var mw []int
+	if sh != nil {
+		mw = sh.sweep2D(maxL)
+	} else {
+		mw = m.maxWidthByHeight(maxL)
+	}
 	bestArea, bestSkew := 0, 0
 	for l := 1; l <= maxL; l++ {
 		w := mw[l]
@@ -218,7 +226,7 @@ func (m *Mesh) largestFreeHist(maxW, maxL, maxArea int) (Submesh, bool) {
 
 	// Phase 2: the scan's winner is the row-major-first anchor
 	// admitting a winning shape.
-	s, ok := m.firstShapeBase(bestArea, bestSkew, maxW, maxL, maxArea, mw)
+	s, ok := m.firstShapeBase(bestArea, bestSkew, maxW, maxL, maxArea, mw, sh)
 	if !ok {
 		// MW(l) >= fw(l) guarantees a free fw(l) x l rectangle exists
 		// for every winning height; FirstFit not finding one means the
@@ -241,7 +249,7 @@ func (m *Mesh) largestFreeHist(maxW, maxL, maxArea int) (Submesh, bool) {
 // base, ties to the shorter shape. decided is false when the budgets
 // ran out (the sweep must settle the call); an exhausted candidate
 // space — no free processor — is decided as not found.
-func (m *Mesh) bestFirstProbe(startArea, maxW, maxL int) (best Submesh, found, decided bool) {
+func (m *Mesh) bestFirstProbe(startArea, maxW, maxL int, sh *Sharded) (best Submesh, found, decided bool) {
 	probes, areas := probeBudget, areaBudget
 	long := maxW
 	if maxL > long {
@@ -274,7 +282,7 @@ func (m *Mesh) bestFirstProbe(startArea, maxW, maxL int) (best Submesh, found, d
 			return Submesh{}, false
 		}
 		probes--
-		s, ok := m.FirstFit(w, l)
+		s, ok := ff2(m, sh, w, l)
 		if !ok {
 			m.noteRefuted(w, l)
 		}
@@ -342,7 +350,7 @@ func intSqrt(n int) int {
 // width fw(l) = min(mw[l], maxW, maxArea/l) satisfies fw(l)·l == area
 // and |fw(l)−l| == skew. Ties between shapes at the same base go to
 // the smaller height, matching the scan's within-anchor order.
-func (m *Mesh) firstShapeBase(area, skew, maxW, maxL, maxArea int, mw []int) (Submesh, bool) {
+func (m *Mesh) firstShapeBase(area, skew, maxW, maxL, maxArea int, mw []int, sh *Sharded) (Submesh, bool) {
 	var best Submesh
 	found := false
 	for l := 1; l <= maxL; l++ {
@@ -356,7 +364,7 @@ func (m *Mesh) firstShapeBase(area, skew, maxW, maxL, maxArea int, mw []int) (Su
 		if w == 0 || w*l != area || abs(w-l) != skew {
 			continue
 		}
-		s, ok := m.FirstFit(w, l)
+		s, ok := ff2(m, sh, w, l)
 		if !ok {
 			continue
 		}

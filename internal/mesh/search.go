@@ -225,9 +225,9 @@ func (m *Mesh) LargestFree(maxW, maxL, maxArea int) (Submesh, bool) {
 	if m.h > 1 {
 		// A 2D constrained-largest on a 3D mesh is the depth-capped-at-1
 		// volumetric search (volume.go).
-		return m.largestFree3D(maxW, maxL, 1, maxArea)
+		return m.largestFree3D(maxW, maxL, 1, maxArea, nil)
 	}
-	return m.largestFreeHist(maxW, maxL, maxArea)
+	return m.largestFreeHist(maxW, maxL, maxArea, nil)
 }
 
 // largestFreeScan is the pre-histogram LargestFree: a per-anchor

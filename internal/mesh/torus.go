@@ -163,6 +163,29 @@ func (m *Mesh) wrapBusy(s Submesh) int {
 	return busy
 }
 
+// rectBusyRO is rectBusy for callers that have already drained the SAT
+// journal: tiny rectangles scan the busy map, the rest read the table
+// directly, neither touching the journal — safe for the executor's
+// concurrent read-only scans.
+func (m *Mesh) rectBusyRO(x1, y1, x2, y2 int) int {
+	if (x2-x1+1)*(y2-y1+1) <= 8 {
+		return m.scanBusyRect(x1, y1, x2, y2)
+	}
+	return m.busyInRect(x1, y1, x2, y2)
+}
+
+// wrapBusyRO is wrapBusy over rectBusyRO — the drained-journal,
+// read-only form the torus scoring and sliding scans use.
+func (m *Mesh) wrapBusyRO(s Submesh) int {
+	ps, n := m.wrapPieces(s)
+	busy := 0
+	for i := 0; i < n; i++ {
+		p := ps[i]
+		busy += m.rectBusyRO(p.X1, p.Y1, p.X2, p.Y2)
+	}
+	return busy
+}
+
 // torusSubFree reports whether every processor of the possibly
 // seam-crossing sub-mesh is free. Shallow rectangles are answered by
 // one wrap-aware run probe per row; tall ones by the seam-split
@@ -297,14 +320,14 @@ func (m *Mesh) torusBoundaryPressure(s Submesh) int {
 	if s.L() < m.l {
 		below := (s.Y1 + m.l - 1) % m.l
 		above := (s.Y2 + 1) % m.l
-		score += m.wrapBusy(Submesh{X1: s.X1, Y1: below, X2: s.X2, Y2: below})
-		score += m.wrapBusy(Submesh{X1: s.X1, Y1: above, X2: s.X2, Y2: above})
+		score += m.wrapBusyRO(Submesh{X1: s.X1, Y1: below, X2: s.X2, Y2: below})
+		score += m.wrapBusyRO(Submesh{X1: s.X1, Y1: above, X2: s.X2, Y2: above})
 	}
 	if s.W() < m.w {
 		left := (s.X1 + m.w - 1) % m.w
 		right := (s.X2 + 1) % m.w
-		score += m.wrapBusy(Submesh{X1: left, Y1: s.Y1, X2: left, Y2: s.Y2})
-		score += m.wrapBusy(Submesh{X1: right, Y1: s.Y1, X2: right, Y2: s.Y2})
+		score += m.wrapBusyRO(Submesh{X1: left, Y1: s.Y1, X2: left, Y2: s.Y2})
+		score += m.wrapBusyRO(Submesh{X1: right, Y1: s.Y1, X2: right, Y2: s.Y2})
 	}
 	return score
 }

@@ -300,7 +300,7 @@ func (m *Mesh) LargestFree3D(maxW, maxL, maxH, maxVol int) (Submesh, bool) {
 	if maxH > m.h {
 		maxH = m.h
 	}
-	return m.largestFree3D(maxW, maxL, maxH, maxVol)
+	return m.largestFree3D(maxW, maxL, maxH, maxVol, nil)
 }
 
 // largestFree3D is the sweep-backed LargestFree3D. Caps are positive
@@ -309,47 +309,23 @@ func (m *Mesh) LargestFree3D(maxW, maxL, maxH, maxVol int) (Submesh, bool) {
 // Phase 1 computes MW(d, l) — the widest free cuboid of height >= l
 // and depth >= d — by AND-projecting every (base plane, depth) pair
 // into a planar occupancy and running the monotonic-stack
-// maximal-rectangle sweep on it (sweepProjection). Phase 2 folds the
-// capped (volume, spread) optimum over (d, l): every scan candidate at
-// (d, l) has width at most fw(d, l) = min(MW(d, l), maxW,
+// maximal-rectangle sweep on it (sweepVolumeSerial; a non-nil sh deals
+// the base planes across the sharded executor's pool and max-reduces
+// the per-shape records, which is the same table — §8). Phase 2 folds
+// the capped (volume, spread) optimum over (d, l): every scan
+// candidate at (d, l) has width at most fw(d, l) = min(MW(d, l), maxW,
 // maxVol/(l·d)), and fw is itself achieved inside the maximal cuboid,
 // so the fold is exact (the planar reduction of
 // docs/occupancy-index.md §6, applied per (d, l) pair). Phase 3
 // locates the winner: each shape achieving the optimum is placed with
 // firstFit3D and the (z, y, x)-first base wins, smaller d then l at an
 // equal base — the scan's own enumeration order.
-func (m *Mesh) largestFree3D(maxW, maxL, maxH, maxVol int) (Submesh, bool) {
-	mw := sizedScratch(&m.hist.mw3, (maxH+1)*(maxL+1))
-	clear(mw)
-	proj := sizedBoolScratch(&m.hist.proj, m.w*m.l)
-	cand := sizedScratch(&m.hist.cand3, maxL+1)
-	for z0 := 0; z0 < m.h; z0++ {
-		dMax := maxH
-		if rest := m.h - z0; rest < dMax {
-			dMax = rest
-		}
-		for d := 1; d <= dMax; d++ {
-			plane := m.busy[(z0+d-1)*m.l*m.w : (z0+d)*m.l*m.w]
-			if d == 1 {
-				copy(proj, plane)
-			} else {
-				for i, b := range plane {
-					if b {
-						proj[i] = true
-					}
-				}
-			}
-			m.sweepProjection(proj, maxL, cand)
-			if cand[1] == 0 {
-				break // projection fully busy: deeper extents only worse
-			}
-			row := mw[d*(maxL+1):]
-			for l := 1; l <= maxL; l++ {
-				if cand[l] > row[l] {
-					row[l] = cand[l]
-				}
-			}
-		}
+func (m *Mesh) largestFree3D(maxW, maxL, maxH, maxVol int, sh *Sharded) (Submesh, bool) {
+	var mw []int
+	if sh != nil {
+		mw = sh.sweepVolume(maxL, maxH)
+	} else {
+		mw = m.sweepVolumeSerial(maxL, maxH)
 	}
 
 	// Phase 2: fold the capped (volume, spread) optimum over (d, l).
@@ -398,7 +374,7 @@ func (m *Mesh) largestFree3D(maxW, maxL, maxH, maxVol int) (Submesh, bool) {
 			if w == 0 || w*l*d != bestVol || spread3(w, l, d) != bestSpr {
 				continue
 			}
-			s, ok := m.firstFit3D(w, l, d)
+			s, ok := ff3(m, sh, w, l, d)
 			if !ok {
 				// MW(d, l) >= w guarantees a free w x l x d cuboid
 				// exists; firstFit3D not finding one means the sweep
@@ -415,24 +391,74 @@ func (m *Mesh) largestFree3D(maxW, maxL, maxH, maxVol int) (Submesh, bool) {
 	return best, found
 }
 
-// sweepProjection runs the maximal-rectangle-in-histogram sweep of
-// maxWidthByHeight over an explicit planar occupancy (the AND
-// projection of a z-extent) instead of the live busy map: cand[l] is
-// set to the width of the widest free rectangle of height
-// exactly-or-more l in the projection, for l in 1..maxL. O(W·L),
-// allocation-free after the scratch buffers exist.
-func (m *Mesh) sweepProjection(proj []bool, maxL int, cand []int) {
+// sweepVolumeSerial computes the MW(d, l) table of largestFree3D on
+// the calling goroutine with the mesh's own scratch. The sharded
+// executor's sweepVolume deals the base planes across its pool — both
+// run sweepVolumeInto, so the two paths cannot drift.
+func (m *Mesh) sweepVolumeSerial(maxL, maxH int) []int {
+	mw := sizedScratch(&m.hist.mw3, (maxH+1)*(maxL+1))
+	clear(mw)
+	proj := sizedBoolScratch(&m.hist.proj, m.w*m.l)
+	cand := sizedScratch(&m.hist.cand3, maxL+1)
 	heights := sizedScratch(&m.hist.heights, m.w)
 	stackS := sizedScratch(&m.hist.stackS, m.w+1)
 	stackH := sizedScratch(&m.hist.stackH, m.w+1)
+	m.sweepVolumeInto(0, 1, maxL, maxH, mw, proj, cand, heights, stackS, stackH)
+	return mw
+}
+
+// sweepVolumeInto folds the base planes z0 = start, start+stride, ...
+// into mw: every (base plane, depth) pair is AND-projected into proj
+// and swept (sweepProjectionInto), the per-shape records folded by
+// max into mw[d*(maxL+1)+l]. All buffers are caller-owned, so the
+// serial path and every sharded worker share this one body —
+// MW is a max over base planes, so any partition of the start/stride
+// space max-reduces to the same table.
+func (m *Mesh) sweepVolumeInto(start, stride, maxL, maxH int, mw []int, proj []bool, cand, heights, stackS, stackH []int) {
+	for z0 := start; z0 < m.h; z0 += stride {
+		dMax := maxH
+		if rest := m.h - z0; rest < dMax {
+			dMax = rest
+		}
+		for d := 1; d <= dMax; d++ {
+			plane := m.busy[(z0+d-1)*m.l*m.w : (z0+d)*m.l*m.w]
+			if d == 1 {
+				copy(proj, plane)
+			} else {
+				for i, b := range plane {
+					if b {
+						proj[i] = true
+					}
+				}
+			}
+			sweepProjectionInto(m.w, m.l, proj, maxL, cand, heights, stackS, stackH)
+			if cand[1] == 0 {
+				break // projection fully busy: deeper extents only worse
+			}
+			row := mw[d*(maxL+1):]
+			for l := 1; l <= maxL; l++ {
+				if cand[l] > row[l] {
+					row[l] = cand[l]
+				}
+			}
+		}
+	}
+}
+
+// sweepProjectionInto is the projection sweep proper over a w x l
+// occupancy: cand[l] is set to the width of the widest free rectangle
+// of height exactly-or-more l in the projection, for l in 1..maxL.
+// O(W·L), allocation-free — every buffer is caller-owned, so
+// concurrent sweeps over disjoint scratch are safe.
+func sweepProjectionInto(w, l int, proj []bool, maxL int, cand, heights, stackS, stackH []int) {
 	clear(heights)
 	clear(cand)
-	for y := 0; y < m.l; y++ {
-		brow := proj[y*m.w : (y+1)*m.w]
+	for y := 0; y < l; y++ {
+		brow := proj[y*w : (y+1)*w]
 		top := 0
-		for x := 0; x <= m.w; x++ {
+		for x := 0; x <= w; x++ {
 			h := 0
-			if x < m.w {
+			if x < w {
 				if brow[x] {
 					heights[x] = 0
 				} else {
@@ -448,8 +474,8 @@ func (m *Mesh) sweepProjection(proj []bool, maxL int, cand []int) {
 				top--
 				hh := stackH[top]
 				start = stackS[top]
-				if w := x - start; w > cand[hh] {
-					cand[hh] = w
+				if ww := x - start; ww > cand[hh] {
+					cand[hh] = ww
 				}
 			}
 			if h > 0 {

@@ -1,0 +1,96 @@
+package sim
+
+// Determinism matrix for the Workers knob: a full simulation — every
+// strategy family, both schedulers, both topologies, 2D and 3D — must
+// produce bit-identical Result metrics at every worker count, because
+// the sharded search executor is result-identical to the serial scans
+// by construction. Any drift here means a placement diverged.
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// workerMatrixCase is one (strategy, scheduler, topology, geometry)
+// cell of the determinism matrix.
+type workerMatrixCase struct {
+	strategy  string
+	scheduler string
+	topology  network.Topology
+	w, l, h   int
+}
+
+// workersMatrix lists the cells: the six executor-routed strategies
+// plus the probe strategies MBS and Paging(0) as controls, across
+// FCFS/SSD, mesh/torus and 2D/3D (torus and MBS stay 2D by design).
+func workersMatrix() []workerMatrixCase {
+	var cases []workerMatrixCase
+	for _, sch := range []string{"FCFS", "SSD"} {
+		for _, st := range []string{"GABL", "FirstFit", "BestFit", "ANCA", "FrameSliding", "MBS", "Paging(0)"} {
+			cases = append(cases,
+				workerMatrixCase{st, sch, network.MeshTopology, 32, 32, 1},
+				workerMatrixCase{st, sch, network.TorusTopology, 32, 32, 1})
+			if st != "MBS" {
+				cases = append(cases, workerMatrixCase{st, sch, network.MeshTopology, 16, 16, 4})
+			}
+		}
+	}
+	return cases
+}
+
+// runWorkersCase runs one cell at the given worker count.
+func runWorkersCase(t *testing.T, c workerMatrixCase, workers, jobs int) Result {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.MeshW, cfg.MeshL, cfg.MeshH = c.w, c.l, c.h
+	cfg.Strategy = c.strategy
+	cfg.Scheduler = c.scheduler
+	cfg.Network.Topology = c.topology
+	cfg.MaxCompleted = jobs
+	cfg.WarmupJobs = jobs / 10
+	cfg.MaxQueued = 4 * jobs
+	cfg.Workers = workers
+	cfg.Seed = 23
+	src := workload.NewAllocStress3D(stats.NewStream(5), c.w, c.l, max(1, c.h), 0.05, 60)
+	res, err := Run(cfg, src)
+	if err != nil {
+		t.Fatalf("%+v workers=%d: %v", c, workers, err)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("%+v workers=%d completed no jobs", c, workers)
+	}
+	return res
+}
+
+// TestWorkersBitIdenticalMatrix compares every matrix cell's full
+// Result at worker counts 2, 7 and 16 against the serial run.
+func TestWorkersBitIdenticalMatrix(t *testing.T) {
+	jobs := 150
+	counts := []int{2, 7, 16}
+	cases := workersMatrix()
+	if testing.Short() {
+		jobs = 60
+		counts = []int{7}
+	}
+	for _, c := range cases {
+		serial := runWorkersCase(t, c, 1, jobs)
+		for _, workers := range counts {
+			if got := runWorkersCase(t, c, workers, jobs); got != serial {
+				t.Errorf("%s(%s) %s %dx%dx%d: workers=%d diverged\nserial:  %+v\nsharded: %+v",
+					c.strategy, c.scheduler, c.topology, c.w, c.l, c.h, workers, serial, got)
+			}
+		}
+	}
+}
+
+// TestWorkersNegativeRejected pins the fail-fast validation.
+func TestWorkersNegativeRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = -1
+	if _, err := New(cfg, workload.NewAllocStress(stats.NewStream(1), cfg.MeshW, cfg.MeshL, 0.05, 60)); err == nil {
+		t.Fatal("New accepted Workers = -1")
+	}
+}

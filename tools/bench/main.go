@@ -13,11 +13,17 @@
 //   - alloc/*: full simulation runs (arrival → schedule → allocate →
 //     release) on 64x64 and 256x256 meshes, both topologies, plus the
 //     32x32x8 3D mesh, under the allocation-stress workload with zero
-//     communication.
+//     communication;
+//   - large/*: the sharded-search trajectory — allocation-heavy runs
+//     on 512x512, 1024x1024 and 64x64x16 meshes with a workers axis
+//     (w1 = serial scans, wN = the N-worker sharded executor), so the
+//     serial-vs-sharded wall-clock ratio is recorded per PR. Workers
+//     beyond the machine's core count cannot speed anything up:
+//     read the ratios against the host's GOMAXPROCS.
 //
 // Usage:
 //
-//	go run ./tools/bench [-short] [-check] [-o BENCH_PR4.json]
+//	go run ./tools/bench [-short] [-check] [-o BENCH_PR5.json]
 //
 // -short trims the job counts and case list for CI smoke runs. -check
 // exits non-zero if any des/* or search/* case reports a non-zero
@@ -44,18 +50,22 @@ import (
 
 // Case is one benchmark measurement in the JSON snapshot.
 type Case struct {
-	Name        string  `json:"name"`          // family/mesh/topology/strategy
-	NsPerOp     int64   `json:"ns_per_op"`     // wall time per benchmark op
-	AllocsPerOp int64   `json:"allocs_per_op"` // heap allocations per op
-	BytesPerOp  int64   `json:"bytes_per_op"`  // heap bytes per op
-	Ops         int     `json:"ops"`           // iterations the harness settled on
-	Jobs        int     `json:"jobs,omitempty"` // completed jobs per op (alloc/* only)
+	Name        string `json:"name"`           // family/mesh/topology/strategy
+	NsPerOp     int64  `json:"ns_per_op"`      // wall time per benchmark op
+	AllocsPerOp int64  `json:"allocs_per_op"`  // heap allocations per op
+	BytesPerOp  int64  `json:"bytes_per_op"`   // heap bytes per op
+	Ops         int    `json:"ops"`            // iterations the harness settled on
+	Jobs        int    `json:"jobs,omitempty"` // completed jobs per op (alloc/* only)
 }
 
 // Snapshot is the BENCH_*.json document.
 type Snapshot struct {
 	Label string `json:"label"` // e.g. "PR3"
 	Go    string `json:"go"`    // toolchain the numbers were taken with
+	// Cores is the host's GOMAXPROCS: the ceiling on any large/*
+	// serial-vs-sharded speedup (a single-core host records ~1x at
+	// every worker count by construction).
+	Cores int    `json:"cores"`
 	Short bool   `json:"short"` // true when produced by a -short smoke run
 	Cases []Case `json:"cases"`
 }
@@ -64,13 +74,14 @@ func main() {
 	short := flag.Bool("short", false, "smoke mode: fewer jobs, fewer cases")
 	check := flag.Bool("check", false, "fail on alloc-count regressions in des/* and search/*")
 	out := flag.String("o", "", "write the JSON snapshot to this file (default: stdout)")
-	label := flag.String("label", "PR4", "snapshot label")
+	label := flag.String("label", "PR5", "snapshot label")
 	flag.Parse()
 
-	snap := Snapshot{Label: *label, Go: runtime.Version(), Short: *short}
+	snap := Snapshot{Label: *label, Go: runtime.Version(), Cores: runtime.GOMAXPROCS(0), Short: *short}
 	snap.Cases = append(snap.Cases, desCases()...)
 	snap.Cases = append(snap.Cases, searchCases()...)
 	snap.Cases = append(snap.Cases, allocCases(*short)...)
+	snap.Cases = append(snap.Cases, largeCases(*short)...)
 
 	for _, c := range snap.Cases {
 		fmt.Fprintf(os.Stderr, "%-40s %12d ns/op %8d allocs/op %10d B/op\n",
@@ -186,6 +197,63 @@ func searchCases() []Case {
 		mk("search/largest_free/256x256/torus", mesh.NewTorus(256, 256), 128, 128, 4096),
 		mk3("search/largest_free3d/32x32x8/mesh", mesh.New3D(32, 32, 8), 16, 16, 4, 1024),
 	}
+}
+
+// largeCases measures the sharded-search executor end to end: the
+// large-mesh allocation-heavy runs of the PR 5 trajectory, each at
+// several worker counts with everything else identical (and the
+// placements bit-identical by construction, so every worker count
+// simulates exactly the same run). BestFit scans its entire candidate
+// space on every allocation — the workload the executor exists for;
+// GABL adds the probe + histogram-sweep path.
+func largeCases(short bool) []Case {
+	type cfg struct {
+		w, l, h  int
+		strategy string
+		jobs     int
+		workers  []int
+	}
+	cases := []cfg{
+		{512, 512, 1, "BestFit", 150, []int{1, 2, 4, 8}},
+		{1024, 1024, 1, "BestFit", 40, []int{1, 2, 4, 8}},
+		{1024, 1024, 1, "GABL", 400, []int{1, 8}},
+		{64, 64, 16, "GABL", 1000, []int{1, 8}},
+	}
+	if short {
+		// One genuinely sharded end-to-end smoke for CI.
+		cases = []cfg{{256, 256, 1, "BestFit", 60, []int{4}}}
+	}
+	var out []Case
+	for _, c := range cases {
+		geom := fmt.Sprintf("%dx%d", c.w, c.l)
+		if c.h > 1 {
+			geom = fmt.Sprintf("%dx%dx%d", c.w, c.l, c.h)
+		}
+		for _, wk := range c.workers {
+			name := fmt.Sprintf("large/%s/%s/w%d", geom, c.strategy, wk)
+			out = append(out, record(name, c.jobs, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sc := sim.DefaultConfig()
+					sc.MeshW, sc.MeshL, sc.MeshH = c.w, c.l, c.h
+					sc.Strategy = c.strategy
+					sc.MaxCompleted = c.jobs
+					sc.WarmupJobs = c.jobs / 10
+					sc.MaxQueued = 4 * c.jobs
+					sc.Workers = wk
+					src := workload.NewAllocStress3D(stats.NewStream(29), c.w, c.l, c.h, 0.07, 100)
+					res, err := sim.Run(sc, src)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Completed == 0 {
+						b.Fatal("run completed no jobs")
+					}
+				}
+			}))
+		}
+	}
+	return out
 }
 
 // allocCases measures full zero-communication simulation runs: the
