@@ -55,22 +55,24 @@ type histScratch struct {
 	nFailed     int
 	failedEpoch uint64
 
-	// 3D-search scratch (volume.go): the AND-projected plane, the
+	// Bitboard word scratch (bitboard.go): the window fit mask of
+	// CandidatesRow, the torus window AND, and the doubled seam band
+	// shared by the torus CandidatesRow and the torus sweep — safe to
+	// share because the probe phase's candidate enumerations always
+	// complete before a sweep starts (largestFreeHist runs its phases
+	// strictly in sequence).
+	winMask  []uint64
+	rowAnd   []uint64
+	bandMask []uint64
+
+	// 3D-search scratch (volume.go): the word-AND projected plane, the
 	// MW(d, l) table, the per-projection sweep records and the naive
 	// scan's row minima. A mesh only ever exercises one family — the
 	// planar buffers above on depth 1, these below on depth > 1.
-	proj    []bool
+	proj    []uint64
 	mw3     []int
 	cand3   []int
 	rowMin3 []int
-}
-
-// sizedBoolScratch is sizedScratch for boolean buffers.
-func sizedBoolScratch(buf *[]bool, n int) []bool {
-	if cap(*buf) < n {
-		*buf = make([]bool, n)
-	}
-	return (*buf)[:n]
 }
 
 // maxFailedShapes bounds the refuted-shape frontier; beyond it new
@@ -383,11 +385,19 @@ func (m *Mesh) firstShapeBase(area, skew, maxW, maxL, maxArea int, mw []int, sh 
 // and heights at maxL <= L — so wrap-crossing rectangles appear as
 // contiguous spans; every doubled-band rectangle maps back to a genuine
 // wrapped placement and vice versa (docs/occupancy-index.md §6).
-// O(W·L), allocation-free after the scratch buffers exist.
+//
+// Rows come off the bitboard: a planar band row is its free words
+// verbatim, a torus band row is one word rotation into the doubled
+// seam band (doubleRowInto), and sweepRowWords advances the heights
+// and the stack run by run instead of column by column — identical
+// records to the retained per-column loop (§9). O(W·L),
+// allocation-free after the scratch buffers exist.
 func (m *Mesh) maxWidthByHeight(maxL int) []int {
 	cols, rows := m.w, m.l
+	var band []uint64
 	if m.torus {
 		cols, rows = 2*m.w, 2*m.l-1
+		band = sizedWordScratch(&m.hist.bandMask, wordsPerRow(cols))
 	}
 	heights := sizedScratch(&m.hist.heights, cols)
 	stackS := sizedScratch(&m.hist.stackS, cols+1)
@@ -400,7 +410,6 @@ func (m *Mesh) maxWidthByHeight(maxL int) []int {
 		if ry >= m.l {
 			ry -= m.l
 		}
-		brow := m.busy[ry*m.w : ry*m.w+m.w]
 		// Degenerate rows shortcut the stack. A fully busy row — the
 		// aggregate bounds the widest run from above even when stale —
 		// zeroes every height and records nothing. And when the NEXT
@@ -413,76 +422,22 @@ func (m *Mesh) maxWidthByHeight(maxL int) []int {
 			clear(heights)
 			continue
 		}
+		words := m.rowWords(ry)
+		if m.torus {
+			m.doubleRowInto(band, words)
+			words = band
+		}
 		if r+1 < rows {
 			ny := r + 1
 			if ny >= m.l {
 				ny -= m.l
 			}
 			if m.rightRun[ny*m.w] == m.w {
-				for x := 0; x < cols; x++ {
-					xr := x
-					if xr >= m.w {
-						xr -= m.w
-					}
-					if brow[xr] {
-						heights[x] = 0
-					} else if heights[x] < maxL {
-						heights[x]++
-					}
-				}
+				bumpHeightsWords(words, cols, maxL, heights)
 				continue
 			}
 		}
-		// One fused pass: update each column height — consecutive free
-		// cells ending at this row, capped at maxL (taller runs never
-		// become candidates) — and feed it straight to the monotonic
-		// stack. A bar pops when a lower one arrives (the zero sentinel
-		// past the last column flushes the stack); the popped bar's
-		// height over the span since its start is a maximal rectangle
-		// with its bottom edge on this row. The doubled band's second
-		// half reads the same real columns through the wrap.
-		top := 0
-		for x := 0; x <= cols; x++ {
-			h := 0
-			if x < len(brow) {
-				if brow[x] {
-					heights[x] = 0
-				} else {
-					h = heights[x]
-					if h < maxL {
-						h++
-						heights[x] = h
-					}
-				}
-			} else if x < cols { // doubled band: wrapped column copy
-				if brow[x-m.w] {
-					heights[x] = 0
-				} else {
-					h = heights[x]
-					if h < maxL {
-						h++
-						heights[x] = h
-					}
-				}
-			}
-			start := x
-			for top > 0 && stackH[top-1] >= h {
-				top--
-				hh := stackH[top]
-				start = stackS[top]
-				w := x - start
-				if w > m.w {
-					w = m.w // a span past W wraps onto itself
-				}
-				if w > cand[hh] {
-					cand[hh] = w
-				}
-			}
-			if h > 0 {
-				stackS[top], stackH[top] = start, h
-				top++
-			}
-		}
+		sweepRowWords(words, cols, maxL, m.w, heights, stackS, stackH, cand)
 	}
 	// A rectangle of height h contains one of every lesser height, so
 	// MW is the suffix max of the per-height records.

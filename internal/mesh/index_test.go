@@ -68,6 +68,32 @@ func checkTables(t *testing.T, m *Mesh) {
 				m.CoordOf(i), m.rightRun[i], wantRun[i], m)
 		}
 	}
+	// The bitboard must mirror the busy map bit for bit, keep its tail
+	// bits zero, and read back the exact run table — the
+	// bitboard-vs-runtable differential every mutation is held to.
+	if m.wpr != wordsPerRow(m.w) || len(m.freeW) != m.rows()*m.wpr {
+		t.Fatalf("bitboard geometry wpr=%d len=%d, want %d words x %d rows",
+			m.wpr, len(m.freeW), wordsPerRow(m.w), m.rows())
+	}
+	for r := 0; r < m.rows(); r++ {
+		words := m.rowWords(r)
+		for x := 0; x < m.w; x++ {
+			bit := words[x>>6]>>uint(x&63)&1 == 1
+			if bit == m.busy[r*m.w+x] {
+				t.Fatalf("freeW bit %v = %v disagrees with busy map\n%s",
+					m.CoordOf(r*m.w+x), bit, m)
+			}
+			if got := m.runAtBits(r, x); got != wantRun[r*m.w+x] {
+				t.Fatalf("runAtBits(%d, %d) = %d, rightRun says %d\n%s",
+					r, x, got, wantRun[r*m.w+x], m)
+			}
+		}
+		for b := m.w; b < m.wpr*64; b++ {
+			if words[b>>6]>>uint(b&63)&1 == 1 {
+				t.Fatalf("freeW tail bit %d of row %d set\n%s", b, r, m)
+			}
+		}
+	}
 	for r := 0; r < m.rows(); r++ {
 		max := 0
 		for x := 0; x < m.w; x++ {
@@ -312,6 +338,7 @@ func checkQueries(t *testing.T, m *Mesh, rng *rand.Rand) {
 		t.Fatalf("BestFit(%d,%d) = %v,%v; seed scan says %v,%v\n%s",
 			w, l, gotBF, okBF, wantBF, wantOkBF, m)
 	}
+	checkCandidatesRow(t, m, rng.Intn(m.l-l+1), w, l)
 	for _, caps := range [][3]int{{w, l, w * l}, {w, l, 1 + rng.Intn(w*l)}, {m.w, m.l, m.w * m.l}} {
 		gotLF, okLF := m.LargestFree(caps[0], caps[1], caps[2])
 		wantLF, wantOkLF := seedLargestFree(m, caps[0], caps[1], caps[2])
@@ -326,6 +353,53 @@ func checkQueries(t *testing.T, m *Mesh, rng *rand.Rand) {
 			t.Fatalf("LargestFree(%d,%d,%d) = %v,%v; retained scan says %v,%v\n%s",
 				caps[0], caps[1], caps[2], gotLF, okLF, refLF, refOkLF, m)
 		}
+	}
+}
+
+// candidatesByRunTable enumerates every fit base in row y through the
+// retained run-table walk (blockedUntil / torusBlockedUntil) — the
+// reference the bitboard fit-mask enumeration is tested against.
+func candidatesByRunTable(m *Mesh, y, w, l int) []int {
+	out := []int{}
+	if w <= 0 || l <= 0 || w > m.w || l > m.l {
+		return out
+	}
+	if m.torus {
+		for x := 0; x < m.w; x++ {
+			if m.torusBlockedUntil(x, y, w, l) == 0 {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	if y+l > m.l {
+		return out
+	}
+	for x := 0; x+w <= m.w; x++ {
+		if m.blockedUntil(x, y, w, l) == 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// checkCandidatesRow cross-checks the word-parallel CandidatesRow
+// enumeration against the run-table walk for one (y, w, l) query: same
+// bases, same left-to-right order.
+func checkCandidatesRow(t *testing.T, m *Mesh, y, w, l int) {
+	t.Helper()
+	want := candidatesByRunTable(m, y, w, l)
+	i := 0
+	for x := range m.CandidatesRow(y, w, l) {
+		if i >= len(want) || want[i] != x {
+			t.Fatalf("CandidatesRow(%d,%d,%d) yields %d at index %d; run tables say %v\n%s",
+				y, w, l, x, i, want, m)
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("CandidatesRow(%d,%d,%d) yielded %d bases; run tables say %v\n%s",
+			y, w, l, i, want, m)
 	}
 }
 
@@ -546,6 +620,7 @@ func checkTorusQueries(t *testing.T, m *Mesh, rng *rand.Rand) {
 		t.Fatalf("torus BestFit(%d,%d) = %v,%v; naive scan says %v,%v\n%s",
 			w, l, gotBF, okBF, wantBF, wantOkBF, m)
 	}
+	checkCandidatesRow(t, m, rng.Intn(m.l), w, l)
 	for _, caps := range [][3]int{{w, l, w * l}, {w, l, 1 + rng.Intn(w*l)}, {m.w, m.l, m.w * m.l}} {
 		gotLF, okLF := m.LargestFree(caps[0], caps[1], caps[2])
 		wantLF, wantOkLF := naiveTorusLargestFree(m, caps[0], caps[1], caps[2])

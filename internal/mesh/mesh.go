@@ -10,9 +10,16 @@ import "fmt"
 // simulation owns one mesh.
 //
 // Occupancy is indexed incrementally — there is no per-decision
-// full-table rebuild anywhere. Four derived indexes back the queries
+// full-table rebuild anywhere. Five derived indexes back the queries
 // (rows are addressed by the plane-row index r = z·L + y, so a 2D mesh
 // has r == y and the planar descriptions below read verbatim):
+//
+//   - freeW is the word-parallel bitboard (bitboard.go): wpr uint64
+//     words per plane-row, bit x set iff the cell is free, tail bits
+//     past W always zero. Every mutation path updates it span by span
+//     (markRowSpan) alongside rightRun, and the scan hot paths —
+//     FitsAt row probes, CandidatesRow/FreeSeq run extraction, the
+//     histogram sweeps, the 3D plane projection — run on its words.
 //
 //   - rightRun[r*w+x] is the number of consecutive free processors at
 //     (x,y,z),(x+1,y,z),... It is kept fresh eagerly: a mutation
@@ -63,9 +70,15 @@ import "fmt"
 //	planeMax[z] >= max over rows r of plane z of rowMax[r], equality unless planeStale[z]
 //	sat[(z*(l+1)+y)*(w+1)+x] + Σ pending overlaps == Σ busy in the quadrant X>=x, Y>=y, Z>=z
 //	sat entries with x == w, y == l or z == h are 0
+//	freeW bit x of plane-row r set <=> !busy[r*w+x]; bits >= w zero
 type Mesh struct {
 	w, l, h int
 	busy    []bool // plane-row-major: index = (z*l + y)*w + x
+
+	// freeW is the bitboard: wpr words per plane-row, bit = free (see
+	// bitboard.go for the layout and tail rules).
+	freeW []uint64
+	wpr   int
 
 	// torus selects wrap-around occupancy semantics for queries and
 	// searches: the index tables stay planar either way (see torus.go),
@@ -131,6 +144,8 @@ func New3D(w, l, h int) *Mesh {
 		l:          l,
 		h:          h,
 		busy:       make([]bool, w*l*h),
+		freeW:      make([]uint64, wordsPerRow(w)*l*h),
+		wpr:        wordsPerRow(w),
 		freeCount:  w * l * h,
 		rightRun:   make([]int, w*l*h),
 		rowMax:     make([]int, l*h),
@@ -158,6 +173,7 @@ func (m *Mesh) rowIdx(y, z int) int { return z*m.l + y }
 // resetTables sets the index tables to the all-free state.
 func (m *Mesh) resetTables() {
 	for r := 0; r < m.rows(); r++ {
+		fillRowFree(m.rowWords(r), m.w)
 		for x := 0; x < m.w; x++ {
 			m.rightRun[r*m.w+x] = m.w - x
 		}
@@ -408,10 +424,33 @@ func (m *Mesh) FitsAt(x, y, w, l int) bool {
 			x < 0 || x >= m.w || y < 0 || y >= m.l {
 			return false
 		}
+		if l <= fitsAtRowCap {
+			for j := 0; j < l; j++ {
+				yy := y + j
+				if yy >= m.l {
+					yy -= m.l
+				}
+				if !m.rowFreeSpanWrap(yy, x, w) {
+					return false
+				}
+			}
+			return true
+		}
 		return m.wrapBusy(SubAt(x, y, w, l)) == 0
 	}
 	if w <= 0 || l <= 0 || x < 0 || y < 0 || x+w > m.w || y+l > m.l {
 		return false
+	}
+	if l <= fitsAtRowCap {
+		// Masked word compares on the bitboard: journal-independent and
+		// cache-local, so short windows never pay a SAT fold. Plane-0
+		// rows have r == y on any depth.
+		for j := 0; j < l; j++ {
+			if !m.rowFreeSpan(y+j, x, w) {
+				return false
+			}
+		}
+		return true
 	}
 	if m.h > 1 {
 		// The plane-0 rectangle as a depth-1 cuboid: the 2D rectBusy
@@ -421,6 +460,13 @@ func (m *Mesh) FitsAt(x, y, w, l int) bool {
 	}
 	return m.rectBusy(x, y, x+w-1, y+l-1) == 0
 }
+
+// fitsAtRowCap bounds the number of row-word probes a FitsAt answers
+// on the bitboard before deferring to the O(1) summed tables: taller
+// windows amortize the journal fold the tables need, shorter ones win
+// on locality. Either path gives the same answer; the cap only steers
+// which machinery computes it.
+const fitsAtRowCap = 64
 
 // updateRowRuns restores the rightRun and rowMax invariants for
 // plane-row r after the busy state of columns [x1,x2] changed. It
@@ -526,20 +572,25 @@ func (m *Mesh) settleRowAggregate(r, maxWritten, maxWrittenPos, low, x2 int) {
 	}
 }
 
-// rowMaxRescan re-derives plane-row r's exact widest run by hopping run
-// to run. Called by searches on stale rows only. Lowering the row bound
-// may strand the plane aggregate as an over-estimate, so a plane whose
-// record matched the lowered row goes stale too (planeMaxAt repairs
-// it).
+// rowMaxRescan re-derives plane-row r's exact widest run by extracting
+// runs from the bitboard words (the first strictly wider run wins, the
+// same max and position the retained rightRun hop derives). Called by
+// searches on stale rows only. Lowering the row bound may strand the
+// plane aggregate as an over-estimate, so a plane whose record matched
+// the lowered row goes stale too (planeMaxAt repairs it).
 func (m *Mesh) rowMaxRescan(r int) {
-	row := r * m.w
+	words := m.rowWords(r)
 	max, maxPos := 0, 0
 	for x := 0; x < m.w; {
-		rr := m.rightRun[row+x]
-		if rr > max {
-			max, maxPos = rr, x
+		x0 := maskNextFree(words, x, m.w)
+		if x0 >= m.w {
+			break
 		}
-		x += rr + 1 // land past the run-ending busy processor
+		x1 := maskNextBusy(words, x0, m.w)
+		if rr := x1 - x0; rr > max {
+			max, maxPos = rr, x0
+		}
+		x = x1 + 1 // land past the run-ending busy processor
 	}
 	if z := r / m.l; max < m.rowMax[r] && m.rowMax[r] >= m.planeMax[z] {
 		m.planeStale[z] = true
@@ -569,7 +620,8 @@ func (m *Mesh) rowFitsWidth(r, w int) bool {
 }
 
 // flipBox marks the (validated) cuboid busy or free and restores the
-// index invariants: busy map and rightRun eagerly, SAT via the journal.
+// index invariants: busy map, bitboard and rightRun eagerly, SAT via
+// the journal.
 func (m *Mesh) flipBox(x1, y1, z1, x2, y2, z2 int, toBusy bool) {
 	for z := z1; z <= z2; z++ {
 		for y := y1; y <= y2; y++ {
@@ -587,18 +639,24 @@ func (m *Mesh) flipBox(x1, y1, z1, x2, y2, z2 int, toBusy bool) {
 	m.queueSAT(x1, y1, z1, x2, y2, z2, sign)
 	for z := z1; z <= z2; z++ {
 		for y := y1; y <= y2; y++ {
-			m.updateRowRunsSpan(m.rowIdx(y, z), x1, x2, toBusy)
+			r := m.rowIdx(y, z)
+			m.markRowSpan(r, x1, x2, toBusy)
+			m.updateRowRunsSpan(r, x1, x2, toBusy)
 		}
 	}
 }
 
 // noteCells restores the index invariants after the busy state of the
 // given (already flipped) cells changed by sign (+1 busy, -1 free):
-// one journaled 1x1x1 SAT delta per cell, one rightRun repair per
-// touched plane-row over that row's touched span.
+// one bitboard bit flip and one journaled 1x1x1 SAT delta per cell,
+// one rightRun repair per touched plane-row over that row's touched
+// span.
 func (m *Mesh) noteCells(nodes []Coord, sign int) {
 	if sign < 0 {
 		m.noteRelease()
+	}
+	for _, c := range nodes {
+		m.markRowSpan(m.rowIdx(c.Y, c.Z), c.X, c.X, sign > 0)
 	}
 	// One overflow decision for the whole batch: the busy map already
 	// holds every flip, so a recompute covers all of them at once.
@@ -790,6 +848,7 @@ func (m *Mesh) Clone() *Mesh {
 	n := New3D(m.w, m.l, m.h)
 	n.torus = m.torus
 	copy(n.busy, m.busy)
+	copy(n.freeW, m.freeW)
 	copy(n.rightRun, m.rightRun)
 	copy(n.rowMax, m.rowMax)
 	copy(n.rowMaxPos, m.rowMaxPos)

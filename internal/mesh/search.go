@@ -1,18 +1,25 @@
 package mesh
 
-import "iter"
+import (
+	"iter"
+	"math/bits"
+)
 
 // This file implements the free-rectangle searches used by the
-// allocation strategies. They run on the incrementally maintained
-// rightRun table, probing rows top-down and stopping at the first
-// blocking row — and where the seed's scan then slid one base to the
-// right, the blocker's free run tells us every base in [x, x+run] is
-// blocked by the same busy processor, so the scan jumps past all of
-// them at once.
+// allocation strategies. Candidate bases come off the bitboard
+// (bitboard.go): the window rows' free words AND together, the
+// shift-AND fit mask narrows them to width w, and the surviving bits
+// are exactly the bases where the whole w x l window is free —
+// enumerated by TrailingZeros64 instead of probed one run at a time.
+// The run-table walk the mask replaced is retained as blockedUntil,
+// the reference the differential tests hold the mask enumeration to.
 
 // blockedUntil returns 0 when the w x l sub-mesh based at (x,y) is
 // free, and otherwise the number of bases to skip: the first blocking
-// row's busy processor at x+run blocks every base in [x, x+run].
+// row's busy processor at x+run blocks every base in [x, x+run]. It is
+// the run-table reference for the bitboard fit mask (CandidatesRow) —
+// the churn differentials compare the two base enumerations window by
+// window.
 func (m *Mesh) blockedUntil(x, y, w, l int) int {
 	for yy := y; yy < y+l; yy++ {
 		if r := m.rightRun[yy*m.w+x]; r < w {
@@ -23,41 +30,56 @@ func (m *Mesh) blockedUntil(x, y, w, l int) int {
 }
 
 // CandidatesRow yields, left to right, every base x in row y where the
-// w x l sub-mesh based at (x,y) is entirely free. Busy spans are
-// skipped in one jump per blocking processor. On a torus every grid
-// position is a candidate base and the extent wraps across the seams.
+// w x l sub-mesh based at (x,y) is entirely free: the window rows'
+// free words AND into one mask, the fit mask narrows it to width w,
+// and the set bits are the bases. On a torus every grid position is a
+// candidate base and the extent wraps across the seams — the ANDed row
+// rotates into its doubled seam band first, so wrapped spans read
+// contiguously, and only bits below W are bases (a bit in [W, 2W) is
+// the same wrapped placement seen from its second copy).
 func (m *Mesh) CandidatesRow(y, w, l int) iter.Seq[int] {
 	return func(yield func(int) bool) {
 		if m.torus {
 			if w <= 0 || l <= 0 || w > m.w || l > m.l || y < 0 || y >= m.l {
 				return
 			}
-			for x := 0; x < m.w; {
-				skip := m.torusBlockedUntil(x, y, w, l)
-				if skip == 0 {
+			rowAnd := sizedWordScratch(&m.hist.rowAnd, m.wpr)
+			if !m.torusRowAndInto(rowAnd, y, l) {
+				return
+			}
+			band := sizedWordScratch(&m.hist.bandMask, wordsPerRow(2*m.w))
+			m.doubleRowInto(band, rowAnd)
+			fitMask(band, w)
+			for i, v := range band {
+				base := i << 6
+				for v != 0 {
+					x := base + bits.TrailingZeros64(v)
+					if x >= m.w {
+						return
+					}
 					if !yield(x) {
 						return
 					}
-					x++
-					continue
+					v &= v - 1
 				}
-				x += skip
 			}
 			return
 		}
 		if w <= 0 || l <= 0 || y < 0 || y+l > m.l {
 			return
 		}
-		for x := 0; x+w <= m.w; {
-			skip := m.blockedUntil(x, y, w, l)
-			if skip == 0 {
-				if !yield(x) {
+		mask := sizedWordScratch(&m.hist.winMask, m.wpr)
+		if !m.planarFitMaskInto(mask, y, 0, w, l, 1) {
+			return
+		}
+		for i, v := range mask {
+			base := i << 6
+			for v != 0 {
+				if !yield(base + bits.TrailingZeros64(v)) {
 					return
 				}
-				x++
-				continue
+				v &= v - 1
 			}
-			x += skip
 		}
 	}
 }
@@ -172,20 +194,23 @@ func (m *Mesh) BestFit(w, l int) (Submesh, bool) {
 }
 
 // boundaryPressure counts perimeter positions of s that abut the mesh
-// border or a busy processor. Each mesh-side strip is one O(1)
-// summed-area query; strips falling off the mesh count whole as
-// border. Corners are not counted, matching the four perimeter edges.
+// border or a busy processor. The horizontal strips are one-row spans,
+// so they pop-count straight off the bitboard (cache-local and
+// journal-independent); the vertical strips span many rows and stay on
+// the O(1) summed-area queries, which still require a drained journal.
+// Strips falling off the mesh count whole as border. Corners are not
+// counted, matching the four perimeter edges.
 func (m *Mesh) boundaryPressure(s Submesh) int {
 	score := 0
 	if s.Y1 == 0 {
 		score += s.W()
 	} else {
-		score += m.busyInRect(s.X1, s.Y1-1, s.X2, s.Y1-1)
+		score += m.busyRowSpanBits(s.Y1-1, s.X1, s.X2)
 	}
 	if s.Y2 == m.l-1 {
 		score += s.W()
 	} else {
-		score += m.busyInRect(s.X1, s.Y2+1, s.X2, s.Y2+1)
+		score += m.busyRowSpanBits(s.Y2+1, s.X1, s.X2)
 	}
 	if s.X1 == 0 {
 		score += s.L()
@@ -330,26 +355,27 @@ func (m *Mesh) LargestFreeAnywhere() (Submesh, bool) {
 	return m.LargestFree3D(m.w, m.l, m.h, m.Size())
 }
 
-// FreeSeq yields the free processors plane by plane in row-major order,
-// jumping through the rightRun table so busy processors cost one step
-// each and free runs are emitted directly.
+// FreeSeq yields the free processors plane by plane in row-major
+// order, extracting free runs from the bitboard words so busy spans of
+// any length cost one TrailingZeros64 hop and free runs are emitted
+// directly.
 func (m *Mesh) FreeSeq() iter.Seq[Coord] {
 	return func(yield func(Coord) bool) {
 		for r := 0; r < m.rows(); r++ {
-			row := r * m.w
+			words := m.rowWords(r)
 			y, z := r%m.l, r/m.l
 			for x := 0; x < m.w; {
-				rr := m.rightRun[row+x]
-				if rr == 0 {
-					x++
-					continue
+				x0 := maskNextFree(words, x, m.w)
+				if x0 >= m.w {
+					break
 				}
-				for i := 0; i < rr; i++ {
-					if !yield(Coord{x + i, y, z}) {
+				x1 := maskNextBusy(words, x0, m.w)
+				for ; x0 < x1; x0++ {
+					if !yield(Coord{x0, y, z}) {
 						return
 					}
 				}
-				x += rr + 1 // the processor ending the run is busy
+				x = x1 + 1 // the processor ending the run is busy
 			}
 		}
 	}

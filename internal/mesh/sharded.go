@@ -1,6 +1,7 @@
 package mesh
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 )
@@ -75,13 +76,19 @@ type shardWorker struct {
 	score int
 
 	// Reusable scratch: per-height sweep records, the monotonic stack,
-	// column heights, the 3D MW(d, l) table and the AND-projection.
+	// column heights, the 3D MW(d, l) table, the word-AND projection
+	// and the bitboard masks (window fit mask, torus window AND,
+	// doubled seam band) — per worker, so concurrent stripes never
+	// share a buffer.
 	cand    []int
 	heights []int
 	stackS  []int
 	stackH  []int
 	mw3     []int
-	proj    []bool
+	proj    []uint64
+	winMask []uint64
+	rowAnd  []uint64
+	band    []uint64
 }
 
 // Sharded is the parallel Searcher: contiguous stripes of the (z, y)
@@ -400,10 +407,28 @@ func (m *Mesh) planeBlock(z, w, h int) int {
 	return -1
 }
 
+// torusBaseMask builds the width-w torus fit mask of the wrapped
+// window rows y..y+l-1 into the worker's band scratch and returns it,
+// or nil when some window column is nowhere free: AND the rows
+// planar-first, rotate into the doubled seam band, narrow by width —
+// set bits below W are exactly the wrapped candidate bases.
+func (wk *shardWorker) torusBaseMask(m *Mesh, y, w, l int) []uint64 {
+	rowAnd := sizedWordScratch(&wk.rowAnd, m.wpr)
+	if !m.torusRowAndInto(rowAnd, y, l) {
+		return nil
+	}
+	band := sizedWordScratch(&wk.band, wordsPerRow(2*m.w))
+	m.doubleRowInto(band, rowAnd)
+	fitMask(band, w)
+	return band
+}
+
 // firstFitStripe scans base rows [b0, b1) for the stripe-local first
 // free window, publishing a hit so later stripes can abandon. A stripe
 // aborts only when a strictly earlier stripe has already hit, so the
-// reduce's winner always completed its scan.
+// reduce's winner always completed its scan. Surviving windows are
+// answered by a bitboard fit mask built in per-worker scratch, exactly
+// the serial CandidatesRow/firstFit3D machinery.
 func (s *Sharded) firstFitStripe(id int) {
 	wk := &s.workers[id]
 	wk.found = false
@@ -427,14 +452,12 @@ func (s *Sharded) firstFitStripe(id int) {
 			}
 			switch {
 			case bad < 0:
-				for x := 0; x < m.w; {
-					skip := m.torusBlockedUntil(x, y, q.w, q.l)
-					if skip == 0 {
+				if band := wk.torusBaseMask(m, y, q.w, q.l); band != nil {
+					if x := firstMaskBit(band, m.w); x >= 0 {
 						wk.sub, wk.found = SubAt(x, y, q.w, q.l), true
 						s.publish(id)
 						return
 					}
-					x += skip
 				}
 				y++
 			case bad >= y:
@@ -447,6 +470,7 @@ func (s *Sharded) firstFitStripe(id int) {
 		// The serial nextWindowRow window amortization, repair-free: a
 		// fresh window checks all l rows top-down; once a window was
 		// clean, only the newly entered bottom row needs checking.
+		mask := sizedWordScratch(&wk.winMask, m.wpr)
 		fresh := true
 		for y := wk.b0; y < wk.b1; {
 			if s.minStripe.Load() < int32(id) {
@@ -463,18 +487,17 @@ func (s *Sharded) firstFitStripe(id int) {
 				continue
 			}
 			fresh = false
-			for x := 0; x+q.w <= m.w; {
-				skip := m.blockedUntil(x, y, q.w, q.l)
-				if skip == 0 {
+			if m.planarFitMaskInto(mask, y, 0, q.w, q.l, 1) {
+				if x := firstMaskBit(mask, m.w); x >= 0 {
 					wk.sub, wk.found = SubAt(x, y, q.w, q.l), true
 					s.publish(id)
 					return
 				}
-				x += skip
 			}
 			y++
 		}
 	default:
+		mask := sizedWordScratch(&wk.winMask, m.wpr)
 		ny := m.l - q.l + 1
 		for b := wk.b0; b < wk.b1; {
 			if s.minStripe.Load() < int32(id) {
@@ -493,14 +516,12 @@ func (s *Sharded) firstFitStripe(id int) {
 				}
 				continue
 			}
-			for x := 0; x+q.w <= m.w; {
-				skip := m.blockedUntil3D(x, y, z, q.w, q.l, q.h)
-				if skip == 0 {
+			if m.planarFitMaskInto(mask, y, z, q.w, q.l, q.h) {
+				if x := firstMaskBit(mask, m.w); x >= 0 {
 					wk.sub, wk.found = SubAt3D(x, y, z, q.w, q.l, q.h), true
 					s.publish(id)
 					return
 				}
-				x += skip
 			}
 			b++
 		}
@@ -508,8 +529,9 @@ func (s *Sharded) firstFitStripe(id int) {
 }
 
 // bestFitStripe scans base rows [b0, b1) keeping the stripe's first
-// maximal-score candidate. The whole stripe is always scanned — a
-// later candidate can still win on score.
+// maximal-score candidate, enumerating each surviving window's bases
+// from a bitboard fit mask in per-worker scratch. The whole stripe is
+// always scanned — a later candidate can still win on score.
 func (s *Sharded) bestFitStripe(id int) {
 	wk := &s.workers[id]
 	wk.found, wk.score = false, -1
@@ -530,17 +552,22 @@ func (s *Sharded) bestFitStripe(id int) {
 			}
 			switch {
 			case bad < 0:
-				for x := 0; x < m.w; {
-					skip := m.torusBlockedUntil(x, y, q.w, q.l)
-					if skip > 0 {
-						x += skip
-						continue
+				if band := wk.torusBaseMask(m, y, q.w, q.l); band != nil {
+				bases:
+					for i, v := range band {
+						base := i << 6
+						for v != 0 {
+							x := base + bits.TrailingZeros64(v)
+							if x >= m.w {
+								break bases // second-copy bits: same placements
+							}
+							v &= v - 1
+							sub := SubAt(x, y, q.w, q.l)
+							if sc := m.torusBoundaryPressure(sub); sc > wk.score {
+								wk.sub, wk.score, wk.found = sub, sc, true
+							}
+						}
 					}
-					sub := SubAt(x, y, q.w, q.l)
-					if sc := m.torusBoundaryPressure(sub); sc > wk.score {
-						wk.sub, wk.score, wk.found = sub, sc, true
-					}
-					x++
 				}
 				y++
 			case bad >= y:
@@ -550,6 +577,7 @@ func (s *Sharded) bestFitStripe(id int) {
 			}
 		}
 	case m.h == 1:
+		mask := sizedWordScratch(&wk.winMask, m.wpr)
 		fresh := true
 		for y := wk.b0; y < wk.b1; {
 			if fresh {
@@ -563,21 +591,23 @@ func (s *Sharded) bestFitStripe(id int) {
 				continue
 			}
 			fresh = false
-			for x := 0; x+q.w <= m.w; {
-				skip := m.blockedUntil(x, y, q.w, q.l)
-				if skip > 0 {
-					x += skip
-					continue
+			if m.planarFitMaskInto(mask, y, 0, q.w, q.l, 1) {
+				for i, v := range mask {
+					base := i << 6
+					for v != 0 {
+						x := base + bits.TrailingZeros64(v)
+						v &= v - 1
+						sub := SubAt(x, y, q.w, q.l)
+						if sc := m.boundaryPressure(sub); sc > wk.score {
+							wk.sub, wk.score, wk.found = sub, sc, true
+						}
+					}
 				}
-				sub := SubAt(x, y, q.w, q.l)
-				if sc := m.boundaryPressure(sub); sc > wk.score {
-					wk.sub, wk.score, wk.found = sub, sc, true
-				}
-				x++
 			}
 			y++
 		}
 	default:
+		mask := sizedWordScratch(&wk.winMask, m.wpr)
 		ny := m.l - q.l + 1
 		for b := wk.b0; b < wk.b1; {
 			z, y := b/ny, b%ny
@@ -593,17 +623,18 @@ func (s *Sharded) bestFitStripe(id int) {
 				}
 				continue
 			}
-			for x := 0; x+q.w <= m.w; {
-				skip := m.blockedUntil3D(x, y, z, q.w, q.l, q.h)
-				if skip > 0 {
-					x += skip
-					continue
+			if m.planarFitMaskInto(mask, y, z, q.w, q.l, q.h) {
+				for i, v := range mask {
+					base := i << 6
+					for v != 0 {
+						x := base + bits.TrailingZeros64(v)
+						v &= v - 1
+						sub := SubAt3D(x, y, z, q.w, q.l, q.h)
+						if sc := m.boundaryPressure3D(sub); sc > wk.score {
+							wk.sub, wk.score, wk.found = sub, sc, true
+						}
+					}
 				}
-				sub := SubAt3D(x, y, z, q.w, q.l, q.h)
-				if sc := m.boundaryPressure3D(sub); sc > wk.score {
-					wk.sub, wk.score, wk.found = sub, sc, true
-				}
-				x++
 			}
 			b++
 		}
@@ -718,40 +749,23 @@ func (s *Sharded) sweep2D(maxL int) []int {
 	return cand
 }
 
-// bumpHeightsRow advances the column heights over band row r without
-// recording rectangles — the seeding pass of a sweep stripe, and the
-// fast path under the dominated-row shortcut.
-func (m *Mesh) bumpHeightsRow(r, cols, maxL int, heights []int) {
-	ry := r
-	if ry >= m.l {
-		ry -= m.l
-	}
-	brow := m.busy[ry*m.w : ry*m.w+m.w]
-	for x := 0; x < cols; x++ {
-		xr := x
-		if xr >= m.w {
-			xr -= m.w
-		}
-		if brow[xr] {
-			heights[x] = 0
-		} else if heights[x] < maxL {
-			heights[x]++
-		}
-	}
-}
-
 // sweepStripe is one worker's share of sweep2D: seed the heights, then
 // run the serial sweep body — including its degenerate-row shortcuts,
 // whose suppressed records recur under a later bottom row that some
 // stripe records — over band rows [b0, b1), leaving the raw per-height
-// records (no suffix-max) in the worker's cand slot.
+// records (no suffix-max) in the worker's cand slot. Band rows come
+// off the bitboard exactly as in the serial maxWidthByHeight: planar
+// rows verbatim, torus rows rotated into the worker's doubled seam
+// band.
 func (s *Sharded) sweepStripe(id int) {
 	wk := &s.workers[id]
 	m, q := s.m, &s.req
 	maxL := q.maxL
 	cols, rows := m.w, m.l
+	var band []uint64
 	if m.torus {
 		cols, rows = 2*m.w, 2*m.l-1
+		band = sizedWordScratch(&wk.band, wordsPerRow(cols))
 	}
 	heights := sizedScratch(&wk.heights, cols)
 	stackS := sizedScratch(&wk.stackS, cols+1)
@@ -788,7 +802,6 @@ func (s *Sharded) sweepStripe(id int) {
 		if ry >= m.l {
 			ry -= m.l
 		}
-		brow := m.busy[ry*m.w : ry*m.w+m.w]
 		// The serial sweep's degenerate-row shortcuts, verbatim: a fully
 		// busy row zeroes the heights; a row whose successor band row is
 		// fully free has every record dominated there (the successor's
@@ -797,58 +810,22 @@ func (s *Sharded) sweepStripe(id int) {
 			clear(heights)
 			continue
 		}
+		words := m.rowWords(ry)
+		if m.torus {
+			m.doubleRowInto(band, words)
+			words = band
+		}
 		if r+1 < rows {
 			ny := r + 1
 			if ny >= m.l {
 				ny -= m.l
 			}
 			if m.rightRun[ny*m.w] == m.w {
-				m.bumpHeightsRow(r, cols, maxL, heights)
+				bumpHeightsWords(words, cols, maxL, heights)
 				continue
 			}
 		}
-		top := 0
-		for x := 0; x <= cols; x++ {
-			h := 0
-			if x < len(brow) {
-				if brow[x] {
-					heights[x] = 0
-				} else {
-					h = heights[x]
-					if h < maxL {
-						h++
-						heights[x] = h
-					}
-				}
-			} else if x < cols { // doubled band: wrapped column copy
-				if brow[x-m.w] {
-					heights[x] = 0
-				} else {
-					h = heights[x]
-					if h < maxL {
-						h++
-						heights[x] = h
-					}
-				}
-			}
-			start := x
-			for top > 0 && stackH[top-1] >= h {
-				top--
-				hh := stackH[top]
-				start = stackS[top]
-				w := x - start
-				if w > m.w {
-					w = m.w // a span past W wraps onto itself
-				}
-				if w > cand[hh] {
-					cand[hh] = w
-				}
-			}
-			if h > 0 {
-				stackS[top], stackH[top] = start, h
-				top++
-			}
-		}
+		sweepRowWords(words, cols, maxL, m.w, heights, stackS, stackH, cand)
 	}
 }
 
@@ -890,7 +867,7 @@ func (s *Sharded) sweepVolumeStripe(id int) {
 	m, q := s.m, &s.req
 	mw := sizedScratch(&wk.mw3, (q.maxH+1)*(q.maxL+1))
 	clear(mw)
-	proj := sizedBoolScratch(&wk.proj, m.w*m.l)
+	proj := sizedWordScratch(&wk.proj, m.l*m.wpr)
 	cand := sizedScratch(&wk.cand, q.maxL+1)
 	heights := sizedScratch(&wk.heights, m.w)
 	stackS := sizedScratch(&wk.stackS, m.w+1)

@@ -213,6 +213,8 @@ func (m *Mesh) torusSubFree(s Submesh) bool {
 // — extents wrapping — is free, and otherwise the number of bases to
 // skip: the first blocking row's run ends at a busy processor that
 // blocks every base in [x, x+run], exactly as in the planar search.
+// Retained as the run-table reference the torus fit-mask enumeration
+// (CandidatesRow) is differentially tested against.
 func (m *Mesh) torusBlockedUntil(x, y, w, l int) int {
 	for i := 0; i < l; i++ {
 		yy := y + i

@@ -1,5 +1,7 @@
 package mesh
 
+import "math/bits"
+
 // This file is the 3D query and search layer of the occupancy index
 // (PR 4). The incremental tables are dimension-general (mesh.go): the
 // run table is per-(row, plane), the per-row aggregates stack into the
@@ -65,13 +67,27 @@ func (m *Mesh) FitsAt3D(x, y, z, w, l, h int) bool {
 		x+w > m.w || y+l > m.l || z+h > m.h {
 		return false
 	}
+	if l*h <= fitsAtRowCap {
+		// Masked word compares per plane-row, mirroring the planar
+		// FitsAt word path: journal-independent, same answer.
+		for zz := z; zz < z+h; zz++ {
+			for yy := y; yy < y+l; yy++ {
+				if !m.rowFreeSpan(m.rowIdx(yy, zz), x, w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	return m.boxBusy(x, y, z, x+w-1, y+l-1, z+h-1) == 0
 }
 
 // blockedUntil3D returns 0 when the w x l x h cuboid based at (x, y, z)
 // is free, and otherwise the number of bases to skip: the first
 // blocking plane-row's busy processor at x+run blocks every base in
-// [x, x+run], exactly as in the planar search.
+// [x, x+run], exactly as in the planar search. Like blockedUntil it is
+// retained as the run-table reference the bitboard fit-mask scans are
+// differentially tested against.
 func (m *Mesh) blockedUntil3D(x, y, z, w, l, h int) int {
 	for zz := z; zz < z+h; zz++ {
 		row := (zz*m.l + y) * m.w
@@ -135,10 +151,12 @@ func (m *Mesh) FirstFit3D(w, l, h int) (Submesh, bool) {
 	return m.firstFit3D(w, l, h)
 }
 
-// firstFit3D scans the candidate space plane window by plane window.
+// firstFit3D scans the candidate space plane window by plane window,
+// the surviving windows answered by a bitboard fit mask per base row.
 // Arguments are positive and within the mesh sides; the mesh has
 // depth > 1 (planar meshes take the 2D path).
 func (m *Mesh) firstFit3D(w, l, h int) (Submesh, bool) {
+	mask := sizedWordScratch(&m.hist.winMask, m.wpr)
 	for z := 0; ; z++ {
 		z = m.nextWindowPlane(z, w, h)
 		if z+h > m.h {
@@ -149,12 +167,10 @@ func (m *Mesh) firstFit3D(w, l, h int) (Submesh, bool) {
 				y = bad + 1
 				continue
 			}
-			for x := 0; x+w <= m.w; {
-				skip := m.blockedUntil3D(x, y, z, w, l, h)
-				if skip == 0 {
+			if m.planarFitMaskInto(mask, y, z, w, l, h) {
+				if x := firstMaskBit(mask, m.w); x >= 0 {
 					return SubAt3D(x, y, z, w, l, h), true
 				}
-				x += skip
 			}
 			y++
 		}
@@ -180,6 +196,7 @@ func (m *Mesh) BestFit3D(w, l, h int) (Submesh, bool) {
 	}
 	best := Submesh{}
 	bestScore := -1
+	mask := sizedWordScratch(&m.hist.winMask, m.wpr)
 	for z := 0; ; z++ {
 		z = m.nextWindowPlane(z, w, h)
 		if z+h > m.h {
@@ -190,18 +207,19 @@ func (m *Mesh) BestFit3D(w, l, h int) (Submesh, bool) {
 				y = bad + 1
 				continue
 			}
-			for x := 0; x+w <= m.w; {
-				skip := m.blockedUntil3D(x, y, z, w, l, h)
-				if skip > 0 {
-					x += skip
-					continue
+			if m.planarFitMaskInto(mask, y, z, w, l, h) {
+				for i, v := range mask {
+					base := i << 6
+					for v != 0 {
+						x := base + bits.TrailingZeros64(v)
+						v &= v - 1
+						s := SubAt3D(x, y, z, w, l, h)
+						if score := m.boundaryPressure3D(s); score > bestScore {
+							bestScore = score
+							best = s
+						}
+					}
 				}
-				s := SubAt3D(x, y, z, w, l, h)
-				if score := m.boundaryPressure3D(s); score > bestScore {
-					bestScore = score
-					best = s
-				}
-				x++
 			}
 			y++
 		}
@@ -398,7 +416,7 @@ func (m *Mesh) largestFree3D(maxW, maxL, maxH, maxVol int, sh *Sharded) (Submesh
 func (m *Mesh) sweepVolumeSerial(maxL, maxH int) []int {
 	mw := sizedScratch(&m.hist.mw3, (maxH+1)*(maxL+1))
 	clear(mw)
-	proj := sizedBoolScratch(&m.hist.proj, m.w*m.l)
+	proj := sizedWordScratch(&m.hist.proj, m.l*m.wpr)
 	cand := sizedScratch(&m.hist.cand3, maxL+1)
 	heights := sizedScratch(&m.hist.heights, m.w)
 	stackS := sizedScratch(&m.hist.stackS, m.w+1)
@@ -410,28 +428,30 @@ func (m *Mesh) sweepVolumeSerial(maxL, maxH int) []int {
 // sweepVolumeInto folds the base planes z0 = start, start+stride, ...
 // into mw: every (base plane, depth) pair is AND-projected into proj
 // and swept (sweepProjectionInto), the per-shape records folded by
-// max into mw[d*(maxL+1)+l]. All buffers are caller-owned, so the
-// serial path and every sharded worker share this one body —
-// MW is a max over base planes, so any partition of the start/stride
+// max into mw[d*(maxL+1)+l]. The projection is a flat word-wise AND of
+// the slab's bitboard words (free semantics: a projected column is
+// free iff free in every plane of the slab) — W·L/64 word ops per
+// deepening instead of a per-cell loop. All buffers are caller-owned,
+// so the serial path and every sharded worker share this one body — MW
+// is a max over base planes, so any partition of the start/stride
 // space max-reduces to the same table.
-func (m *Mesh) sweepVolumeInto(start, stride, maxL, maxH int, mw []int, proj []bool, cand, heights, stackS, stackH []int) {
+func (m *Mesh) sweepVolumeInto(start, stride, maxL, maxH int, mw []int, proj []uint64, cand, heights, stackS, stackH []int) {
+	pw := m.l * m.wpr
 	for z0 := start; z0 < m.h; z0 += stride {
 		dMax := maxH
 		if rest := m.h - z0; rest < dMax {
 			dMax = rest
 		}
 		for d := 1; d <= dMax; d++ {
-			plane := m.busy[(z0+d-1)*m.l*m.w : (z0+d)*m.l*m.w]
+			plane := m.freeW[(z0+d-1)*pw : (z0+d)*pw]
 			if d == 1 {
 				copy(proj, plane)
 			} else {
-				for i, b := range plane {
-					if b {
-						proj[i] = true
-					}
+				for i, v := range plane {
+					proj[i] &= v
 				}
 			}
-			sweepProjectionInto(m.w, m.l, proj, maxL, cand, heights, stackS, stackH)
+			sweepProjectionInto(m.w, m.l, m.wpr, proj, maxL, cand, heights, stackS, stackH)
 			if cand[1] == 0 {
 				break // projection fully busy: deeper extents only worse
 			}
@@ -445,44 +465,16 @@ func (m *Mesh) sweepVolumeInto(start, stride, maxL, maxH int, mw []int, proj []b
 	}
 }
 
-// sweepProjectionInto is the projection sweep proper over a w x l
-// occupancy: cand[l] is set to the width of the widest free rectangle
-// of height exactly-or-more l in the projection, for l in 1..maxL.
-// O(W·L), allocation-free — every buffer is caller-owned, so
-// concurrent sweeps over disjoint scratch are safe.
-func sweepProjectionInto(w, l int, proj []bool, maxL int, cand, heights, stackS, stackH []int) {
+// sweepProjectionInto is the projection sweep proper over a w x l free
+// mask of wpr words per row: cand[l] is set to the width of the widest
+// free rectangle of height exactly-or-more l in the projection, for l
+// in 1..maxL. O(W·L), allocation-free — every buffer is caller-owned,
+// so concurrent sweeps over disjoint scratch are safe.
+func sweepProjectionInto(w, l, wpr int, proj []uint64, maxL int, cand, heights, stackS, stackH []int) {
 	clear(heights)
 	clear(cand)
 	for y := 0; y < l; y++ {
-		brow := proj[y*w : (y+1)*w]
-		top := 0
-		for x := 0; x <= w; x++ {
-			h := 0
-			if x < w {
-				if brow[x] {
-					heights[x] = 0
-				} else {
-					h = heights[x]
-					if h < maxL {
-						h++
-						heights[x] = h
-					}
-				}
-			}
-			start := x
-			for top > 0 && stackH[top-1] >= h {
-				top--
-				hh := stackH[top]
-				start = stackS[top]
-				if ww := x - start; ww > cand[hh] {
-					cand[hh] = ww
-				}
-			}
-			if h > 0 {
-				stackS[top], stackH[top] = start, h
-				top++
-			}
-		}
+		sweepRowWords(proj[y*wpr:(y+1)*wpr], w, maxL, w, heights, stackS, stackH, cand)
 	}
 	// A rectangle of height h contains one of every lesser height, so
 	// the per-height records suffix-max into MW.

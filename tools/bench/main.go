@@ -10,6 +10,11 @@
 //   - search/*: mesh occupancy searches on a fragmented mesh — planar,
 //     torus and the 32x32x8 volumetric LargestFree3D (all must stay
 //     allocation-free once warm);
+//   - bitboard/*: the word-parallel occupancy primitives in isolation
+//     on fragmented meshes at 64/256/1024 widths — masked fit probes
+//     (fits_at), free-run extraction (free_runs), the histogram sweep
+//     over row words (sweep) and the projected-plane 3D sweep (proj3d);
+//     all must stay allocation-free once warm;
 //   - alloc/*: full simulation runs (arrival → schedule → allocate →
 //     release) on 64x64 and 256x256 meshes, both topologies, plus the
 //     32x32x8 3D mesh, under the allocation-stress workload with zero
@@ -26,8 +31,8 @@
 //	go run ./tools/bench [-short] [-check] [-o BENCH_PR5.json]
 //
 // -short trims the job counts and case list for CI smoke runs. -check
-// exits non-zero if any des/* or search/* case reports a non-zero
-// allocs/op — the regression gate CI runs on every push. The output
+// exits non-zero if any des/*, search/* or bitboard/* case reports a
+// non-zero allocs/op — the regression gate CI runs on every push. The output
 // schema is documented in README.md ("Benchmark trajectory").
 package main
 
@@ -80,6 +85,7 @@ func main() {
 	snap := Snapshot{Label: *label, Go: runtime.Version(), Cores: runtime.GOMAXPROCS(0), Short: *short}
 	snap.Cases = append(snap.Cases, desCases()...)
 	snap.Cases = append(snap.Cases, searchCases()...)
+	snap.Cases = append(snap.Cases, bitboardCases(*short)...)
 	snap.Cases = append(snap.Cases, allocCases(*short)...)
 	snap.Cases = append(snap.Cases, largeCases(*short)...)
 
@@ -106,7 +112,8 @@ func main() {
 	if *check {
 		bad := false
 		for _, c := range snap.Cases {
-			if (strings.HasPrefix(c.Name, "des/") || strings.HasPrefix(c.Name, "search/")) && c.AllocsPerOp != 0 {
+			if (strings.HasPrefix(c.Name, "des/") || strings.HasPrefix(c.Name, "search/") ||
+				strings.HasPrefix(c.Name, "bitboard/")) && c.AllocsPerOp != 0 {
 				fmt.Fprintf(os.Stderr, "bench: ALLOC REGRESSION: %s reports %d allocs/op, want 0\n",
 					c.Name, c.AllocsPerOp)
 				bad = true
@@ -115,7 +122,7 @@ func main() {
 		if bad {
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "bench: alloc gate passed (des/* and search/* at 0 allocs/op)")
+		fmt.Fprintln(os.Stderr, "bench: alloc gate passed (des/*, search/* and bitboard/* at 0 allocs/op)")
 	}
 }
 
@@ -197,6 +204,57 @@ func searchCases() []Case {
 		mk("search/largest_free/256x256/torus", mesh.NewTorus(256, 256), 128, 128, 4096),
 		mk3("search/largest_free3d/32x32x8/mesh", mesh.New3D(32, 32, 8), 16, 16, 4, 1024),
 	}
+}
+
+// bitboardCases measures the word-parallel occupancy primitives in
+// isolation on fragmented meshes: masked fit probes, free-run
+// extraction, the histogram sweep over row words, and the
+// projected-plane 3D sweep. The width axis (64/256/1024) spans one-word
+// rows through 16-word rows, where word-parallelism pays most.
+func bitboardCases(short bool) []Case {
+	widths := []int{64, 256, 1024}
+	if short {
+		widths = []int{64, 256}
+	}
+	var out []Case
+	for _, n := range widths {
+		m := fragmented(mesh.New(n, n))
+		m.FitsAt(0, 0, 8, 8) // warm any lazy scratch
+		out = append(out, record(fmt.Sprintf("bitboard/fits_at/%d", n), 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.FitsAt(i*31%(n-8), i*17%(n-8), 8, 8)
+			}
+		}))
+		out = append(out, record(fmt.Sprintf("bitboard/free_runs/%d", n), 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := 0
+				for range m.FreeSeq() {
+					c++
+				}
+				if c == 0 {
+					b.Fatal("no free processors")
+				}
+			}
+		}))
+		m.LargestFree(n/2, n/2, n*n/16) // warm the sweep scratch
+		out = append(out, record(fmt.Sprintf("bitboard/sweep/%d", n), 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.LargestFree(n/2, n/2, n*n/16)
+			}
+		}))
+		m3 := fragmented(mesh.New3D(n, n, 4))
+		m3.LargestFree3D(n/2, n/2, 2, n*n/8) // warm the sweep scratch
+		out = append(out, record(fmt.Sprintf("bitboard/proj3d/%d", n), 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m3.LargestFree3D(n/2, n/2, 2, n*n/8)
+			}
+		}))
+	}
+	return out
 }
 
 // largeCases measures the sharded-search executor end to end: the
