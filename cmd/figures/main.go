@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -53,6 +55,7 @@ func main() {
 		topo    = flag.String("topology", "", "override interconnect topology for every experiment: mesh, torus")
 		depth   = flag.Int("depth", 0, "override mesh depth for every experiment (0 keeps each experiment's own; above 1 runs 3D)")
 		workers = flag.Int("workers", 0, "search workers per simulation (0 = serial scans, cells already run one per core); cells x workers stays capped at GOMAXPROCS")
+		faults  = flag.String("faults", "", "fault plan JSON file injected into every run (each replication draws an independent failure schedule)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,19 @@ func main() {
 		os.Exit(1)
 	}
 	opt := core.Options{BaseSeed: *seed, Think: *think, Workers: *workers}
+	if *faults != "" {
+		b, err := os.ReadFile(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		plan := &sim.FaultPlan{}
+		if err := json.Unmarshal(b, plan); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", *faults, err)
+			os.Exit(1)
+		}
+		opt.Faults = plan
+	}
 	if *quick {
 		opt.Jobs = 200
 		opt.Replicator = stats.Replicator{MinReps: 2, MaxReps: 2, RelTol: 0.05}

@@ -8,9 +8,11 @@
 //	meshsim -strategy MBS -workload real -load 0.0075
 //	meshsim -strategy Paging(0) -workload trace -trace jobs.txt -load 0.01
 //	meshsim -strategy GABL -width 16 -length 16 -depth 4 -workload uniform -load 0.002
+//	meshsim -strategy GABL -faults examples/faultplan.json -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mesh"
 	"repro/internal/network"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -52,6 +55,12 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel search workers for the run's candidate scans (0 = one per core); results are identical at every count")
 		pattern   = flag.String("pattern", "all-to-all", "communication pattern: all-to-all, one-to-all, all-to-one, random-pairs, near-neighbour")
 		seed      = flag.Int64("seed", 1, "random seed")
+		faults    = flag.String("faults", "", "fault plan JSON file (see docs: seed, mtbf, mttr, max_failures, outages, policy)")
+		mtbf      = flag.Float64("mtbf", 0, "per-node mean time between failures (0 = no random failures; overrides the plan file)")
+		mttr      = flag.Float64("mttr", 0, "mean time to repair a failed node (0 = failures are permanent; overrides the plan file)")
+		faultSeed = flag.Int64("fault-seed", 0, "seed of the failure schedule (overrides the plan file; independent of -seed)")
+		killPol   = flag.String("kill-policy", "", "what happens to a job a failure lands in: requeue, abort (overrides the plan file)")
+		jsonOut   = flag.Bool("json", false, "emit the run's metrics (and resilience block, when faulted) as JSON")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
@@ -133,6 +142,13 @@ func main() {
 	}
 	cfg.Pattern = pat
 
+	plan, err := buildFaultPlan(*faults, *mtbf, *mttr, *faultSeed, *killPol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(1)
+	}
+	cfg.Faults = plan
+
 	src, err := buildSource(*wl, *traceFile, cfg, *load, *numMes, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
@@ -143,6 +159,54 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
 		os.Exit(1)
+	}
+
+	var resil *report.Resilience
+	if plan.Active() {
+		// Twin run: identical workload and seeds, no faults — the
+		// utilization delta is the price of the failures, computed in
+		// this one invocation.
+		baseCfg := cfg
+		baseCfg.Faults = nil
+		baseSrc, err := buildSource(*wl, *traceFile, baseCfg, *load, *numMes, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		base, err := sim.Run(baseCfg, baseSrc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		resil = &report.Resilience{
+			FailureRate:         res.FailureRate,
+			MeanPinned:          res.MeanPinned,
+			AvailLoss:           res.AvailLoss,
+			Utilization:         res.Utilization,
+			BaselineUtilization: base.Utilization,
+			UtilizationLoss:     base.Utilization - res.Utilization,
+			Failures:            res.Failures,
+			Recoveries:          res.Recoveries,
+			JobsKilled:          res.JobsKilled,
+			JobsRequeued:        res.JobsRequeued,
+			JobsAborted:         res.JobsAborted,
+			LostWork:            res.LostWork,
+			P95Wait:             res.P95Wait,
+		}
+	}
+
+	if *jsonOut {
+		out := struct {
+			Result     sim.Result         `json:"result"`
+			Resilience *report.Resilience `json:"resilience,omitempty"`
+		}{res, resil}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("strategy            %s(%s)\n", cfg.Strategy, cfg.Scheduler)
@@ -162,9 +226,52 @@ func main() {
 	fmt.Printf("packet blocking     %.2f\n", res.MeanBlocking)
 	fmt.Printf("queue wait          %.1f (mean queue length %.1f)\n", res.MeanWait, res.MeanQueueLen)
 	fmt.Printf("sub-meshes per job  %.2f (topology %s)\n", res.MeanPieces, cfg.Network.Topology)
+	if resil != nil {
+		if err := resil.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+	}
 	if res.Saturated {
 		fmt.Println("NOTE: run hit the backlog bound (saturated load); means are saturation values")
 	}
+}
+
+// buildFaultPlan loads the plan file (when given) and overlays the
+// quick flags on top; a nil return means a fault-free run. Plan
+// geometry is validated by sim.New against the actual mesh.
+func buildFaultPlan(file string, mtbf, mttr float64, seed int64, policy string) (*sim.FaultPlan, error) {
+	var plan sim.FaultPlan
+	if file != "" {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(b, &plan); err != nil {
+			return nil, fmt.Errorf("%s: %v", file, err)
+		}
+	}
+	if mtbf > 0 {
+		plan.MTBF = mtbf
+	}
+	if mttr > 0 {
+		plan.MTTR = mttr
+	}
+	if seed != 0 {
+		plan.Seed = seed
+	}
+	if policy != "" {
+		plan.Policy = sim.KillPolicy(policy)
+	}
+	if !plan.Active() {
+		if file == "" && mtbf == 0 && mttr == 0 && seed == 0 && policy == "" {
+			return nil, nil // no fault flags at all: fault-free run
+		}
+		if file == "" {
+			return nil, fmt.Errorf("fault flags given but no failure source: set -mtbf or provide outages via -faults FILE")
+		}
+	}
+	return &plan, nil
 }
 
 func buildSource(kind, traceFile string, cfg sim.Config, load, numMes float64, seed int64) (workload.Source, error) {

@@ -1,0 +1,142 @@
+package alloc
+
+// Pinned-cell audit for every strategy: with failed processors
+// scattered over the mesh, no strategy may ever propose a placement
+// touching a pinned cell (commit panics on AllocateSub failure — the
+// busy pin refuses the box — so surviving the churn IS the proof),
+// and releases must leave the pins in place.
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+// auditStrategies builds one of each strategy family, each on its own
+// fresh mesh from mk (the churn pins cells, so meshes can't be shared).
+func auditStrategies(t testing.TB, mk func() *mesh.Mesh) []Allocator {
+	t.Helper()
+	names := []string{"GABL", "FirstFit", "BestFit", "ANCA", "FrameSliding", "Paging(0)"}
+	if mk().H() == 1 {
+		names = append(names, "MBS", "Random")
+	}
+	var out []Allocator
+	for _, n := range names {
+		a, err := ByName(n, mk(), stats.NewStream(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// pinScatter fails n cells drawn without replacement and returns them.
+func pinScatter(t *testing.T, m *mesh.Mesh, rng *stats.Stream, n int) []mesh.Coord {
+	t.Helper()
+	var pins []mesh.Coord
+	for len(pins) < n {
+		c := mesh.Coord{X: rng.Intn(m.W()), Y: rng.Intn(m.L()), Z: rng.Intn(m.H())}
+		if m.Pinned(c) {
+			continue
+		}
+		if err := m.Fail(c); err != nil {
+			t.Fatalf("Fail(%v): %v", c, err)
+		}
+		pins = append(pins, c)
+	}
+	return pins
+}
+
+// runPinAudit churns allocate/release on a pre-pinned mesh and checks
+// the invariants after every operation.
+func runPinAudit(t *testing.T, mk func() *mesh.Mesh) {
+	t.Helper()
+	for _, a := range auditStrategies(t, mk) {
+		m := a.Mesh()
+		rng := stats.NewStream(61)
+		pins := pinScatter(t, m, rng, m.Size()/8)
+		var live []Allocation
+		for step := 0; step < 400; step++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				req := Request{W: 1 + rng.Intn(m.W()/2), L: 1 + rng.Intn(m.L()/2)}
+				if m.H() > 1 {
+					req.H = 1 + rng.Intn(m.H())
+				}
+				// commit (inside Allocate) panics if the strategy
+				// proposed any pinned cell — the audit itself.
+				if alloc, ok := a.Allocate(req); ok {
+					for _, c := range alloc.Nodes() {
+						if m.Pinned(c) {
+							t.Fatalf("%s allocated pinned cell %v", a.Name(), c)
+						}
+					}
+					live = append(live, alloc)
+				}
+			} else {
+				i := rng.Intn(len(live))
+				a.Release(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if m.PinnedCount() != len(pins) {
+				t.Fatalf("%s: pins drifted to %d (want %d) at step %d",
+					a.Name(), m.PinnedCount(), len(pins), step)
+			}
+		}
+		for _, alloc := range live {
+			a.Release(alloc)
+		}
+		if got := m.FreeCount(); got != m.Size()-len(pins) {
+			t.Fatalf("%s: after full release FreeCount = %d, want %d",
+				a.Name(), got, m.Size()-len(pins))
+		}
+		for _, c := range pins {
+			if !m.Pinned(c) {
+				t.Fatalf("%s: pin %v lost", a.Name(), c)
+			}
+		}
+	}
+}
+
+func TestStrategiesCarveAroundPins2D(t *testing.T) {
+	runPinAudit(t, func() *mesh.Mesh { return mesh.New(16, 22) })
+}
+
+func TestStrategiesCarveAroundPinsTorus(t *testing.T) {
+	runPinAudit(t, func() *mesh.Mesh { return mesh.NewTorus(16, 16) })
+}
+
+func TestStrategiesCarveAroundPins3D(t *testing.T) {
+	runPinAudit(t, func() *mesh.Mesh { return mesh.New3D(8, 8, 4) })
+}
+
+// TestPinStarvationRecovers pins the middle row of a 16x3 mesh so no
+// two adjacent rows survive, then recovers it and checks the same
+// request fits: the strategies see capacity come back without reset.
+func TestPinStarvationRecovers(t *testing.T) {
+	m := mesh.New(16, 3)
+	a := NewFirstFit(m, false) // strictly contiguous: starvation is real
+	for x := 0; x < 16; x++ {
+		if err := m.Fail(mesh.Coord{X: x, Y: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := a.Allocate(Request{W: 16, L: 2}); ok {
+		t.Fatal("16x2 fit across a failed row")
+	}
+	for x := 0; x < 16; x++ {
+		if err := m.Recover(mesh.Coord{X: x, Y: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alloc, ok := a.Allocate(Request{W: 16, L: 2})
+	if !ok {
+		t.Fatal("16x2 does not fit after recovery")
+	}
+	a.Release(alloc)
+	if m.FreeCount() != m.Size() {
+		t.Fatalf("FreeCount = %d after release, want %d", m.FreeCount(), m.Size())
+	}
+}

@@ -170,22 +170,45 @@ func (a *MBS) Allocate(req Request) (Allocation, bool) {
 	return commit(a.m, pieces), true
 }
 
-// take pops the oldest free block of size k.
+// take pops the oldest usable free block of size k. The free lists
+// track allocation structure only — failed processors (mesh.Fail) pin
+// cells underneath without touching them — so usability is read off
+// the mesh: a free-listed block holds no allocated cells, hence any
+// busy cell inside it is a pin and the block must be skipped (it
+// returns to service when the cell recovers, still on the list).
 func (a *MBS) take(k int) (block, bool) {
-	if len(a.free[k]) == 0 {
-		return block{}, false
+	if a.m.PinnedCount() == 0 {
+		// Fault-free fast path: every listed block is fully free.
+		if len(a.free[k]) == 0 {
+			return block{}, false
+		}
+		b := a.free[k][0]
+		a.free[k] = a.free[k][:copy(a.free[k], a.free[k][1:])]
+		return block{b.x, b.y, k}, true
 	}
-	b := a.free[k][0]
-	a.free[k] = a.free[k][:copy(a.free[k], a.free[k][1:])]
-	return block{b.x, b.y, k}, true
+	for i, c := range a.free[k] {
+		b := block{c.x, c.y, k}
+		if !a.m.SubFree(b.sub()) {
+			continue // pinned cell inside: unusable until recovery
+		}
+		a.free[k] = append(a.free[k][:i], a.free[k][i+1:]...)
+		return b, true
+	}
+	return block{}, false
 }
 
 // split finds the smallest free block larger than k and splits it down
-// until a size-k block exists. It reports whether it succeeded.
+// until a size-k block exists. It reports whether it succeeded. Under
+// failures a block is splittable as long as any cell in it is free:
+// splitting a partially pinned block isolates the pins into smaller
+// blocks and recovers the live quarters (take then skips the pinned
+// fragments, and recovery re-merges nothing — the structure stays
+// consistent because coalescing only inspects the free lists).
 func (a *MBS) split(k int) bool {
+	pinned := a.m.PinnedCount() > 0
 	j := -1
 	for i := k + 1; i <= a.kmax; i++ {
-		if len(a.free[i]) > 0 {
+		if a.splittableAt(i, pinned) >= 0 {
 			j = i
 			break
 		}
@@ -194,7 +217,9 @@ func (a *MBS) split(k int) bool {
 		return false
 	}
 	for ; j > k; j-- {
-		b, _ := a.take(j)
+		i := a.splittableAt(j, pinned)
+		b := block{a.free[j][i].x, a.free[j][i].y, j}
+		a.free[j] = append(a.free[j][:i], a.free[j][i+1:]...)
 		s := 1 << (j - 1)
 		for _, c := range [4]blockBase{
 			{b.x, b.y}, {b.x + s, b.y}, {b.x, b.y + s}, {b.x + s, b.y + s},
@@ -203,6 +228,24 @@ func (a *MBS) split(k int) bool {
 		}
 	}
 	return true
+}
+
+// splittableAt returns the position of the oldest block of size j
+// worth splitting (any free cell inside), or -1.
+func (a *MBS) splittableAt(j int, pinned bool) int {
+	if !pinned {
+		if len(a.free[j]) == 0 {
+			return -1
+		}
+		return 0
+	}
+	for i, c := range a.free[j] {
+		b := block{c.x, c.y, j}
+		if a.m.FreeInRect(b.sub()) > 0 {
+			return i
+		}
+	}
+	return -1
 }
 
 // Release implements Allocator: free each block and recombine buddies.

@@ -1,0 +1,54 @@
+package core
+
+// Fault threading through the experiment harness: a plan in Options
+// reaches every replication with an independent schedule, resilience
+// aggregates surface on the cells, and the whole grid stays
+// deterministic — while a nil plan remains byte-identical to the
+// pre-fault harness.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// faultOpts is quickOpts plus a live fault plan: MTBF sized so the
+// 16x22 paper mesh sees failures within a 60-job run.
+func faultOpts() Options {
+	opt := quickOpts()
+	opt.Faults = &sim.FaultPlan{Seed: 5, MTBF: 2e6, MTTR: 5000}
+	return opt
+}
+
+func TestRunWithFaultsDeterministic(t *testing.T) {
+	a := Run(quickExp(), faultOpts())
+	b := Run(quickExp(), faultOpts())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("faulted series not deterministic across runs")
+	}
+	sawRate := false
+	for _, c := range a.Cells {
+		if c.Value.Mean <= 0 {
+			t.Fatalf("cell %s@%v degenerate under faults: %+v", c.Combo, c.Load, c)
+		}
+		if c.FailureRate > 0 {
+			sawRate = true
+		}
+		if c.AvailLoss < 0 || c.AvailLoss >= 1 {
+			t.Fatalf("cell %s@%v AvailLoss %v", c.Combo, c.Load, c.AvailLoss)
+		}
+	}
+	if !sawRate {
+		t.Fatal("no cell observed a failure; plan MTBF needs tuning")
+	}
+}
+
+func TestRunWithoutFaultsHasZeroResilience(t *testing.T) {
+	s := Run(quickExp(), quickOpts())
+	for _, c := range s.Cells {
+		if c.Kills != 0 || c.FailureRate != 0 || c.AvailLoss != 0 {
+			t.Fatalf("fault-free cell carries resilience data: %+v", c)
+		}
+	}
+}

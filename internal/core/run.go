@@ -42,6 +42,12 @@ type Options struct {
 	BaseSeed int64
 	// Think forwards sim.Config.ThinkMean (0 = the paper model).
 	Think float64
+	// Faults injects the fault plan into every run. Each replication
+	// gets an independent failure schedule (the plan seed is XORed
+	// with the replication's derived seed) from the same plan shape,
+	// so the CI stopping rule averages over fault realizations too.
+	// Nil runs fault-free and is byte-identical to earlier behavior.
+	Faults *sim.FaultPlan
 }
 
 // Cell is the replicated measurement of one (combo, load) point.
@@ -57,6 +63,12 @@ type Cell struct {
 	Reps   int
 	// Saturated reports whether any replication hit the queue bound.
 	Saturated bool
+	// Resilience aggregates (zero when Options.Faults is nil): mean
+	// jobs killed per run, mean failures per processor per time unit,
+	// and the mean fraction of capacity lost to failed processors.
+	Kills       float64
+	FailureRate float64
+	AvailLoss   float64
 }
 
 // Series is one experiment's complete result grid.
@@ -131,7 +143,7 @@ func Run(exp Experiment, opt Options) Series {
 func runCell(exp Experiment, c Combo, load float64, jobs int, rep stats.Replicator, opt Options) Cell {
 	cell := Cell{Combo: c, Load: load}
 	var all [5]stats.Accumulator
-	var pieces stats.Accumulator
+	var pieces, kills, failRate, availLoss stats.Accumulator
 	cis, n := rep.Run(func(r int) []float64 {
 		seed := deriveSeed(exp.ID, c, load, r) ^ opt.BaseSeed
 		cfg := sim.DefaultConfig()
@@ -153,6 +165,11 @@ func runCell(exp Experiment, c Combo, load float64, jobs int, rep stats.Replicat
 		cfg.ThinkMean = opt.Think
 		cfg.Workers = opt.Workers
 		cfg.Seed = seed
+		if opt.Faults != nil {
+			plan := *opt.Faults
+			plan.Seed ^= seed
+			cfg.Faults = &plan
+		}
 		res, err := sim.Run(cfg, exp.Workload.Source(cfg.MeshW, cfg.MeshL, cfg.MeshH, load, seed))
 		if err != nil {
 			panic(fmt.Sprintf("core: %s %s load %g: %v", exp.ID, c, load, err))
@@ -168,6 +185,11 @@ func runCell(exp Experiment, c Combo, load float64, jobs int, rep stats.Replicat
 			all[i].Add(v)
 		}
 		pieces.Add(res.MeanPieces)
+		if opt.Faults != nil {
+			kills.Add(float64(res.JobsKilled))
+			failRate.Add(res.FailureRate)
+			availLoss.Add(res.AvailLoss)
+		}
 		return []float64{vals[exp.Metric]}
 	})
 	cell.Value = cis[0]
@@ -176,6 +198,11 @@ func runCell(exp Experiment, c Combo, load float64, jobs int, rep stats.Replicat
 		cell.Means[i] = all[i].Mean()
 	}
 	cell.Pieces = pieces.Mean()
+	if opt.Faults != nil {
+		cell.Kills = kills.Mean()
+		cell.FailureRate = failRate.Mean()
+		cell.AvailLoss = availLoss.Mean()
+	}
 	return cell
 }
 

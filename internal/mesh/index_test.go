@@ -157,6 +157,30 @@ func checkTables(t *testing.T, m *Mesh) {
 	if m.freeCount != m.Size()-busy {
 		t.Fatalf("freeCount = %d, busy map says %d", m.freeCount, m.Size()-busy)
 	}
+	// Pin bookkeeping (fault.go): every pin is busy, every overlay is a
+	// pin, and the counters match the maps — so the naive busy map the
+	// table checks above ran against is exactly allocated ∪ pinned.
+	pc, oc := 0, 0
+	for i := range m.busy {
+		p := m.pinned != nil && m.pinned[i]
+		o := m.overlay != nil && m.overlay[i]
+		if o && !p {
+			t.Fatalf("overlay without pin at %v\n%s", m.CoordOf(i), m)
+		}
+		if p && !m.busy[i] {
+			t.Fatalf("pinned cell %v not busy\n%s", m.CoordOf(i), m)
+		}
+		if p {
+			pc++
+		}
+		if o {
+			oc++
+		}
+	}
+	if pc != m.pinnedCount || oc != m.overlayCount {
+		t.Fatalf("pinnedCount/overlayCount = %d/%d, pin maps say %d/%d",
+			m.pinnedCount, m.overlayCount, pc, oc)
+	}
 }
 
 // seedFitsAt is the seed's per-base probe: min rightRun over the rows.
@@ -894,11 +918,17 @@ func TestIndexJournalBursts(t *testing.T) {
 // cross-checked against their naive scans at the end. The 3D mesh
 // receives the planar rectangle extruded to a cuboid whose z extent is
 // derived from the op byte, so in-bounds, out-of-bounds and
-// overlapping cuboids all occur.
+// overlapping cuboids all occur. Ops with bit 0x40 set are fault ops —
+// Fail (or Recover, bit 0x80) of one cell — checked against their
+// contract by checkFail/checkRecover (fault_test.go), so the fuzzer
+// interleaves failures and recoveries with the allocation churn and
+// releases that land on pinned cells exercise the overlay paths.
 func FuzzIndexOps(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 2, 2, 1, 0, 0, 0x80, 1, 1, 3, 3})
 	f.Add([]byte{0, 1, 1, 3, 4, 0, 0, 0, 7, 8, 0x80, 1, 1, 3, 4})
 	f.Add([]byte{0, 0, 0, 7, 8, 0x80, 0, 0, 7, 8, 0, 2, 3, 5, 5})
+	f.Add([]byte{0x41, 3, 3, 0, 0, 0, 1, 1, 5, 5, 0x80, 1, 1, 5, 5, 0xc1, 3, 3, 0, 0})
+	f.Add([]byte{0x42, 2, 2, 0, 0, 0x43, 5, 5, 0, 0, 0, 0, 0, 7, 8, 0x80, 0, 0, 7, 8})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m := New(8, 9)
 		tor := NewTorus(8, 9)
@@ -911,11 +941,25 @@ func FuzzIndexOps(f *testing.F) {
 			s3 := s
 			s3.Z1 = int(op&0x0f)%6 - 1
 			s3.Z2 = s3.Z1 + int(op>>4&0x07)%4
-			if op&0x80 == 0 {
+			switch {
+			case op&0x40 != 0:
+				c := Coord{X: s.X1, Y: s.Y1}
+				c3 := c
+				c3.Z = s3.Z1
+				if op&0x80 == 0 {
+					checkFail(t, m, c)
+					checkFail(t, tor, c)
+					checkFail(t, vol, c3)
+				} else {
+					checkRecover(t, m, c)
+					checkRecover(t, tor, c)
+					checkRecover(t, vol, c3)
+				}
+			case op&0x80 == 0:
 				m.AllocateSub(s) // errors are fine; state must stay sound
 				tor.AllocateSub(s)
 				vol.AllocateSub(s3)
-			} else {
+			default:
 				m.ReleaseSub(s)
 				tor.ReleaseSub(s)
 				vol.ReleaseSub(s3)

@@ -121,6 +121,17 @@ type Mesh struct {
 	// shapes, sweep upper bounds) against it: allocations preserve
 	// them, any release invalidates (histogram.go).
 	releaseEpoch uint64
+
+	// pinned marks failed processors (fault.go): pinned cells are busy
+	// in every table above, and the release paths refuse to free them.
+	// overlay marks the pinned cells whose failing flip found a live
+	// allocation underneath — their release clears the overlay and
+	// leaves the cell busy. Both are nil until the first Fail, so
+	// fault-free meshes pay nothing.
+	pinned       []bool
+	overlay      []bool
+	pinnedCount  int
+	overlayCount int
 }
 
 // satDelta is one occupancy change not yet folded into sat.
@@ -750,8 +761,13 @@ func (m *Mesh) firstInRect(s Submesh, want bool) Coord {
 }
 
 // Release marks the processors free. Releasing a free processor is an
-// error for the same reason double-allocation is.
+// error for the same reason double-allocation is. On a mesh with
+// failed processors (fault.go), pinned cells in the request stay busy:
+// an overlaid pin has its overlay cleared, a bare pin is an error.
 func (m *Mesh) Release(nodes []Coord) error {
+	if m.pinnedCount > 0 {
+		return m.releasePinnedAware(nodes)
+	}
 	for _, c := range nodes {
 		if !m.InBounds(c) {
 			return fmt.Errorf("mesh: release out of bounds %v", c)
@@ -781,7 +797,10 @@ func (m *Mesh) Release(nodes []Coord) error {
 // ReleaseSub marks an entire sub-mesh free, directly by cuboid (no
 // per-node materialization) with the same error checking as Release:
 // out-of-bounds or already-free processors are reported without side
-// effects. Invalid (empty) sub-meshes release nothing.
+// effects. Invalid (empty) sub-meshes release nothing. On a mesh with
+// failed processors (fault.go), pinned cells inside the cuboid are
+// never freed: a pin overlaid by the allocation stays busy with its
+// overlay cleared, a bare pin is an error.
 func (m *Mesh) ReleaseSub(s Submesh) error {
 	if !s.Valid() {
 		return nil
@@ -796,6 +815,9 @@ func (m *Mesh) ReleaseSub(s Submesh) error {
 				}
 			}
 		}
+	}
+	if m.pinnedCount > 0 {
+		return m.releaseSubPinnedAware(s)
 	}
 	if m.scanBusyBox(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2) != s.Area() {
 		return fmt.Errorf("mesh: release already-free %v", m.firstInRect(s, false))
@@ -857,13 +879,28 @@ func (m *Mesh) Clone() *Mesh {
 	copy(n.planeStale, m.planeStale)
 	copy(n.sat, m.sat)
 	n.freeCount = m.freeCount
+	if m.pinned != nil {
+		n.ensureFault()
+		copy(n.pinned, m.pinned)
+		copy(n.overlay, m.overlay)
+		n.pinnedCount = m.pinnedCount
+		n.overlayCount = m.overlayCount
+	}
 	return n
 }
 
-// Reset frees every processor.
+// Reset frees every processor, recovering any failed ones: the mesh
+// returns to its factory all-free state.
 func (m *Mesh) Reset() {
 	for i := range m.busy {
 		m.busy[i] = false
+	}
+	if m.pinned != nil {
+		for i := range m.pinned {
+			m.pinned[i] = false
+			m.overlay[i] = false
+		}
+		m.pinnedCount, m.overlayCount = 0, 0
 	}
 	m.freeCount = m.Size()
 	m.noteRelease()
@@ -872,8 +909,9 @@ func (m *Mesh) Reset() {
 
 // String renders the occupancy as an ASCII grid per plane, row y = L-1
 // at the top (matching the paper's Fig. 1 orientation): '#' busy, '.'
-// free. Planes beyond the first are introduced by a "z=k" header; a 2D
-// mesh renders exactly as before.
+// free, 'x' failed (fault.go) — a fault-free mesh renders exactly as
+// before. Planes beyond the first are introduced by a "z=k" header; a
+// 2D mesh renders exactly as before.
 func (m *Mesh) String() string {
 	b := make([]byte, 0, (m.w+1)*m.l*m.h)
 	for z := 0; z < m.h; z++ {
@@ -883,9 +921,12 @@ func (m *Mesh) String() string {
 		for y := m.l - 1; y >= 0; y-- {
 			row := (z*m.l + y) * m.w
 			for x := 0; x < m.w; x++ {
-				if m.busy[row+x] {
+				switch {
+				case m.pinned != nil && m.pinned[row+x]:
+					b = append(b, 'x')
+				case m.busy[row+x]:
 					b = append(b, '#')
-				} else {
+				default:
 					b = append(b, '.')
 				}
 			}

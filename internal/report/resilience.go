@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// Resilience summarizes one faulted run against its fault-free
+// baseline: how hard the machine was hit (failure rate, capacity
+// pinned away), what it cost the workload (kills, lost work, wait
+// tail) and what it cost the system (utilization loss). The fields
+// mirror the simulator's resilience metrics; the struct is plain data
+// so any front end — CLI text, JSON, CSV — can render it.
+type Resilience struct {
+	// FailureRate is failures per processor per time unit — the
+	// x-axis of utilization-loss-vs-failure-rate curves.
+	FailureRate float64 `json:"failure_rate"`
+	// MeanPinned is the time-averaged number of failed processors.
+	MeanPinned float64 `json:"mean_pinned"`
+	// AvailLoss is MeanPinned over the machine size: the fraction of
+	// capacity failures kept away from the allocators.
+	AvailLoss float64 `json:"avail_loss"`
+	// Utilization is the faulted run's mean system utilization;
+	// BaselineUtilization is the same workload without faults, and
+	// UtilizationLoss their difference (positive = faults cost work).
+	Utilization         float64 `json:"utilization"`
+	BaselineUtilization float64 `json:"baseline_utilization"`
+	UtilizationLoss     float64 `json:"utilization_loss"`
+
+	Failures     int64 `json:"failures"`
+	Recoveries   int64 `json:"recoveries"`
+	JobsKilled   int64 `json:"jobs_killed"`
+	JobsRequeued int64 `json:"jobs_requeued"`
+	JobsAborted  int64 `json:"jobs_aborted"`
+	// LostWork is processor-time destroyed by kills (residence so far
+	// times allocation size, summed over kills).
+	LostWork float64 `json:"lost_work"`
+	// P95Wait is the 95th-percentile queueing delay: cascading waits
+	// behind failed capacity show in the tail before the mean.
+	P95Wait float64 `json:"p95_wait"`
+}
+
+// WriteText renders the resilience block in the CLI's aligned style.
+func (r Resilience) WriteText(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"failures            %d (%d recovered), rate %.3g per node per time unit\n"+
+			"capacity pinned     %.1f processors mean (%.1f%% of machine)\n"+
+			"jobs killed         %d (%d requeued, %d aborted), lost work %.0f\n"+
+			"queue wait p95      %.1f\n"+
+			"utilization         %.3f vs %.3f fault-free (loss %.3f)\n",
+		r.Failures, r.Recoveries, r.FailureRate,
+		r.MeanPinned, 100*r.AvailLoss,
+		r.JobsKilled, r.JobsRequeued, r.JobsAborted, r.LostWork,
+		r.P95Wait,
+		r.Utilization, r.BaselineUtilization, r.UtilizationLoss)
+	return err
+}

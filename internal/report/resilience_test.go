@@ -1,0 +1,41 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestResilienceRenders(t *testing.T) {
+	r := Resilience{
+		FailureRate: 0.001, MeanPinned: 3.2, AvailLoss: 0.009,
+		Utilization: 0.41, BaselineUtilization: 0.45, UtilizationLoss: 0.04,
+		Failures: 12, Recoveries: 10, JobsKilled: 3, JobsRequeued: 2,
+		JobsAborted: 1, LostWork: 5400, P95Wait: 812,
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"failures            12", "jobs killed         3",
+		"0.410 vs 0.450", "queue wait p95      812.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Resilience
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Fatalf("JSON round trip drifted: %+v vs %+v", back, r)
+	}
+	if !strings.Contains(string(b), `"utilization_loss":0.04`) {
+		t.Fatalf("JSON keys wrong: %s", b)
+	}
+}

@@ -83,6 +83,12 @@ type Config struct {
 	// Seed drives simulation-internal randomness: think-time draws and
 	// the Random strategy's placement stream.
 	Seed int64
+
+	// Faults injects processor failures and recoveries (fault.go). Nil
+	// — and any plan with zero MTBF and no outages — leaves the run
+	// bit-identical to a fault-free simulator: the fault stream draws
+	// from its own seed, never from Seed.
+	Faults *FaultPlan
 }
 
 // DefaultConfig mirrors the paper's experimental setup (stochastic
@@ -114,7 +120,11 @@ type Result struct {
 	// FCFS head-of-line blocking shows in the tail before the mean.
 	P95Turnaround float64
 
-	MeanWait     float64 // queueing delay before allocation
+	MeanWait float64 // queueing delay before allocation
+	// P95Wait is the 95th-percentile queueing delay (P² estimate):
+	// under failures, kills and shrunken capacity cascade into the
+	// wait tail long before the mean moves.
+	P95Wait      float64
 	MeanPieces   float64 // sub-meshes per allocation (contiguity measure)
 	PacketCount  int64
 	MeanQueueLen float64
@@ -128,6 +138,25 @@ type Result struct {
 	// InternalFrag is the mean fraction of allocated processors beyond
 	// the request (page rounding in Paging(size_index > 0)).
 	InternalFrag float64
+
+	// Resilience metrics (fault.go); all zero on fault-free runs, so
+	// fault-free Results compare equal across code paths.
+	Failures     int64 // processors failed (random + outage cells)
+	Recoveries   int64 // processors recovered
+	JobsKilled   int64 // jobs whose allocation a failure landed in
+	JobsRequeued int64 // killed jobs returned to the queue head
+	JobsAborted  int64 // killed jobs dropped (KillAbort)
+	// LostWork is the processor-time destroyed by kills: residence so
+	// far times allocation size, summed over every kill.
+	LostWork float64
+	// MeanPinned is the time-averaged number of failed processors.
+	MeanPinned float64
+	// AvailLoss is MeanPinned over the mesh size: the fraction of
+	// machine capacity the failures kept away from the allocators.
+	AvailLoss float64
+	// FailureRate is failures per processor per time unit over the
+	// run — the x-axis of utilization-loss-vs-failure-rate curves.
+	FailureRate float64
 }
 
 // jobState tracks one job through the pipeline. States are pooled on
@@ -142,6 +171,14 @@ type jobState struct {
 	nodes       []mesh.Coord // allocation's processors, buffer reused
 	senders     []*sender    // one slot per sending processor, pooled
 	next        *jobState    // pool free-list link
+
+	// Fault-engine state (fault.go): the completion event handle so a
+	// kill can cancel it, the position in the running list, and the
+	// killed flag that fizzles in-flight deliveries. Untouched on
+	// fault-free runs.
+	doneEv des.Handle
+	runIdx int
+	killed bool
 }
 
 // sender is one sending processor's send-chain state: processor i of
@@ -157,6 +194,11 @@ type sender struct {
 	dst       mesh.Coord // drawn at schedule time: the rng order is part of the results
 	onDeliver func(*network.Packet)
 	next      *sender // pool free-list link
+
+	// pending is the scheduled-but-not-yet-injected send event, so a
+	// kill can cancel sends that never reached the network (fault.go).
+	// A handle that already fired is invalid and costs nothing.
+	pending des.Handle
 }
 
 // Simulator couples the substrates for one run. Construct with New,
@@ -200,6 +242,32 @@ type Simulator struct {
 	extFragFails  int64
 	internalFrag  stats.Accumulator
 	turnP95       *stats.Quantile
+	waitP95       *stats.Quantile
+
+	// Fault engine (fault.go). faults is nil unless the configured
+	// plan can actually fail something, so fault-free runs skip every
+	// fault branch.
+	faults         *FaultPlan
+	faultRng       *stats.Stream
+	nextFail       des.Handle
+	randomFails    int
+	pendingRepairs int
+	running        []*jobState // jobs with live allocations (faulted runs only)
+	draining       int         // killed jobs with packets still in flight
+	srcExhausted   bool
+	failFn         des.EventFunc
+	recoverFn      des.EventFunc
+	outageFn       des.EventFunc
+	outageEndFn    des.EventFunc
+	finalizeFn     des.EventFunc
+
+	failures   int64
+	recoveries int64
+	kills      int64
+	requeues   int64
+	aborts     int64
+	lostWork   float64
+	pinnedInt  stats.TimeWeighted
 }
 
 // New builds a simulator for the configuration and job source.
@@ -213,6 +281,10 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 	depth := cfg.MeshH
 	if depth == 0 {
 		depth = 1
+	}
+	// A malformed fault plan (scenario file) must fail at setup.
+	if err := cfg.Faults.Validate(cfg.MeshW, cfg.MeshL, depth); err != nil {
+		return nil, err
 	}
 	eng := des.NewEngine()
 	// The interconnect topology governs the occupancy model too: on a
@@ -268,6 +340,7 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 		src:     src,
 		rng:     stats.NewStream(cfg.Seed),
 		turnP95: stats.NewQuantile(0.95),
+		waitP95: stats.NewQuantile(0.95),
 	}
 	switch cfg.Scheduler {
 	case "FCFS":
@@ -286,6 +359,17 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 	s.sendFn = func(a any) {
 		sd := a.(*sender)
 		s.network().Send(sd.j.nodes[sd.i], sd.dst, sd.onDeliver)
+	}
+	// Wire the fault engine only when the plan can fail something: an
+	// inactive plan stays bit-identical to no plan at all.
+	if cfg.Faults.Active() {
+		s.faults = cfg.Faults
+		s.faultRng = stats.NewStream(cfg.Faults.Seed)
+		s.failFn = func(any) { s.randomFailure() }
+		s.recoverFn = func(a any) { s.recoverCell(a.(int)) }
+		s.outageFn = func(a any) { s.beginOutage(a.(*outageState)) }
+		s.outageEndFn = func(a any) { s.endOutage(a.(*outageState)) }
+		s.finalizeFn = func(a any) { s.finalizeKill(a.(*jobState)) }
 	}
 	return s, nil
 }
@@ -318,6 +402,8 @@ func (s *Simulator) newJobState(job workload.Job) *jobState {
 	j.outstanding = 0
 	j.nodes = j.nodes[:0]
 	j.senders = j.senders[:0]
+	j.doneEv = des.Handle{}
+	j.killed = false
 	return j
 }
 
@@ -374,11 +460,17 @@ func (s *Simulator) Run() (Result, error) {
 	defer s.search.Close()
 	s.busyInt.Observe(0, 0)
 	s.queueInt.Observe(0, 0)
+	if s.faults != nil {
+		s.startFaults()
+	}
 	s.scheduleNextArrival()
 	for !s.done && s.eng.Step() {
 	}
 	s.busyInt.Finish(s.eng.Now())
 	s.queueInt.Finish(s.eng.Now())
+	if s.faults != nil {
+		s.pinnedInt.Finish(s.eng.Now())
+	}
 	return s.result(), nil
 }
 
@@ -387,7 +479,7 @@ func (s *Simulator) result() Result {
 	if s.allocAttempts > 0 {
 		extFrag = float64(s.extFragFails) / float64(s.allocAttempts)
 	}
-	return Result{
+	res := Result{
 		ExternalFragRate: extFrag,
 		Completed:        int(s.turnaround.N()),
 		SimTime:          s.eng.Now(),
@@ -397,6 +489,7 @@ func (s *Simulator) result() Result {
 		MeanBlocking:     s.blocking.Mean(),
 		MeanLatency:      s.latency.Mean(),
 		MeanWait:         s.wait.Mean(),
+		P95Wait:          s.waitP95.Value(),
 		MeanPieces:       s.pieces.Mean(),
 		PacketCount:      s.latency.N(),
 		MeanQueueLen:     s.queueInt.Mean(),
@@ -404,6 +497,20 @@ func (s *Simulator) result() Result {
 		InternalFrag:     s.internalFrag.Mean(),
 		P95Turnaround:    s.turnP95.Value(),
 	}
+	if s.faults != nil {
+		res.Failures = s.failures
+		res.Recoveries = s.recoveries
+		res.JobsKilled = s.kills
+		res.JobsRequeued = s.requeues
+		res.JobsAborted = s.aborts
+		res.LostWork = s.lostWork
+		res.MeanPinned = s.pinnedInt.Mean()
+		res.AvailLoss = res.MeanPinned / float64(s.mesh.Size())
+		if now := s.eng.Now(); now > 0 {
+			res.FailureRate = float64(s.failures) / (float64(s.mesh.Size()) * float64(now))
+		}
+	}
+	return res
 }
 
 // scheduleNextArrival pulls the next job from the source and schedules
@@ -413,6 +520,8 @@ func (s *Simulator) result() Result {
 func (s *Simulator) scheduleNextArrival() {
 	job, ok := s.src.Next()
 	if !ok {
+		s.srcExhausted = true
+		s.maybeFinishFaulted()
 		return
 	}
 	at := job.Arrival
@@ -513,13 +622,19 @@ func (s *Simulator) start(j *jobState, a alloc.Allocation) {
 	now := s.eng.Now()
 	j.allocation = a
 	j.allocAt = now
-	s.busyInt.Observe(now, float64(s.mesh.BusyCount()))
+	// AllocatedCount excludes pinned (failed) processors and equals
+	// BusyCount on a fault-free mesh, so utilization measures work the
+	// machine actually hosts either way.
+	s.busyInt.Observe(now, float64(s.mesh.AllocatedCount()))
+	if s.faults != nil {
+		s.addRunning(j)
+	}
 
 	senders := s.cfg.Pattern.senders(a.Size())
 	if senders == 0 || j.job.Messages == 0 {
 		// No communication partner: residence is the compute demand,
 		// and the per-processor node list is never needed.
-		s.eng.ScheduleEvent(j.job.Compute, s.completeFn, j)
+		j.doneEv = s.eng.ScheduleEvent(j.job.Compute, s.completeFn, j)
 		return
 	}
 	j.nodes = a.AppendNodes(j.nodes[:0])
@@ -550,7 +665,7 @@ func (s *Simulator) start(j *jobState, a alloc.Allocation) {
 // the rng consumption order of the pre-pooling event loop.
 func (s *Simulator) sendNext(sd *sender) {
 	j := sd.j
-	if sd.k >= j.job.Messages {
+	if j.killed || sd.k >= j.job.Messages {
 		return
 	}
 	sd.dst = j.nodes[s.cfg.Pattern.dest(sd.i, sd.k, len(j.nodes), s.rng)]
@@ -558,10 +673,16 @@ func (s *Simulator) sendNext(sd *sender) {
 	if s.cfg.ThinkMean > 0 {
 		think = s.rng.Exp(s.cfg.ThinkMean)
 	}
-	s.eng.ScheduleEvent(think, s.sendFn, sd)
+	sd.pending = s.eng.ScheduleEvent(think, s.sendFn, sd)
 }
 
 func (s *Simulator) packetDelivered(j *jobState, p *network.Packet) {
+	if j.killed {
+		// A kill raced this packet into the network: it fizzles without
+		// statistics, and the last one finalizes the kill (fault.go).
+		s.drainKilled(j)
+		return
+	}
 	if s.measuring() {
 		s.latency.Add(float64(p.Latency()))
 		s.blocking.Add(float64(p.Blocked))
@@ -570,7 +691,7 @@ func (s *Simulator) packetDelivered(j *jobState, p *network.Packet) {
 	if j.outstanding == 0 {
 		// Communication phase done; the compute demand (zero for
 		// stochastic jobs) completes the service (DESIGN.md §3.3).
-		s.eng.ScheduleEvent(j.job.Compute, s.completeFn, j)
+		j.doneEv = s.eng.ScheduleEvent(j.job.Compute, s.completeFn, j)
 	}
 }
 
@@ -584,13 +705,17 @@ func (s *Simulator) complete(j *jobState) {
 	now := s.eng.Now()
 	measure := s.measuring()
 	s.alloc.Release(j.allocation)
-	s.busyInt.Observe(now, float64(s.mesh.BusyCount()))
+	s.busyInt.Observe(now, float64(s.mesh.AllocatedCount()))
+	if s.faults != nil {
+		s.removeRunning(j)
+	}
 	s.completed++
 	if measure {
 		s.turnP95.Add(float64(now - j.job.Arrival))
 		s.turnaround.Add(float64(now - j.job.Arrival))
 		s.service.Add(float64(now - j.allocAt))
 		s.wait.Add(float64(j.allocAt - j.job.Arrival))
+		s.waitP95.Add(float64(j.allocAt - j.job.Arrival))
 		s.pieces.Add(float64(j.allocation.PieceCount()))
 		if s.cfg.MaxCompleted > 0 && int(s.turnaround.N()) >= s.cfg.MaxCompleted {
 			s.recycleJob(j)
@@ -600,6 +725,7 @@ func (s *Simulator) complete(j *jobState) {
 	}
 	s.recycleJob(j)
 	s.trySchedule()
+	s.maybeFinishFaulted()
 }
 
 // finish closes measurement; the run loop exits on the next step.

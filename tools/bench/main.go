@@ -10,6 +10,10 @@
 //   - search/*: mesh occupancy searches on a fragmented mesh — planar,
 //     torus and the 32x32x8 volumetric LargestFree3D (all must stay
 //     allocation-free once warm);
+//   - fault/*: the fault-path hot loops — the same searches on meshes
+//     that are fragmented AND carry pinned (failed) cells, plus the
+//     warm Fail/Recover cycle (all must stay allocation-free once
+//     warm);
 //   - bitboard/*: the word-parallel occupancy primitives in isolation
 //     on fragmented meshes at 64/256/1024 widths — masked fit probes
 //     (fits_at), free-run extraction (free_runs), the histogram sweep
@@ -85,6 +89,7 @@ func main() {
 	snap := Snapshot{Label: *label, Go: runtime.Version(), Cores: runtime.GOMAXPROCS(0), Short: *short}
 	snap.Cases = append(snap.Cases, desCases()...)
 	snap.Cases = append(snap.Cases, searchCases()...)
+	snap.Cases = append(snap.Cases, faultCases(*short)...)
 	snap.Cases = append(snap.Cases, bitboardCases(*short)...)
 	snap.Cases = append(snap.Cases, allocCases(*short)...)
 	snap.Cases = append(snap.Cases, largeCases(*short)...)
@@ -113,7 +118,8 @@ func main() {
 		bad := false
 		for _, c := range snap.Cases {
 			if (strings.HasPrefix(c.Name, "des/") || strings.HasPrefix(c.Name, "search/") ||
-				strings.HasPrefix(c.Name, "bitboard/")) && c.AllocsPerOp != 0 {
+				strings.HasPrefix(c.Name, "bitboard/") || strings.HasPrefix(c.Name, "fault/")) &&
+				c.AllocsPerOp != 0 {
 				fmt.Fprintf(os.Stderr, "bench: ALLOC REGRESSION: %s reports %d allocs/op, want 0\n",
 					c.Name, c.AllocsPerOp)
 				bad = true
@@ -122,7 +128,7 @@ func main() {
 		if bad {
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "bench: alloc gate passed (des/*, search/* and bitboard/* at 0 allocs/op)")
+		fmt.Fprintln(os.Stderr, "bench: alloc gate passed (des/*, search/*, fault/* and bitboard/* at 0 allocs/op)")
 	}
 }
 
@@ -204,6 +210,72 @@ func searchCases() []Case {
 		mk("search/largest_free/256x256/torus", mesh.NewTorus(256, 256), 128, 128, 4096),
 		mk3("search/largest_free3d/32x32x8/mesh", mesh.New3D(32, 32, 8), 16, 16, 4, 1024),
 	}
+}
+
+// pinScatter fails n evenly spread free cells, modelling a machine
+// with scattered dead processors.
+func pinScatter(m *mesh.Mesh, n int) *mesh.Mesh {
+	s := stats.NewStream(17)
+	free := m.FreeNodes()
+	perm := s.Perm(len(free))
+	for _, i := range perm[:n] {
+		if err := m.Fail(free[i]); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+// faultCases measures the fault-path hot loops: occupancy searches on
+// meshes that are both fragmented and pinned (the allocator's view
+// during an outage), and the warm Fail/Recover cycle itself. All must
+// stay allocation-free once warm — pins ride the ordinary index
+// machinery, so they may not introduce a slow path.
+func faultCases(short bool) []Case {
+	mkSearch := func(name string, m *mesh.Mesh, maxW, maxL, maxArea int) Case {
+		m = pinScatter(fragmented(m), m.Size()/64)
+		m.LargestFree(maxW, maxL, maxArea) // warm the sweep scratch
+		return record(name, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.LargestFree(maxW, maxL, maxArea)
+			}
+		})
+	}
+	cycle := func(name string, m *mesh.Mesh) Case {
+		m = fragmented(m)
+		c := m.FreeNodes()[0]
+		// Warm: first Fail lazily allocates the pin arrays.
+		if err := m.Fail(c); err != nil {
+			panic(err)
+		}
+		if err := m.Recover(c); err != nil {
+			panic(err)
+		}
+		return record(name, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := m.Fail(c); err != nil {
+					panic(err)
+				}
+				if err := m.Recover(c); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+	cases := []Case{
+		mkSearch("fault/largest_free/64x64/mesh", mesh.New(64, 64), 32, 32, 512),
+		cycle("fault/fail_recover/64x64/mesh", mesh.New(64, 64)),
+	}
+	if !short {
+		cases = append(cases,
+			mkSearch("fault/largest_free/256x256/mesh", mesh.New(256, 256), 128, 128, 4096),
+			mkSearch("fault/largest_free/64x64/torus", mesh.NewTorus(64, 64), 32, 32, 512),
+			cycle("fault/fail_recover/256x256/mesh", mesh.New(256, 256)),
+		)
+	}
+	return cases
 }
 
 // bitboardCases measures the word-parallel occupancy primitives in
