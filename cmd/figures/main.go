@@ -154,6 +154,27 @@ func main() {
 		for _, c := range rank {
 			fmt.Printf(" %s", c)
 		}
-		fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		if opt.Faults != nil {
+			// Grid-wide resilience footer: per-run means averaged over
+			// every (combo, load) cell. The link line only appears when
+			// the plan has a links section that actually fired.
+			var kills, failRate, availLoss, linkFails, pktLost, reroutes stats.Accumulator
+			for _, cell := range s.Cells {
+				kills.Add(cell.Kills)
+				failRate.Add(cell.FailureRate)
+				availLoss.Add(cell.AvailLoss)
+				linkFails.Add(cell.LinkFailures)
+				pktLost.Add(cell.PacketsLost)
+				reroutes.Add(cell.Reroutes)
+			}
+			fmt.Printf("resilience: %.2f kills/run, failure rate %.3g, capacity loss %.1f%%\n",
+				kills.Mean(), failRate.Mean(), 100*availLoss.Mean())
+			if linkFails.Mean() > 0 {
+				fmt.Printf("links:      %.2f failures/run, %.1f packets lost, %.1f rerouted\n",
+					linkFails.Mean(), pktLost.Mean(), reroutes.Mean())
+			}
+		}
+		fmt.Printf("elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
 	}
 }

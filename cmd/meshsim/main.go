@@ -55,9 +55,12 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel search workers for the run's candidate scans (0 = one per core); results are identical at every count")
 		pattern   = flag.String("pattern", "all-to-all", "communication pattern: all-to-all, one-to-all, all-to-one, random-pairs, near-neighbour")
 		seed      = flag.Int64("seed", 1, "random seed")
-		faults    = flag.String("faults", "", "fault plan JSON file (see docs: seed, mtbf, mttr, max_failures, outages, policy)")
+		faults    = flag.String("faults", "", "fault plan JSON file (see docs: seed, mtbf, mttr, max_failures, outages, policy, links)")
 		mtbf      = flag.Float64("mtbf", 0, "per-node mean time between failures (0 = no random failures; overrides the plan file)")
 		mttr      = flag.Float64("mttr", 0, "mean time to repair a failed node (0 = failures are permanent; overrides the plan file)")
+		linkMTBF  = flag.Float64("link-mtbf", 0, "per-link mean time between failures (0 = no random link failures; overrides the plan file's links section)")
+		linkMTTR  = flag.Float64("link-mttr", 0, "mean time to repair a failed link (0 = link failures are permanent; overrides the plan file's links section)")
+		retries   = flag.Int("retries", -1, "max bounce-and-retry attempts before a packet is lost (-1 keeps the network default)")
 		faultSeed = flag.Int64("fault-seed", 0, "seed of the failure schedule (overrides the plan file; independent of -seed)")
 		killPol   = flag.String("kill-policy", "", "what happens to a job a failure lands in: requeue, abort (overrides the plan file)")
 		jsonOut   = flag.Bool("json", false, "emit the run's metrics (and resilience block, when faulted) as JSON")
@@ -106,6 +109,9 @@ func main() {
 	cfg.Network.BufferDepth = *buffers
 	cfg.ThinkMean = *think
 	cfg.BackfillDepth = *backfill
+	if *retries >= 0 {
+		cfg.Network.MaxRetries = *retries
+	}
 	// A single-run CLI owns the whole machine: 0 resolves to one
 	// worker per core (the library default stays serial).
 	cfg.Workers = mesh.DefaultWorkers(*workers)
@@ -142,7 +148,7 @@ func main() {
 	}
 	cfg.Pattern = pat
 
-	plan, err := buildFaultPlan(*faults, *mtbf, *mttr, *faultSeed, *killPol)
+	plan, err := buildFaultPlan(*faults, *mtbf, *mttr, *linkMTBF, *linkMTTR, *faultSeed, *killPol)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
 		os.Exit(1)
@@ -192,6 +198,21 @@ func main() {
 			JobsAborted:         res.JobsAborted,
 			LostWork:            res.LostWork,
 			P95Wait:             res.P95Wait,
+			LinkFailures:        res.LinkFailures,
+			LinkRecoveries:      res.LinkRecoveries,
+			Reroutes:            res.Reroutes,
+			PacketRetries:       res.PacketRetries,
+			PacketsSent:         res.PacketsSent,
+			PacketsDelivered:    res.PacketsDelivered,
+			PacketsLost:         res.PacketsLost,
+			Latency:             res.MeanLatency,
+			BaselineLatency:     base.MeanLatency,
+		}
+		if res.PacketsSent > 0 {
+			resil.DeliveryRate = float64(res.PacketsDelivered) / float64(res.PacketsSent)
+		}
+		if base.MeanLatency > 0 {
+			resil.LatencyInflation = res.MeanLatency/base.MeanLatency - 1
 		}
 	}
 
@@ -238,9 +259,10 @@ func main() {
 }
 
 // buildFaultPlan loads the plan file (when given) and overlays the
-// quick flags on top; a nil return means a fault-free run. Plan
+// quick flags on top — node flags onto the plan body, link flags onto
+// its links section; a nil return means a fault-free run. Plan
 // geometry is validated by sim.New against the actual mesh.
-func buildFaultPlan(file string, mtbf, mttr float64, seed int64, policy string) (*sim.FaultPlan, error) {
+func buildFaultPlan(file string, mtbf, mttr, linkMTBF, linkMTTR float64, seed int64, policy string) (*sim.FaultPlan, error) {
 	var plan sim.FaultPlan
 	if file != "" {
 		b, err := os.ReadFile(file)
@@ -257,6 +279,17 @@ func buildFaultPlan(file string, mtbf, mttr float64, seed int64, policy string) 
 	if mttr > 0 {
 		plan.MTTR = mttr
 	}
+	if linkMTBF > 0 || linkMTTR > 0 {
+		if plan.Links == nil {
+			plan.Links = &sim.LinkPlan{}
+		}
+		if linkMTBF > 0 {
+			plan.Links.MTBF = linkMTBF
+		}
+		if linkMTTR > 0 {
+			plan.Links.MTTR = linkMTTR
+		}
+	}
 	if seed != 0 {
 		plan.Seed = seed
 	}
@@ -264,11 +297,11 @@ func buildFaultPlan(file string, mtbf, mttr float64, seed int64, policy string) 
 		plan.Policy = sim.KillPolicy(policy)
 	}
 	if !plan.Active() {
-		if file == "" && mtbf == 0 && mttr == 0 && seed == 0 && policy == "" {
+		if file == "" && mtbf == 0 && mttr == 0 && linkMTBF == 0 && linkMTTR == 0 && seed == 0 && policy == "" {
 			return nil, nil // no fault flags at all: fault-free run
 		}
 		if file == "" {
-			return nil, fmt.Errorf("fault flags given but no failure source: set -mtbf or provide outages via -faults FILE")
+			return nil, fmt.Errorf("fault flags given but no failure source: set -mtbf or -link-mtbf, or provide outages via -faults FILE")
 		}
 	}
 	return &plan, nil

@@ -69,6 +69,12 @@ type Cell struct {
 	Kills       float64
 	FailureRate float64
 	AvailLoss   float64
+	// Link-resilience aggregates (zero unless the plan has a links
+	// section): mean link failures, packets lost and detoured routes
+	// per run — the end-to-end delivery cost of channel faults.
+	LinkFailures float64
+	PacketsLost  float64
+	Reroutes     float64
 }
 
 // Series is one experiment's complete result grid.
@@ -144,6 +150,7 @@ func runCell(exp Experiment, c Combo, load float64, jobs int, rep stats.Replicat
 	cell := Cell{Combo: c, Load: load}
 	var all [5]stats.Accumulator
 	var pieces, kills, failRate, availLoss stats.Accumulator
+	var linkFails, pktLost, reroutes stats.Accumulator
 	cis, n := rep.Run(func(r int) []float64 {
 		seed := deriveSeed(exp.ID, c, load, r) ^ opt.BaseSeed
 		cfg := sim.DefaultConfig()
@@ -189,6 +196,9 @@ func runCell(exp Experiment, c Combo, load float64, jobs int, rep stats.Replicat
 			kills.Add(float64(res.JobsKilled))
 			failRate.Add(res.FailureRate)
 			availLoss.Add(res.AvailLoss)
+			linkFails.Add(float64(res.LinkFailures))
+			pktLost.Add(float64(res.PacketsLost))
+			reroutes.Add(float64(res.Reroutes))
 		}
 		return []float64{vals[exp.Metric]}
 	})
@@ -202,6 +212,9 @@ func runCell(exp Experiment, c Combo, load float64, jobs int, rep stats.Replicat
 		cell.Kills = kills.Mean()
 		cell.FailureRate = failRate.Mean()
 		cell.AvailLoss = availLoss.Mean()
+		cell.LinkFailures = linkFails.Mean()
+		cell.PacketsLost = pktLost.Mean()
+		cell.Reroutes = reroutes.Mean()
 	}
 	return cell
 }

@@ -73,12 +73,29 @@ type Config struct {
 	BufferDepth int
 	// Topology selects mesh (the paper) or torus (its future work).
 	Topology Topology
+
+	// MaxRetries bounds how often a packet bounced off a failed link
+	// (fault.go) is re-requested before the send fails; zero loses the
+	// packet on its first bounce. Fault-free runs never consult it.
+	MaxRetries int
+	// RetryBackoff is the base backoff in cycles between a bounce and
+	// its retry; attempt k waits RetryBackoff * 2^(k-1) cycles
+	// (exponential backoff in simulated time). Zero retries
+	// immediately (a zero-delay event).
+	RetryBackoff float64
+	// RetryDeadline bounds a packet's total lifetime in cycles from
+	// injection: a retry that would be scheduled past the deadline
+	// loses the packet instead. Zero means no deadline.
+	RetryDeadline float64
 }
 
 // DefaultConfig returns the paper's parameters: t_s = 3, P_len = 8,
-// with classic single-flit wormhole buffers.
+// with classic single-flit wormhole buffers. The retry policy — only
+// consulted when links fail — allows 4 attempts at a 32-cycle base
+// backoff with no deadline.
 func DefaultConfig() Config {
-	return Config{RouterDelay: 3, PacketLen: 8, BufferDepth: 1}
+	return Config{RouterDelay: 3, PacketLen: 8, BufferDepth: 1,
+		MaxRetries: 4, RetryBackoff: 32}
 }
 
 // Validate reports the first invalid parameter, or nil. New panics on
@@ -94,6 +111,15 @@ func (c Config) Validate() error {
 	}
 	if c.BufferDepth < 1 {
 		return fmt.Errorf("network: BufferDepth %d, must be at least 1 flit", c.BufferDepth)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("network: negative MaxRetries %d", c.MaxRetries)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("network: negative RetryBackoff %g", c.RetryBackoff)
+	}
+	if c.RetryDeadline < 0 {
+		return fmt.Errorf("network: negative RetryDeadline %g", c.RetryDeadline)
 	}
 	return nil
 }
@@ -124,7 +150,21 @@ type Packet struct {
 
 	waitStart des.Time // when the header began waiting (if queued)
 
+	// Link-fault state (fault.go). attempt counts bounces off failed
+	// links; detoured marks a route the minimal-misroute router had to
+	// bend around dead links, which puts patience timers on the
+	// packet's queue waits (the deadlock escape, see fault.go). lost
+	// records a packet that exhausted its retry policy. waitEv and
+	// waitChan track one pending patience timer. All zero on
+	// fault-free runs.
+	attempt  int
+	detoured bool
+	lost     bool
+	waitEv   des.Handle
+	waitChan int32
+
 	onDelivered func(*Packet)
+	onLost      func(*Packet)
 }
 
 // Latency returns the packet's injection-to-delivery latency; valid
@@ -133,6 +173,7 @@ func (p *Packet) Latency() des.Time { return p.DeliveredAt - p.CreatedAt }
 
 type channel struct {
 	busy  bool
+	down  bool // link failed (fault.go): rejects new grants
 	queue []*Packet // FIFO of waiting headers
 }
 
@@ -153,12 +194,33 @@ type Network struct {
 	grants    uint64
 	releases  uint64
 
+	// Link-fault state (fault.go). downLinks counts failed physical
+	// links; every fault branch in the hot paths is gated on it being
+	// non-zero, so fault-free runs pay one integer compare and stay
+	// bit-identical to the pre-fault engine.
+	downLinks    int
+	lost         uint64
+	linkFails    uint64
+	linkRecovers uint64
+	reroutes     uint64
+	retries      uint64
+
+	// Detour-router scratch (fault.go), reused across reroutes so the
+	// steady-state bounce/retry cycle allocates nothing.
+	bfsSeen   []uint32
+	bfsEpoch  uint32
+	bfsDir    []int8
+	bfsQueue  []int32
+	bounceBuf []*Packet
+
 	// Event functions bound once at construction; packets travel as
 	// event arguments, so routing a worm allocates no closures
 	// (des.ScheduleEvent).
 	requestFn des.EventFunc
 	releaseFn des.EventFunc
 	deliverFn des.EventFunc
+	retryFn   des.EventFunc
+	timeoutFn des.EventFunc
 }
 
 // New builds the interconnect on the given engine and 2D mesh
@@ -197,6 +259,8 @@ func New3D(eng *des.Engine, w, l, d int, cfg Config) *Network {
 		n.release(id)
 	}
 	n.deliverFn = func(a any) { n.deliver(a.(*Packet)) }
+	n.retryFn = func(a any) { n.retry(a.(*Packet)) }
+	n.timeoutFn = func(a any) { n.waitTimeout(a.(*Packet)) }
 	return n
 }
 
@@ -265,6 +329,13 @@ func (n *Network) Route(src, dst mesh.Coord) []int32 {
 	n.checkCoord(src)
 	n.checkCoord(dst)
 	path := make([]int32, 0, n.cfg.Topology.Distance(n.w, n.l, src, dst)+2)
+	return n.appendRoute(path, src, dst)
+}
+
+// appendRoute appends the XYZ dimension-ordered path to path (which
+// routeAround reuses with a caller-owned buffer, keeping retries
+// allocation-free once the buffer has grown).
+func (n *Network) appendRoute(path []int32, src, dst mesh.Coord) []int32 {
 	path = append(path, n.chanID3D(src.X, src.Y, src.Z, Inject, 0))
 	if n.cfg.Topology == TorusTopology {
 		path = n.torusRoute(path, src, dst)
@@ -311,19 +382,39 @@ func (n *Network) checkCoord(c mesh.Coord) {
 // Send injects a packet from src to dst at the current simulation time.
 // onDelivered fires (once) when the packet's tail reaches dst; it may be
 // nil. The returned packet's metric fields are final only after
-// delivery.
+// delivery. On a network with failed links the send may be lost (see
+// SendWithLoss); Send itself reports losses only through the Lost
+// counter.
 func (n *Network) Send(src, dst mesh.Coord, onDelivered func(*Packet)) *Packet {
+	return n.SendWithLoss(src, dst, onDelivered, nil)
+}
+
+// SendWithLoss is Send with a loss callback: onLost fires (once) if the
+// packet exhausts its retry policy or no route around failed links
+// exists — possibly synchronously, when the source is already cut off
+// at injection time. Exactly one of onDelivered and onLost ever fires.
+func (n *Network) SendWithLoss(src, dst mesh.Coord, onDelivered, onLost func(*Packet)) *Packet {
+	n.checkCoord(src)
+	n.checkCoord(dst)
 	p := &Packet{
 		ID:          n.nextID,
 		Src:         src,
 		Dst:         dst,
 		CreatedAt:   n.eng.Now(),
 		Hops:        n.cfg.Topology.Distance(n.w, n.l, src, dst),
-		path:        n.Route(src, dst),
 		onDelivered: onDelivered,
+		onLost:      onLost,
 	}
 	n.nextID++
 	n.inFlight++
+	if n.downLinks == 0 {
+		// Fault-free fast path: the XYZ route, identically to the
+		// pre-fault engine.
+		p.path = n.appendRoute(make([]int32, 0, p.Hops+2), src, dst)
+	} else if !n.reroute(p) {
+		n.lose(p)
+		return p
+	}
 	n.request(p)
 	return p
 }
@@ -331,12 +422,25 @@ func (n *Network) Send(src, dst mesh.Coord, onDelivered func(*Packet)) *Packet {
 // request asks for the packet's next channel, queueing on contention.
 // A stalled header freezes the worm behind it: tail releases are driven
 // by header progress, so they simply do not happen while the header
-// waits — wormhole's chained blocking.
+// waits — wormhole's chained blocking. A next hop whose link has
+// failed bounces the worm back to its source (fault.go).
 func (n *Network) request(p *Packet) {
 	ch := &n.channels[p.path[p.hop]]
+	if n.downLinks != 0 && ch.down {
+		n.bounce(p)
+		return
+	}
 	if ch.busy {
 		ch.queue = append(ch.queue, p)
 		p.waitStart = n.eng.Now()
+		if p.detoured {
+			// Detoured worms wait with bounded patience: misrouted
+			// paths escape the XYZ turn discipline, and a bounded wait
+			// (bounce on expiry) is what keeps chained blocking cycles
+			// from wedging the fabric (fault.go).
+			p.waitChan = p.path[p.hop]
+			p.waitEv = n.eng.ScheduleEvent(n.patience(), n.timeoutFn, p)
+		}
 		return
 	}
 	n.grant(p)
@@ -397,6 +501,10 @@ func (n *Network) release(id int32) {
 	next := ch.queue[0]
 	ch.queue = ch.queue[:copy(ch.queue, ch.queue[1:])]
 	next.Blocked += n.eng.Now() - next.waitStart
+	if next.waitEv.Valid() {
+		n.eng.Cancel(next.waitEv)
+		next.waitEv = des.Handle{}
+	}
 	n.grant(next)
 }
 

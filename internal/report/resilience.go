@@ -38,9 +38,33 @@ type Resilience struct {
 	// P95Wait is the 95th-percentile queueing delay: cascading waits
 	// behind failed capacity show in the tail before the mean.
 	P95Wait float64 `json:"p95_wait"`
+
+	// Network-layer resilience (all zero when the fault plan has no
+	// links section): link failures and recoveries, packets that
+	// re-requested over a detour route, bounce-and-retry attempts, and
+	// the end-to-end delivery ledger. The simulator audits
+	// Sent == Delivered + Lost + in-flight (in-flight is zero only for
+	// drain-to-empty runs; a job-count-bounded run can end mid-worm).
+	// DeliveryRate is Delivered/Sent.
+	LinkFailures     int64   `json:"link_failures"`
+	LinkRecoveries   int64   `json:"link_recoveries"`
+	Reroutes         int64   `json:"reroutes"`
+	PacketRetries    int64   `json:"packet_retries"`
+	PacketsSent      int64   `json:"packets_sent"`
+	PacketsDelivered int64   `json:"packets_delivered"`
+	PacketsLost      int64   `json:"packets_lost"`
+	DeliveryRate     float64 `json:"delivery_rate"`
+	// Latency is the faulted run's mean packet latency;
+	// BaselineLatency the fault-free twin's, and LatencyInflation
+	// their ratio minus one (0.25 = detours and retries cost 25 %).
+	Latency          float64 `json:"latency"`
+	BaselineLatency  float64 `json:"baseline_latency"`
+	LatencyInflation float64 `json:"latency_inflation"`
 }
 
 // WriteText renders the resilience block in the CLI's aligned style.
+// The network block only prints when links failed: fault plans without
+// a links section keep the PR 7 output byte-identical.
 func (r Resilience) WriteText(w io.Writer) error {
 	_, err := fmt.Fprintf(w,
 		"failures            %d (%d recovered), rate %.3g per node per time unit\n"+
@@ -53,5 +77,17 @@ func (r Resilience) WriteText(w io.Writer) error {
 		r.JobsKilled, r.JobsRequeued, r.JobsAborted, r.LostWork,
 		r.P95Wait,
 		r.Utilization, r.BaselineUtilization, r.UtilizationLoss)
+	if err != nil || r.LinkFailures == 0 {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"link failures       %d (%d recovered)\n"+
+			"packets             %d sent, %d delivered, %d lost (%.2f%% delivered)\n"+
+			"detours             %d rerouted, %d retries\n"+
+			"packet latency      %.1f vs %.1f fault-free (%+.1f%%)\n",
+		r.LinkFailures, r.LinkRecoveries,
+		r.PacketsSent, r.PacketsDelivered, r.PacketsLost, 100*r.DeliveryRate,
+		r.Reroutes, r.PacketRetries,
+		r.Latency, r.BaselineLatency, 100*r.LatencyInflation)
 	return err
 }

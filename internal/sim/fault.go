@@ -20,6 +20,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/des"
 	"repro/internal/mesh"
+	"repro/internal/network"
 )
 
 // KillPolicy selects what happens to a job whose allocation a failure
@@ -80,11 +81,15 @@ type FaultPlan struct {
 	// Policy picks the fate of jobs whose allocations failures land
 	// in; empty means KillRequeue.
 	Policy KillPolicy `json:"policy,omitempty"`
+	// Links extends the plan to the network's channels: seeded link
+	// MTBF/MTTR plus scheduled link outages (linkfault.go). Nil — or
+	// all-zero — leaves the network layer untouched.
+	Links *LinkPlan `json:"links,omitempty"`
 }
 
 // Active reports whether the plan can produce any failure at all.
 func (p *FaultPlan) Active() bool {
-	return p != nil && (p.MTBF > 0 || len(p.Outages) > 0)
+	return p != nil && (p.MTBF > 0 || len(p.Outages) > 0 || p.Links.active())
 }
 
 // policy resolves the zero value.
@@ -95,9 +100,11 @@ func (p *FaultPlan) policy() KillPolicy {
 	return p.Policy
 }
 
-// Validate checks the plan against the run geometry. It is called by
-// sim.New so malformed scenario files fail at setup, not mid-run.
-func (p *FaultPlan) Validate(w, l, h int) error {
+// Validate checks the plan against the run geometry and topology (the
+// links section's existence checks depend on torus wrap links). It is
+// called by sim.New so malformed scenario files fail at setup, not
+// mid-run.
+func (p *FaultPlan) Validate(w, l, h int, topo network.Topology) error {
 	if p == nil {
 		return nil
 	}
@@ -118,7 +125,7 @@ func (p *FaultPlan) Validate(w, l, h int) error {
 			return fmt.Errorf("sim: outage %d region %v outside %dx%dx%d mesh", i, r, w, l, h)
 		}
 	}
-	return nil
+	return p.Links.validate(w, l, h, topo)
 }
 
 // outageState tracks one outage's own pins so its end event recovers

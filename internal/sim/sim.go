@@ -157,6 +157,18 @@ type Result struct {
 	// FailureRate is failures per processor per time unit over the
 	// run — the x-axis of utilization-loss-vs-failure-rate curves.
 	FailureRate float64
+
+	// End-to-end delivery accounting (linkfault.go). PacketsSent ==
+	// PacketsDelivered + PacketsLost on every drained run, audited by
+	// network.CheckConservation; the link counters are zero without
+	// link faults, so fault-free Results still compare equal.
+	PacketsSent      int64 // packets injected (PacketCount is the measured subset)
+	PacketsDelivered int64 // packets whose tail reached the destination
+	PacketsLost      int64 // packets that exhausted the retry policy or had no route
+	LinkFailures     int64 // links failed (random + outage cuts)
+	LinkRecoveries   int64 // links repaired
+	Reroutes         int64 // routes bent around failed links
+	PacketRetries    int64 // bounced deliveries re-requested after backoff
 }
 
 // jobState tracks one job through the pipeline. States are pooled on
@@ -193,6 +205,7 @@ type sender struct {
 	i, k      int
 	dst       mesh.Coord // drawn at schedule time: the rng order is part of the results
 	onDeliver func(*network.Packet)
+	onLost    func(*network.Packet)
 	next      *sender // pool free-list link
 
 	// pending is the scheduled-but-not-yet-injected send event, so a
@@ -268,6 +281,17 @@ type Simulator struct {
 	aborts     int64
 	lostWork   float64
 	pinnedInt  stats.TimeWeighted
+
+	// Link-fault engine (linkfault.go); wired only when the plan's
+	// links section can fail something.
+	linkRng         *stats.Stream
+	nextLinkFail    des.Handle
+	randomLinkFails int
+	totalLinks      int
+	linkFailFn      des.EventFunc
+	linkRecoverFn   des.EventFunc
+	linkOutageFn    des.EventFunc
+	linkOutageEndFn des.EventFunc
 }
 
 // New builds a simulator for the configuration and job source.
@@ -283,7 +307,7 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 		depth = 1
 	}
 	// A malformed fault plan (scenario file) must fail at setup.
-	if err := cfg.Faults.Validate(cfg.MeshW, cfg.MeshL, depth); err != nil {
+	if err := cfg.Faults.Validate(cfg.MeshW, cfg.MeshL, depth, cfg.Network.Topology); err != nil {
 		return nil, err
 	}
 	eng := des.NewEngine()
@@ -358,7 +382,7 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 	s.completeFn = func(a any) { s.complete(a.(*jobState)) }
 	s.sendFn = func(a any) {
 		sd := a.(*sender)
-		s.network().Send(sd.j.nodes[sd.i], sd.dst, sd.onDeliver)
+		s.network().SendWithLoss(sd.j.nodes[sd.i], sd.dst, sd.onDeliver, sd.onLost)
 	}
 	// Wire the fault engine only when the plan can fail something: an
 	// inactive plan stays bit-identical to no plan at all.
@@ -370,6 +394,15 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 		s.outageFn = func(a any) { s.beginOutage(a.(*outageState)) }
 		s.outageEndFn = func(a any) { s.endOutage(a.(*outageState)) }
 		s.finalizeFn = func(a any) { s.finalizeKill(a.(*jobState)) }
+		if cfg.Faults.Links.active() {
+			// The link stream is decorrelated from the node stream
+			// sharing the plan seed (linkfault.go).
+			s.linkRng = stats.NewStream(cfg.Faults.Seed ^ linkSeedMix)
+			s.linkFailFn = func(any) { s.randomLinkFailure() }
+			s.linkRecoverFn = func(a any) { s.recoverLink(a.(*netLink)) }
+			s.linkOutageFn = func(a any) { s.beginLinkOutage(a.(*linkOutageState)) }
+			s.linkOutageEndFn = func(a any) { s.endLinkOutage(a.(*linkOutageState)) }
+		}
 	}
 	return s, nil
 }
@@ -433,6 +466,11 @@ func (s *Simulator) newSender(j *jobState, i int) *sender {
 			sd.k++
 			sd.sim.sendNext(sd)
 		}
+		sd.onLost = func(*network.Packet) {
+			sd.sim.packetLost(sd.j)
+			sd.k++
+			sd.sim.sendNext(sd)
+		}
 	} else {
 		s.freeSenders = sd.next
 		sd.next = nil
@@ -462,6 +500,9 @@ func (s *Simulator) Run() (Result, error) {
 	s.queueInt.Observe(0, 0)
 	if s.faults != nil {
 		s.startFaults()
+		if s.faults.Links.active() {
+			s.startLinkFaults()
+		}
 	}
 	s.scheduleNextArrival()
 	for !s.done && s.eng.Step() {
@@ -470,6 +511,16 @@ func (s *Simulator) Run() (Result, error) {
 	s.queueInt.Finish(s.eng.Now())
 	if s.faults != nil {
 		s.pinnedInt.Finish(s.eng.Now())
+	}
+	// Packet-conservation audit: every injected packet was delivered,
+	// lost, or — only when the run was cut off mid-flight by its
+	// stopping rule (s.done) — still in flight. A natural drain (the
+	// event loop ran dry) must leave nothing in flight and no channel
+	// held, whatever faults did.
+	if s.net != nil {
+		if err := s.net.CheckConservation(!s.done); err != nil {
+			return Result{}, err
+		}
 	}
 	return s.result(), nil
 }
@@ -509,6 +560,15 @@ func (s *Simulator) result() Result {
 		if now := s.eng.Now(); now > 0 {
 			res.FailureRate = float64(s.failures) / (float64(s.mesh.Size()) * float64(now))
 		}
+	}
+	if s.net != nil {
+		res.PacketsSent = int64(s.net.Sent())
+		res.PacketsDelivered = int64(s.net.Delivered())
+		res.PacketsLost = int64(s.net.Lost())
+		res.LinkFailures = int64(s.net.LinkFailures())
+		res.LinkRecoveries = int64(s.net.LinkRecoveries())
+		res.Reroutes = int64(s.net.Reroutes())
+		res.PacketRetries = int64(s.net.Retries())
 	}
 	return res
 }

@@ -14,6 +14,10 @@
 //     that are fragmented AND carry pinned (failed) cells, plus the
 //     warm Fail/Recover cycle (all must stay allocation-free once
 //     warm);
+//   - netfault/*: the network-layer fault hot paths — the warm
+//     FailLink/RecoverLink cycle and the detour router, both the clean
+//     fast path (bit-identical XYZ) and the BFS detour around a cut
+//     (all must stay allocation-free once warm);
 //   - bitboard/*: the word-parallel occupancy primitives in isolation
 //     on fragmented meshes at 64/256/1024 widths — masked fit probes
 //     (fits_at), free-run extraction (free_runs), the histogram sweep
@@ -90,6 +94,7 @@ func main() {
 	snap.Cases = append(snap.Cases, desCases()...)
 	snap.Cases = append(snap.Cases, searchCases()...)
 	snap.Cases = append(snap.Cases, faultCases(*short)...)
+	snap.Cases = append(snap.Cases, netfaultCases(*short)...)
 	snap.Cases = append(snap.Cases, bitboardCases(*short)...)
 	snap.Cases = append(snap.Cases, allocCases(*short)...)
 	snap.Cases = append(snap.Cases, largeCases(*short)...)
@@ -118,7 +123,8 @@ func main() {
 		bad := false
 		for _, c := range snap.Cases {
 			if (strings.HasPrefix(c.Name, "des/") || strings.HasPrefix(c.Name, "search/") ||
-				strings.HasPrefix(c.Name, "bitboard/") || strings.HasPrefix(c.Name, "fault/")) &&
+				strings.HasPrefix(c.Name, "bitboard/") || strings.HasPrefix(c.Name, "fault/") ||
+				strings.HasPrefix(c.Name, "netfault/")) &&
 				c.AllocsPerOp != 0 {
 				fmt.Fprintf(os.Stderr, "bench: ALLOC REGRESSION: %s reports %d allocs/op, want 0\n",
 					c.Name, c.AllocsPerOp)
@@ -128,7 +134,7 @@ func main() {
 		if bad {
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "bench: alloc gate passed (des/*, search/*, fault/* and bitboard/* at 0 allocs/op)")
+		fmt.Fprintln(os.Stderr, "bench: alloc gate passed (des/*, search/*, fault/*, netfault/* and bitboard/* at 0 allocs/op)")
 	}
 }
 
@@ -273,6 +279,78 @@ func faultCases(short bool) []Case {
 			mkSearch("fault/largest_free/256x256/mesh", mesh.New(256, 256), 128, 128, 4096),
 			mkSearch("fault/largest_free/64x64/torus", mesh.NewTorus(64, 64), 32, 32, 512),
 			cycle("fault/fail_recover/256x256/mesh", mesh.New(256, 256)),
+		)
+	}
+	return cases
+}
+
+// netfaultCases measures the network-layer fault hot paths: the warm
+// FailLink/RecoverLink cycle on an idle fabric (state flips and queue
+// bounce with nothing queued) and the detour router — the clean-path
+// fast path that reproduces XYZ exactly, and the BFS detour around a
+// cut on the route. All scratch (bounce buffer, BFS arrays, the path
+// itself) is reused, so every case must stay allocation-free once
+// warm.
+func netfaultCases(short bool) []Case {
+	cycle := func(name string, w, l int, topo network.Topology) Case {
+		cfg := network.DefaultConfig()
+		cfg.Topology = topo
+		net := network.New(des.NewEngine(), w, l, cfg)
+		c := mesh.Coord{X: w / 2, Y: l / 2}
+		// Warm: the first fail sizes the bounce scratch.
+		if err := net.FailLink(c, network.East); err != nil {
+			panic(err)
+		}
+		if err := net.RecoverLink(c, network.East); err != nil {
+			panic(err)
+		}
+		return record(name, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := net.FailLink(c, network.East); err != nil {
+					b.Fatal(err)
+				}
+				if err := net.RecoverLink(c, network.East); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	route := func(name string, w, l int, cut bool) Case {
+		net := network.New(des.NewEngine(), w, l, network.DefaultConfig())
+		src := mesh.Coord{}
+		dst := mesh.Coord{X: w - 1, Y: l - 1}
+		if cut {
+			// On the XYZ route: forces the BFS on every call.
+			if err := net.FailLink(mesh.Coord{X: w / 2}, network.East); err != nil {
+				panic(err)
+			}
+		}
+		var buf []int32
+		buf, ok := net.RouteAround(buf, src, dst) // warm path + BFS scratch
+		if !ok {
+			panic("bench: no route on warmup")
+		}
+		return record(name, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var ok bool
+				buf, ok = net.RouteAround(buf[:0], src, dst)
+				if !ok {
+					b.Fatal("no route")
+				}
+			}
+		})
+	}
+	cases := []Case{
+		cycle("netfault/fail_recover/16x22/mesh", 16, 22, network.MeshTopology),
+		route("netfault/route_around/clean/16x22", 16, 22, false),
+		route("netfault/route_around/detour/16x22", 16, 22, true),
+	}
+	if !short {
+		cases = append(cases,
+			cycle("netfault/fail_recover/32x32/torus", 32, 32, network.TorusTopology),
+			route("netfault/route_around/detour/64x64", 64, 64, true),
 		)
 	}
 	return cases
