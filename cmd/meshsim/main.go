@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -54,6 +55,12 @@ func main() {
 		topology  = flag.String("topology", "mesh", "interconnect topology: mesh, torus (torus wraps routing AND placement)")
 		workers   = flag.Int("workers", 0, "parallel search workers for the run's candidate scans (0 = one per core); results are identical at every count")
 		pattern   = flag.String("pattern", "all-to-all", "communication pattern: all-to-all, one-to-all, all-to-one, random-pairs, near-neighbour")
+		duration  = flag.Float64("duration", 0, "stop after this much workload time (0 = job-count stopping rule); with -duration and no explicit -jobs the run is purely time-bounded")
+		timeScale = flag.Float64("time-scale", 1, "time compression: divide arrivals and compute demands by this factor, so a -duration horizon simulates in 1/factor the events' original timespan")
+		startTime = flag.Float64("start-time", 0, "warm start: shift the workload to begin at this workload time and open the measurement window there")
+		timeline  = flag.String("timeline", "", "write periodic metric snapshots (time, throughput, queue, utilization, P95s) to FILE; requires -duration")
+		tlInt     = flag.Float64("timeline-interval", 0, "workload time between timeline snapshots (0 = duration/100)")
+		tlFmt     = flag.String("timeline-format", "csv", "timeline format: csv, json (JSON lines)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		faults    = flag.String("faults", "", "fault plan JSON file (see docs: seed, mtbf, mttr, max_failures, outages, policy, links)")
 		mtbf      = flag.Float64("mtbf", 0, "per-node mean time between failures (0 = no random failures; overrides the plan file)")
@@ -116,6 +123,63 @@ func main() {
 	// worker per core (the library default stays serial).
 	cfg.Workers = mesh.DefaultWorkers(*workers)
 	cfg.Seed = *seed
+
+	// Time-compression mode: -duration/-start-time/-timeline-interval
+	// are in workload time units; dividing by -time-scale converts them
+	// to the compressed engine clock the simulator runs on (the
+	// workload itself is compressed by the same factor below).
+	if *timeScale <= 0 {
+		fmt.Fprintf(os.Stderr, "meshsim: -time-scale %g is invalid; the factor must be positive\n", *timeScale)
+		os.Exit(1)
+	}
+	if *duration < 0 || *startTime < 0 {
+		fmt.Fprintln(os.Stderr, "meshsim: -duration and -start-time must be nonnegative")
+		os.Exit(1)
+	}
+	cfg.Duration = *duration / *timeScale
+	cfg.StartTime = *startTime / *timeScale
+	if *duration > 0 {
+		// A time-bounded run keeps -jobs as a cap only when the user
+		// asked for one; otherwise the horizon is the stopping rule.
+		jobsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "jobs" {
+				jobsSet = true
+			}
+		})
+		if !jobsSet {
+			cfg.MaxCompleted = 0
+		}
+	}
+	var tlFlush func() error
+	if *timeline != "" {
+		if *duration <= 0 {
+			fmt.Fprintln(os.Stderr, "meshsim: -timeline requires -duration (the snapshot chain needs a time bound)")
+			os.Exit(1)
+		}
+		interval := *tlInt
+		if interval <= 0 {
+			interval = *duration / 100
+		}
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		cfg.Timeline = &sim.TimelineConfig{
+			Interval: interval / *timeScale,
+			W:        bw,
+			Format:   *tlFmt,
+		}
+		tlFlush = func() error {
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
 	top, err := network.ParseTopology(*topology)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
@@ -160,11 +224,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
 		os.Exit(1)
 	}
+	src = wrapTime(src, *startTime, *timeScale)
 
 	res, err := sim.Run(cfg, src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
 		os.Exit(1)
+	}
+	if tlFlush != nil {
+		if err := tlFlush(); err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
 	}
 
 	var resil *report.Resilience
@@ -174,11 +245,13 @@ func main() {
 		// this one invocation.
 		baseCfg := cfg
 		baseCfg.Faults = nil
+		baseCfg.Timeline = nil // the snapshots describe the faulted run
 		baseSrc, err := buildSource(*wl, *traceFile, baseCfg, *load, *numMes, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "meshsim:", err)
 			os.Exit(1)
 		}
+		baseSrc = wrapTime(baseSrc, *startTime, *timeScale)
 		base, err := sim.Run(baseCfg, baseSrc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "meshsim:", err)
@@ -239,6 +312,10 @@ func main() {
 	}
 	fmt.Printf("network             %s %s, t_s=%g, P_len=%d, buffers=%d\n",
 		geom, cfg.Network.Topology, *ts, *plen, *buffers)
+	if *duration > 0 || *startTime > 0 || *timeScale != 1 {
+		fmt.Printf("time window         start %g, duration %g, time-scale %g\n",
+			*startTime, *duration, *timeScale)
+	}
 	fmt.Printf("completed jobs      %d (sim time %.0f)\n", res.Completed, res.SimTime)
 	fmt.Printf("turnaround time     %.1f\n", res.MeanTurnaround)
 	fmt.Printf("service time        %.1f\n", res.MeanService)
@@ -319,6 +396,34 @@ func buildSource(kind, traceFile string, cfg sim.Config, load, numMes float64, s
 		if traceFile == "" {
 			return nil, fmt.Errorf("-workload trace requires -trace FILE")
 		}
+		// Two-pass streaming protocol: a stat scan (O(1) memory, no rng
+		// draws) validates the file and yields the load-scaling factor,
+		// then the chunked reader streams the jobs behind the running
+		// simulation. Traces whose records are out of arrival order fall
+		// back to the materialized reader, which sorts.
+		st, err := workload.ScanTraceFile(traceFile, cfg.MeshW, cfg.MeshL, 0)
+		if err != nil {
+			return nil, err
+		}
+		depth := cfg.MeshH
+		if depth < 1 {
+			depth = 1
+		}
+		if st.MaxDepth > depth {
+			return nil, fmt.Errorf("trace requests depth %d but the mesh has %d plane(s); raise -depth or regenerate the trace",
+				st.MaxDepth, depth)
+		}
+		if st.Jobs < 2 {
+			return nil, fmt.Errorf("trace %s has %d usable job(s); need at least 2 to scale the load", traceFile, st.Jobs)
+		}
+		if st.Ordered {
+			f2 := (1 / load) / st.MeanInterarrival()
+			ts, err := workload.OpenTraceSource(traceFile, cfg.MeshW, cfg.MeshL, numMes, stats.NewStream(seed), 0)
+			if err != nil {
+				return nil, err
+			}
+			return workload.NewScaled(ts, f2), nil
+		}
 		f, err := os.Open(traceFile)
 		if err != nil {
 			return nil, err
@@ -328,19 +433,24 @@ func buildSource(kind, traceFile string, cfg sim.Config, load, numMes float64, s
 		if err != nil {
 			return nil, err
 		}
-		depth := cfg.MeshH
-		if depth < 1 {
-			depth = 1
-		}
-		for _, j := range jobs {
-			if j.Depth() > depth {
-				return nil, fmt.Errorf("trace job %d requests depth %d but the mesh has %d plane(s); raise -depth or regenerate the trace",
-					j.ID, j.Depth(), depth)
-			}
-		}
 		f2 := (1 / load) / workload.MeanInterarrival(jobs)
 		return workload.NewSliceSource(traceFile, workload.ScaleArrivals(jobs, f2)), nil
 	default:
 		return nil, fmt.Errorf("unknown workload %q", kind)
 	}
+}
+
+// wrapTime stacks the warm-start and time-compression wrappers on a
+// load-scaled source: arrivals shift by the start offset first, then
+// arrivals AND compute demands divide by the scale — matching the
+// engine-unit conversion of cfg.StartTime and cfg.Duration, so a job
+// arriving at workload time t arrives at engine time (t+start)/scale.
+func wrapTime(src workload.Source, start, scale float64) workload.Source {
+	if start > 0 {
+		src = workload.NewShifted(src, start)
+	}
+	if scale != 1 {
+		src = workload.NewCompressed(src, scale)
+	}
+	return src
 }

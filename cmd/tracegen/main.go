@@ -40,8 +40,13 @@ func main() {
 	spec.Jobs = *jobs
 	spec.MeshW, spec.MeshL = *meshW, *meshL
 	spec.MeanInterarrival = *meanI
-	trace := workload.SyntheticParagon(spec, *seed)
-	trace = workload.DeepenTrace(trace, *meshW, *meshL, *meshH, stats.NewStream(*seed+1))
+	// Fully streaming pipeline: generate → deepen → write, one job in
+	// flight at a time, so -jobs 100000000 needs no more memory than
+	// -jobs 100. The wrappers draw in the same per-job order as the old
+	// materialized SyntheticParagon + DeepenTrace pipeline, so the
+	// emitted trace is byte-identical for the same seed.
+	src := workload.NewDeepened(workload.NewParagonSource(spec, *seed),
+		*meshW, *meshL, *meshH, stats.NewStream(*seed+1))
 
 	w := os.Stdout
 	if *out != "-" {
@@ -53,11 +58,11 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := workload.WriteTrace(w, trace); err != nil {
+	sum, err := workload.WriteTraceStream(w, src, *meshH > 1)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: %d jobs, mean interarrival %.1f, mean size %.1f, power-of-two fraction %.3f\n",
-		len(trace), workload.MeanInterarrival(trace), workload.MeanSize(trace),
-		workload.FractionPowerOfTwoSizes(trace))
+		sum.Jobs, sum.MeanInterarrival, sum.MeanSize, sum.PowerOfTwoFraction)
 }

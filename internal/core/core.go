@@ -9,7 +9,6 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
-	"sync"
 
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -95,20 +94,15 @@ func (w Workload) String() string {
 // NumMes is the paper's mean message count parameter.
 const NumMes = 5.0
 
-// paragonCache memoises the synthetic trace per (mesh, seed):
-// generating 10658 jobs is cheap but repeated thousands of times across
-// sweeps. Experiments run cells in parallel, hence the lock.
-var (
-	paragonMu    sync.Mutex
-	paragonCache = map[string][]workload.Job{}
-)
-
 // Source builds the workload's job source at the given system load
 // (jobs per time unit) for replication rep. meshH is the mesh depth
 // (0 or 1 selects the paper's 2D model): the stochastic workloads draw
 // a depth side on 3D meshes, while the real trace records processor
 // counts and keeps its planar shapes (placements still use every
-// plane).
+// plane). Every workload streams: jobs are drawn inside Next, so the
+// harness holds O(1) workload memory per running cell however long the
+// trace (the slice-materializing paragonCache this replaced held every
+// job of every (mesh, seed) pair for the process lifetime).
 func (w Workload) Source(meshW, meshL, meshH int, load float64, seed int64) workload.Source {
 	if load <= 0 {
 		panic("core: load must be positive")
@@ -118,20 +112,15 @@ func (w Workload) Source(meshW, meshL, meshH int, load float64, seed int64) work
 	}
 	switch w {
 	case RealTrace:
-		key := fmt.Sprintf("%dx%d/%d", meshW, meshL, seed)
-		paragonMu.Lock()
-		base, ok := paragonCache[key]
-		if !ok {
-			spec := workload.DefaultParagon()
-			spec.MeshW, spec.MeshL = meshW, meshL
-			base = workload.SyntheticParagon(spec, seed)
-			paragonCache[key] = base
-		}
-		paragonMu.Unlock()
+		spec := workload.DefaultParagon()
+		spec.MeshW, spec.MeshL = meshW, meshL
 		// The paper: arrival times multiplied by f; the load is the
-		// inverse mean inter-arrival time after scaling.
-		f := (1 / load) / workload.MeanInterarrival(base)
-		return workload.NewSliceSource("real", workload.ScaleArrivals(base, f))
+		// inverse mean inter-arrival time after scaling. The scan pass
+		// and the scaling wrapper apply the same float expressions as
+		// the materialized MeanInterarrival + ScaleArrivals did, so the
+		// streamed jobs are bit-identical to the old slice.
+		f := (1 / load) / workload.ParagonMeanInterarrival(spec, seed)
+		return workload.NewScaled(workload.NewParagonSource(spec, seed), f)
 	case StochasticUniform:
 		return workload.NewStochastic3D(stats.NewStream(seed), meshW, meshL, meshH,
 			workload.UniformSides, load, NumMes)

@@ -74,18 +74,7 @@ func TestWorkloadSourceStochastic(t *testing.T) {
 func TestWorkloadSourceRealScalesToLoad(t *testing.T) {
 	load := 0.01
 	src := RealTrace.Source(16, 22, 1, load, 3)
-	ss, ok := src.(*workload.SliceSource)
-	if !ok {
-		t.Fatalf("real source is %T", src)
-	}
-	var jobs []workload.Job
-	for {
-		j, ok := ss.Next()
-		if !ok {
-			break
-		}
-		jobs = append(jobs, j)
-	}
+	jobs := workload.Collect(src, 0)
 	if len(jobs) != 10658 {
 		t.Fatalf("trace jobs = %d", len(jobs))
 	}

@@ -137,10 +137,11 @@ type outageState struct {
 	cells []mesh.Coord
 }
 
-// startFaults arms the fault engine at time zero: every outage's start
-// event plus the first random failure.
+// startFaults arms the fault engine at the current engine time (zero
+// classically, StartTime on a warm start): every outage's start event
+// plus the first random failure.
 func (s *Simulator) startFaults() {
-	s.pinnedInt.Observe(0, 0)
+	s.pinnedInt.Observe(s.eng.Now(), 0)
 	for i := range s.faults.Outages {
 		st := &outageState{spec: s.faults.Outages[i]}
 		s.eng.AtEvent(st.spec.At, s.outageFn, st)

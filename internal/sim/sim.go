@@ -80,6 +80,28 @@ type Config struct {
 	// cross-job interference rather than the job's own send burst.
 	ThinkMean float64
 
+	// Duration bounds the run in simulated time: after StartTime +
+	// Duration the run finishes regardless of how many jobs completed
+	// or remain queued (the long-horizon stopping rule for streaming
+	// workloads, where "all jobs drain" may be months away). Zero means
+	// no time bound. It composes with MaxCompleted — whichever stop
+	// fires first ends measurement.
+	Duration float64
+	// StartTime is the simulated time the measurement window opens at:
+	// the utilization and queue integrals begin here, arrivals are
+	// clamped to it, and the fault engine arms here rather than at
+	// zero. Callers warm-starting a workload (meshsim -start-time)
+	// shift the arrivals (workload.Shifted) and set this to the same
+	// offset so the metrics span exactly the simulated window. Zero is
+	// the classic cold start.
+	StartTime float64
+	// Timeline, when non-nil, emits periodic snapshots of the running
+	// metrics (timeline.go) — the observability channel for diurnal-
+	// load and long-term-fragmentation studies. Requires Duration > 0:
+	// the emission chain re-arms itself every Interval, so an unbounded
+	// run would never let the event loop drain.
+	Timeline *TimelineConfig
+
 	// Seed drives simulation-internal randomness: think-time draws and
 	// the Random strategy's placement stream.
 	Seed int64
@@ -241,6 +263,13 @@ type Simulator struct {
 	completed int
 	done      bool
 	saturated bool
+	srcErr    error // abnormal stream end (workload.SourceErr)
+
+	// Timeline emission state (timeline.go); inert when cfg.Timeline
+	// is nil.
+	timelineFn   des.EventFunc
+	timelineErr  error
+	timelinePrev int // completions at the previous snapshot
 
 	turnaround stats.Accumulator
 	service    stats.Accumulator
@@ -306,9 +335,34 @@ func New(cfg Config, src workload.Source) (*Simulator, error) {
 	if depth == 0 {
 		depth = 1
 	}
+	if cfg.Duration < 0 {
+		return nil, fmt.Errorf("sim: negative Duration %v", cfg.Duration)
+	}
+	if cfg.StartTime < 0 {
+		return nil, fmt.Errorf("sim: negative StartTime %v", cfg.StartTime)
+	}
+	if err := cfg.Timeline.validate(cfg.Duration); err != nil {
+		return nil, err
+	}
 	// A malformed fault plan (scenario file) must fail at setup.
 	if err := cfg.Faults.Validate(cfg.MeshW, cfg.MeshL, depth, cfg.Network.Topology); err != nil {
 		return nil, err
+	}
+	// A warm start arms the fault engine at StartTime, so an outage
+	// scheduled before it could never fire; reject the contradiction.
+	if cfg.StartTime > 0 && cfg.Faults != nil {
+		for i, o := range cfg.Faults.Outages {
+			if o.At < cfg.StartTime {
+				return nil, fmt.Errorf("sim: outage %d at %v predates StartTime %v", i, o.At, cfg.StartTime)
+			}
+		}
+		if cfg.Faults.Links != nil {
+			for i, o := range cfg.Faults.Links.Outages {
+				if o.At < cfg.StartTime {
+					return nil, fmt.Errorf("sim: link outage %d at %v predates StartTime %v", i, o.At, cfg.StartTime)
+				}
+			}
+		}
 	}
 	eng := des.NewEngine()
 	// The interconnect topology governs the occupancy model too: on a
@@ -496,21 +550,43 @@ func Run(cfg Config, src workload.Source) (Result, error) {
 // executor's worker pool on return (a Simulator is single-use).
 func (s *Simulator) Run() (Result, error) {
 	defer s.search.Close()
-	s.busyInt.Observe(0, 0)
-	s.queueInt.Observe(0, 0)
+	start := s.cfg.StartTime
+	s.busyInt.Observe(start, 0)
+	s.queueInt.Observe(start, 0)
 	if s.faults != nil {
-		s.startFaults()
-		if s.faults.Links.active() {
-			s.startLinkFaults()
+		// On a warm start the fault engine arms at StartTime, not at
+		// engine time zero: nothing exists before the window opens.
+		if start > 0 {
+			s.eng.At(start, s.armFaults)
+		} else {
+			s.armFaults()
 		}
+	}
+	if s.cfg.Duration > 0 {
+		s.eng.At(start+s.cfg.Duration, s.finish)
+	}
+	if s.cfg.Timeline != nil {
+		s.startTimeline()
 	}
 	s.scheduleNextArrival()
 	for !s.done && s.eng.Step() {
 	}
-	s.busyInt.Finish(s.eng.Now())
-	s.queueInt.Finish(s.eng.Now())
+	if s.srcErr != nil {
+		return Result{}, s.srcErr
+	}
+	if s.timelineErr != nil {
+		return Result{}, s.timelineErr
+	}
+	// A warm-started run that never executed an event still ends no
+	// earlier than its window opened.
+	end := s.eng.Now()
+	if end < start {
+		end = start
+	}
+	s.busyInt.Finish(end)
+	s.queueInt.Finish(end)
 	if s.faults != nil {
-		s.pinnedInt.Finish(s.eng.Now())
+		s.pinnedInt.Finish(end)
 	}
 	// Packet-conservation audit: every injected packet was delivered,
 	// lost, or — only when the run was cut off mid-flight by its
@@ -557,8 +633,8 @@ func (s *Simulator) result() Result {
 		res.LostWork = s.lostWork
 		res.MeanPinned = s.pinnedInt.Mean()
 		res.AvailLoss = res.MeanPinned / float64(s.mesh.Size())
-		if now := s.eng.Now(); now > 0 {
-			res.FailureRate = float64(s.failures) / (float64(s.mesh.Size()) * float64(now))
+		if span := float64(s.eng.Now()) - s.cfg.StartTime; span > 0 {
+			res.FailureRate = float64(s.failures) / (float64(s.mesh.Size()) * span)
 		}
 	}
 	if s.net != nil {
@@ -580,11 +656,23 @@ func (s *Simulator) result() Result {
 func (s *Simulator) scheduleNextArrival() {
 	job, ok := s.src.Next()
 	if !ok {
+		// A stream can end abnormally (the chunked trace reader hit a
+		// malformed record mid-file): that is a failed run, not an
+		// exhausted workload.
+		if err := workload.SourceErr(s.src); err != nil {
+			s.srcErr = err
+			s.finish()
+			return
+		}
 		s.srcExhausted = true
 		s.maybeFinishFaulted()
 		return
 	}
 	at := job.Arrival
+	if at < s.cfg.StartTime {
+		// Warm starts clamp pre-window arrivals to the window open.
+		at = s.cfg.StartTime
+	}
 	if at < s.eng.Now() {
 		// Trace time scaling can place arrivals in the engine's past
 		// relative to a warm start; clamp forward.
@@ -791,4 +879,14 @@ func (s *Simulator) complete(j *jobState) {
 // finish closes measurement; the run loop exits on the next step.
 func (s *Simulator) finish() {
 	s.done = true
+}
+
+// armFaults starts the node (and, if planned, link) failure engines at
+// the current engine time — time zero classically, StartTime on a warm
+// start (Run defers the call through an event).
+func (s *Simulator) armFaults() {
+	s.startFaults()
+	if s.faults.Links.active() {
+		s.startLinkFaults()
+	}
 }

@@ -44,32 +44,11 @@ const (
 
 // SyntheticParagon generates the synthetic trace deterministically from
 // the seed. Jobs are returned in arrival order with shapes derived by
-// ShapeFor.
+// ShapeFor. It is the materialized view of ParagonSource — collecting
+// the stream is how the slice is built, so the two are bit-identical
+// by construction (the streaming determinism gate, docs §12).
 func SyntheticParagon(spec ParagonSpec, seed int64) []Job {
-	if spec.Jobs <= 0 || spec.MeshW <= 0 || spec.MeshL <= 0 {
-		panic("workload: invalid Paragon spec")
-	}
-	rng := stats.NewStream(seed)
-	// Solve the lull mean so the mixture hits MeanInterarrival.
-	burstMean := spec.MeanInterarrival * burstMeanFrac
-	lullMean := (spec.MeanInterarrival - burstFraction*burstMean) / (1 - burstFraction)
-
-	jobs := make([]Job, spec.Jobs)
-	clock := 0.0
-	for i := range jobs {
-		clock += rng.HyperExp(burstFraction, burstMean, lullMean)
-		p := paragonSize(rng, spec.MeshW*spec.MeshL)
-		w, l := ShapeFor(p, spec.MeshW, spec.MeshL)
-		jobs[i] = Job{
-			ID:       i,
-			Arrival:  clock,
-			W:        w,
-			L:        l,
-			Compute:  paragonRuntime(rng),
-			Messages: rng.ExpInt(spec.NumMes),
-		}
-	}
-	return jobs
+	return Collect(NewParagonSource(spec, seed), 0)
 }
 
 // paragonSize draws a processor count with mean ~34.5 favouring

@@ -115,17 +115,83 @@ func WriteTrace(w io.Writer, jobs []Job) error {
 		return err
 	}
 	for _, j := range jobs {
-		var err error
-		if deep {
-			_, err = fmt.Fprintf(bw, "%.3f %d %.3f %d\n", j.Arrival, j.Size(), j.Compute, j.Depth())
-		} else {
-			_, err = fmt.Fprintf(bw, "%.3f %d %.3f\n", j.Arrival, j.Size(), j.Compute)
-		}
-		if err != nil {
+		if err := writeTraceRow(bw, j, deep); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// writeTraceRow emits one native-format record — the row format shared
+// by WriteTrace and the streaming WriteTraceStream.
+func writeTraceRow(w io.Writer, j Job, deep bool) error {
+	var err error
+	if deep {
+		_, err = fmt.Fprintf(w, "%.3f %d %.3f %d\n", j.Arrival, j.Size(), j.Compute, j.Depth())
+	} else {
+		_, err = fmt.Fprintf(w, "%.3f %d %.3f\n", j.Arrival, j.Size(), j.Compute)
+	}
+	return err
+}
+
+// TraceWriteSummary reports what WriteTraceStream emitted, accumulated
+// on the fly — the diagnostics tracegen prints, without holding the
+// jobs.
+type TraceWriteSummary struct {
+	Jobs               int     // records written
+	MeanInterarrival   float64 // (last-first)/(n-1), 0 under two jobs
+	MeanSize           float64 // average processor count
+	PowerOfTwoFraction float64 // fraction of power-of-two sizes
+}
+
+// WriteTraceStream drains src into w in the native format, holding
+// O(1) memory however long the stream. deep selects the four-field
+// "arrival procs runtime depth" form; unlike WriteTrace, which scans
+// the materialized slice for depth-carrying jobs, a stream cannot be
+// pre-scanned, so the caller decides (a deep trace whose draws all
+// landed on depth 1 is still written four-field — readers accept both).
+// The stream's own error, if it ends on one, is returned.
+func WriteTraceStream(w io.Writer, src Source, deep bool) (TraceWriteSummary, error) {
+	var sum TraceWriteSummary
+	bw := bufio.NewWriter(w)
+	header := "# arrival procs runtime"
+	if deep {
+		header += " depth"
+	}
+	if _, err := fmt.Fprintln(bw, header); err != nil {
+		return sum, err
+	}
+	first, last := 0.0, 0.0
+	sizes, pow2 := 0, 0
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := writeTraceRow(bw, j, deep); err != nil {
+			return sum, err
+		}
+		if sum.Jobs == 0 {
+			first = j.Arrival
+		}
+		last = j.Arrival
+		sizes += j.Size()
+		if isPowerOfTwo(j.Size()) {
+			pow2++
+		}
+		sum.Jobs++
+	}
+	if err := SourceErr(src); err != nil {
+		return sum, err
+	}
+	if sum.Jobs > 1 {
+		sum.MeanInterarrival = (last - first) / float64(sum.Jobs-1)
+	}
+	if sum.Jobs > 0 {
+		sum.MeanSize = float64(sizes) / float64(sum.Jobs)
+		sum.PowerOfTwoFraction = float64(pow2) / float64(sum.Jobs)
+	}
+	return sum, bw.Flush()
 }
 
 // ReadSWF parses a Standard Workload Format trace.

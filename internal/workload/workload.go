@@ -339,30 +339,18 @@ func ScaleArrivals(jobs []Job, f float64) []Job {
 }
 
 // DeepenTrace redistributes each job's processor count into a cuboid
-// request for a meshW x meshL x meshH mesh: a depth is drawn uniformly
-// per job (raised just enough when the per-plane remainder would not
-// fit the plane) and the per-plane processors are reshaped with
-// ShapeFor. Depth 1 returns the jobs unchanged. cmd/tracegen uses this
-// to emit 3D traces from the 2D Paragon model.
+// request for a meshW x meshL x meshH mesh via the same per-job
+// transform the streaming Deepened wrapper applies (deepenJob), so the
+// slice and stream views share one draw order. Depth 1 returns the
+// jobs unchanged. cmd/tracegen uses this to emit 3D traces from the 2D
+// Paragon model.
 func DeepenTrace(jobs []Job, meshW, meshL, meshH int, rng *stats.Stream) []Job {
 	if meshH <= 1 {
 		return jobs
 	}
 	out := make([]Job, len(jobs))
 	for i, j := range jobs {
-		p := j.Size()
-		h := rng.UniformInt(1, meshH)
-		if min := (p + meshW*meshL - 1) / (meshW * meshL); h < min {
-			h = min
-		}
-		perPlane := (p + h - 1) / h
-		w, l := ShapeFor(perPlane, meshW, meshL)
-		j.W, j.L = w, l
-		j.H = 0
-		if h > 1 {
-			j.H = h
-		}
-		out[i] = j
+		out[i] = deepenJob(j, meshW, meshL, meshH, rng)
 	}
 	return out
 }

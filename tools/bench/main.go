@@ -32,7 +32,13 @@
 //     (w1 = serial scans, wN = the N-worker sharded executor), so the
 //     serial-vs-sharded wall-clock ratio is recorded per PR. Workers
 //     beyond the machine's core count cannot speed anything up:
-//     read the ratios against the host's GOMAXPROCS.
+//     read the ratios against the host's GOMAXPROCS;
+//   - stream/*: the streaming workload engine — stream/source/* is the
+//     per-job draw cost of each source family (one Next call per op;
+//     must stay allocation-free in steady state), and stream/sim/* is
+//     an end-to-end time-bounded run over millions of streamed jobs
+//     whose jobs_per_sec and bytes_per_job axes demonstrate that
+//     workload-side memory does not grow with job count.
 //
 // Usage:
 //
@@ -45,6 +51,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -68,7 +75,16 @@ type Case struct {
 	AllocsPerOp int64  `json:"allocs_per_op"`  // heap allocations per op
 	BytesPerOp  int64  `json:"bytes_per_op"`   // heap bytes per op
 	Ops         int    `json:"ops"`            // iterations the harness settled on
-	Jobs        int    `json:"jobs,omitempty"` // completed jobs per op (alloc/* only)
+	Jobs        int    `json:"jobs,omitempty"` // completed jobs per op (job-driven cases)
+	// JobsPerSec and BytesPerJob are the per-job axes of the job-driven
+	// cases (alloc/*, large/*, stream/sim/*): end-to-end throughput and
+	// cumulative heap bytes per streamed job. The memory-independence
+	// evidence is bytes_per_job staying flat as the stream/sim job
+	// count grows 10x (the workload engine contributes 0 of it — see
+	// the stream/source/* cases; the residue is the allocator's
+	// per-placement piece list, constant per job and short-lived).
+	JobsPerSec  float64 `json:"jobs_per_sec,omitempty"`
+	BytesPerJob float64 `json:"bytes_per_job,omitempty"`
 }
 
 // Snapshot is the BENCH_*.json document.
@@ -98,6 +114,7 @@ func main() {
 	snap.Cases = append(snap.Cases, bitboardCases(*short)...)
 	snap.Cases = append(snap.Cases, allocCases(*short)...)
 	snap.Cases = append(snap.Cases, largeCases(*short)...)
+	snap.Cases = append(snap.Cases, streamCases(*short)...)
 
 	for _, c := range snap.Cases {
 		fmt.Fprintf(os.Stderr, "%-40s %12d ns/op %8d allocs/op %10d B/op\n",
@@ -124,7 +141,7 @@ func main() {
 		for _, c := range snap.Cases {
 			if (strings.HasPrefix(c.Name, "des/") || strings.HasPrefix(c.Name, "search/") ||
 				strings.HasPrefix(c.Name, "bitboard/") || strings.HasPrefix(c.Name, "fault/") ||
-				strings.HasPrefix(c.Name, "netfault/")) &&
+				strings.HasPrefix(c.Name, "netfault/") || strings.HasPrefix(c.Name, "stream/source/")) &&
 				c.AllocsPerOp != 0 {
 				fmt.Fprintf(os.Stderr, "bench: ALLOC REGRESSION: %s reports %d allocs/op, want 0\n",
 					c.Name, c.AllocsPerOp)
@@ -134,14 +151,15 @@ func main() {
 		if bad {
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "bench: alloc gate passed (des/*, search/*, fault/*, netfault/* and bitboard/* at 0 allocs/op)")
+		fmt.Fprintln(os.Stderr, "bench: alloc gate passed (des/*, search/*, fault/*, netfault/*, bitboard/* and stream/source/* at 0 allocs/op)")
 	}
 }
 
-// record runs one benchmark function and captures its result.
+// record runs one benchmark function and captures its result. Cases
+// that complete jobs per op also get the derived per-job axes.
 func record(name string, jobs int, fn func(b *testing.B)) Case {
 	r := testing.Benchmark(fn)
-	return Case{
+	c := Case{
 		Name:        name,
 		NsPerOp:     r.NsPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
@@ -149,6 +167,11 @@ func record(name string, jobs int, fn func(b *testing.B)) Case {
 		Ops:         r.N,
 		Jobs:        jobs,
 	}
+	if jobs > 0 && c.NsPerOp > 0 {
+		c.JobsPerSec = float64(jobs) * 1e9 / float64(c.NsPerOp)
+		c.BytesPerJob = float64(c.BytesPerOp) / float64(jobs)
+	}
+	return c
 }
 
 // desCases measures the event core's warm schedule+fire cycle.
@@ -460,6 +483,116 @@ func largeCases(short bool) []Case {
 				}
 			}))
 		}
+	}
+	return out
+}
+
+// streamCases measures the streaming workload engine. stream/source/*
+// isolates the per-job draw: one op is one Next call on a warm source
+// (synthetic Paragon generator, stochastic generator, chunked trace
+// reader), and every case must stay allocation-free — the 0-alloc
+// contract the -check gate enforces. The chunked-reader case streams a
+// pre-rendered trace from memory and restarts the stream when it
+// exhausts; a restart costs a couple of allocations per ~10^5 jobs,
+// which amortizes to 0 allocs/op. stream/sim/* runs the whole
+// simulator over millions of streamed jobs on a zero-communication
+// mesh: the jobs_per_sec and bytes_per_job axes, compared across the
+// 1M and 10M cases, demonstrate workload-side memory independent of
+// job count — bytes_per_job stays flat (and small: the allocator's
+// per-placement piece list) while the job count grows 10x, where a
+// materialized workload would carry ~100 B of Job per job before the
+// run even starts.
+func streamCases(short bool) []Case {
+	var out []Case
+
+	// Synthetic Paragon generator, effectively unbounded.
+	spec := workload.DefaultParagon()
+	spec.Jobs = 1 << 40
+	psrc := workload.NewParagonSource(spec, 7)
+	psrc.Next() // warm
+	out = append(out, record("stream/source/paragon", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := psrc.Next(); !ok {
+				b.Fatal("paragon stream exhausted")
+			}
+		}
+	}))
+
+	// Stochastic generator (unbounded by construction).
+	ssrc := workload.NewStochastic3D(stats.NewStream(11), 16, 22, 1, workload.UniformSides, 0.002, 5)
+	ssrc.Next() // warm
+	out = append(out, record("stream/source/stochastic", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := ssrc.Next(); !ok {
+				b.Fatal("stochastic stream exhausted")
+			}
+		}
+	}))
+
+	// Chunked trace reader over a pre-rendered in-memory trace.
+	tn := 100000
+	if short {
+		tn = 20000
+	}
+	tspec := workload.DefaultParagon()
+	tspec.Jobs = tn
+	var traceBuf bytes.Buffer
+	if _, err := workload.WriteTraceStream(&traceBuf, workload.NewParagonSource(tspec, 5), false); err != nil {
+		panic(err)
+	}
+	traceData := traceBuf.Bytes()
+	trng := stats.NewStream(13)
+	trd := bytes.NewReader(traceData)
+	tsrc := workload.NewTraceSource(trd, "bench", 16, 22, 5, trng, 0)
+	tsrc.Next() // warm
+	out = append(out, record("stream/source/trace_chunked", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := tsrc.Next(); !ok {
+				if err := tsrc.Err(); err != nil {
+					b.Fatal(err)
+				}
+				trd.Reset(traceData)
+				tsrc = workload.NewTraceSource(trd, "bench", 16, 22, 5, trng, 0)
+			}
+		}
+	}))
+
+	// End-to-end: a job-count-bounded run over a streamed workload on a
+	// zero-communication mesh. FirstFit keeps the per-job allocator
+	// cost minimal so the streaming engine dominates the denominator.
+	simRun := func(name string, jobs int) Case {
+		return record(name, jobs, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sc := sim.DefaultConfig()
+				sc.MeshW, sc.MeshL = 64, 64
+				sc.Strategy = "FirstFit"
+				sc.MaxCompleted = jobs
+				sc.WarmupJobs = 0
+				sc.MaxQueued = 4096
+				src := workload.NewAllocStress3D(stats.NewStream(23), 64, 64, 1, 0.07, 100)
+				res, err := sim.Run(sc, src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed < jobs {
+					b.Fatalf("run completed %d of %d jobs", res.Completed, jobs)
+				}
+			}
+		})
+	}
+	out = append(out, simRun("stream/sim/alloc_stress/100k", 100000))
+	if !short {
+		// The full three-point curve: bytes_per_job flat across two
+		// orders of magnitude in job count is the memory-independence
+		// evidence.
+		out = append(out,
+			simRun("stream/sim/alloc_stress/1M", 1000000),
+			simRun("stream/sim/alloc_stress/10M", 10000000),
+		)
 	}
 	return out
 }
