@@ -58,6 +58,8 @@ func main() {
 		duration  = flag.Float64("duration", 0, "stop after this much workload time (0 = job-count stopping rule); with -duration and no explicit -jobs the run is purely time-bounded")
 		timeScale = flag.Float64("time-scale", 1, "time compression: divide arrivals and compute demands by this factor, so a -duration horizon simulates in 1/factor the events' original timespan")
 		startTime = flag.Float64("start-time", 0, "warm start: shift the workload to begin at this workload time and open the measurement window there")
+	diPeriod  = flag.Float64("diurnal-period", 0, "period of the sinusoidal day/night arrival-rate cycle, in workload time units (0 = no modulation)")
+	diAmp     = flag.Float64("diurnal-amplitude", 0, "relative amplitude of the day/night cycle in [0, 1): instantaneous rate swings between (1-a) and (1+a) times the mean")
 		timeline  = flag.String("timeline", "", "write periodic metric snapshots (time, throughput, queue, utilization, P95s) to FILE; requires -duration")
 		tlInt     = flag.Float64("timeline-interval", 0, "workload time between timeline snapshots (0 = duration/100)")
 		tlFmt     = flag.String("timeline-format", "csv", "timeline format: csv, json (JSON lines)")
@@ -204,6 +206,12 @@ func main() {
 		// diagnostic; this branch is for real-but-planar strategies.
 		fmt.Fprintf(os.Stderr, "meshsim: -depth %d conflicts with -strategy %s: the strategy is 2D-only; pick a 3D-capable strategy or -depth 1\n", *meshH, *strategy)
 		os.Exit(1)
+	case *diAmp < 0 || *diAmp >= 1:
+		fmt.Fprintf(os.Stderr, "meshsim: -diurnal-amplitude %g is invalid; the amplitude must be in [0, 1)\n", *diAmp)
+		os.Exit(1)
+	case *diAmp > 0 && *diPeriod <= 0:
+		fmt.Fprintf(os.Stderr, "meshsim: -diurnal-amplitude %g needs a positive -diurnal-period\n", *diAmp)
+		os.Exit(1)
 	}
 	pat, err := sim.ParsePattern(*pattern)
 	if err != nil {
@@ -224,7 +232,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
 		os.Exit(1)
 	}
-	src = wrapTime(src, *startTime, *timeScale)
+	src = wrapTime(src, *startTime, *timeScale, *diPeriod, *diAmp)
 
 	res, err := sim.Run(cfg, src)
 	if err != nil {
@@ -251,7 +259,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "meshsim:", err)
 			os.Exit(1)
 		}
-		baseSrc = wrapTime(baseSrc, *startTime, *timeScale)
+		baseSrc = wrapTime(baseSrc, *startTime, *timeScale, *diPeriod, *diAmp)
 		base, err := sim.Run(baseCfg, baseSrc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "meshsim:", err)
@@ -440,12 +448,17 @@ func buildSource(kind, traceFile string, cfg sim.Config, load, numMes float64, s
 	}
 }
 
-// wrapTime stacks the warm-start and time-compression wrappers on a
-// load-scaled source: arrivals shift by the start offset first, then
-// arrivals AND compute demands divide by the scale — matching the
-// engine-unit conversion of cfg.StartTime and cfg.Duration, so a job
-// arriving at workload time t arrives at engine time (t+start)/scale.
-func wrapTime(src workload.Source, start, scale float64) workload.Source {
+// wrapTime stacks the diurnal, warm-start and time-compression
+// wrappers on a load-scaled source: the day/night modulation warps
+// arrivals in workload time first (its period is a workload-time
+// quantity), then arrivals shift by the start offset, then arrivals
+// AND compute demands divide by the scale — matching the engine-unit
+// conversion of cfg.StartTime and cfg.Duration, so a job arriving at
+// workload time t arrives at engine time (t+start)/scale.
+func wrapTime(src workload.Source, start, scale, diPeriod, diAmp float64) workload.Source {
+	if diAmp > 0 {
+		src = workload.NewDiurnal(src, diPeriod, diAmp)
+	}
 	if start > 0 {
 		src = workload.NewShifted(src, start)
 	}

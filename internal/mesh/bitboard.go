@@ -42,6 +42,55 @@ func wordsPerRow(w int) int { return (w + 63) >> 6 }
 // rowWords returns the free-mask words of plane-row r.
 func (m *Mesh) rowWords(r int) []uint64 { return m.freeW[r*m.wpr : (r+1)*m.wpr] }
 
+// freeBitAt reports whether column x of plane-row r is free — the
+// bitboard's Busy, one shift and mask.
+func (m *Mesh) freeBitAt(r, x int) bool {
+	return m.freeW[r*m.wpr+x>>6]>>uint(x&63)&1 != 0
+}
+
+// setFreeBit marks column x of plane-row r free. The single-cell flip
+// behind the per-node mutation paths (Allocate/Release and their
+// rollbacks); spans go through markRowSpan.
+func (m *Mesh) setFreeBit(r, x int) { m.freeW[r*m.wpr+x>>6] |= 1 << uint(x&63) }
+
+// clearFreeBit marks column x of plane-row r busy.
+func (m *Mesh) clearFreeBit(r, x int) { m.freeW[r*m.wpr+x>>6] &^= 1 << uint(x&63) }
+
+// rowFullyFree reports whether every cell of plane-row r is free: full
+// words all ones, the tail word exactly the tail mask. O(wpr).
+func (m *Mesh) rowFullyFree(r int) bool {
+	words := m.rowWords(r)
+	last := len(words) - 1
+	for i := 0; i < last; i++ {
+		if words[i] != ^uint64(0) {
+			return false
+		}
+	}
+	tailMask := ^uint64(0)
+	if tail := uint(m.w & 63); tail != 0 {
+		tailMask >>= 64 - tail
+	}
+	return words[last] == tailMask
+}
+
+// maskPrevBusy returns the position of the last clear (busy) bit of
+// words at or before x, or -1 when the free run extends to the row
+// start. x must be a valid column (below w), so the scan never reads
+// tail bits.
+func maskPrevBusy(words []uint64, x int) int {
+	// Shift the busy complement so bit x lands at position 63; a nonzero
+	// result's leading zero count is the distance back to the last busy.
+	if v := ^words[x>>6] << uint(63-x&63); v != 0 {
+		return x - bits.LeadingZeros64(v)
+	}
+	for i := x>>6 - 1; i >= 0; i-- {
+		if words[i] != ^uint64(0) {
+			return i<<6 + 63 - bits.LeadingZeros64(^words[i])
+		}
+	}
+	return -1
+}
+
 // fillRowFree sets every valid bit of one row's words — the all-free
 // pattern — leaving the tail bits at and beyond w zero.
 func fillRowFree(words []uint64, w int) {

@@ -35,24 +35,26 @@ import "fmt"
 // meshes never carry them.
 func (m *Mesh) ensureFault() {
 	if m.pinned == nil {
-		m.pinned = make([]bool, len(m.busy))
-		m.overlay = make([]bool, len(m.busy))
+		m.pinned = make([]bool, m.w*m.l*m.h)
+		m.overlay = make([]bool, m.w*m.l*m.h)
 	}
 }
 
-// noteCell restores the index invariants after one cell's (already
-// flipped) busy state changed — the single-cell analogue of noteCells,
-// without its batch bookkeeping.
+// noteCell flips one cell's bit and settles the aggregates — the
+// single-cell analogue of flipBox. Oracle mode mirrors the flip into
+// the demoted tables.
 func (m *Mesh) noteCell(c Coord, toBusy bool) {
 	r := m.rowIdx(c.Y, c.Z)
 	m.markRowSpan(r, c.X, c.X, toBusy)
-	sign := 1
-	if !toBusy {
-		sign = -1
+	if toBusy {
+		m.aggSpanBusy(r, c.X, c.X)
+	} else {
 		m.noteRelease()
+		m.aggCellFree(r, c.X)
 	}
-	m.queueSAT(c.X, c.Y, c.Z, c.X, c.Y, c.Z, sign)
-	m.updateRowRunsSpan(r, c.X, c.X, toBusy)
+	if m.oracle {
+		m.oracleNoteCell(c, toBusy)
+	}
 }
 
 // Fail pins processor c as failed. A free cell becomes busy; a cell
@@ -71,13 +73,12 @@ func (m *Mesh) Fail(c Coord) error {
 	}
 	m.pinned[idx] = true
 	m.pinnedCount++
-	if m.busy[idx] {
-		// A live allocation holds the cell: pin over it, tables untouched.
+	if m.Busy(c) {
+		// A live allocation holds the cell: pin over it, words untouched.
 		m.overlay[idx] = true
 		m.overlayCount++
 		return nil
 	}
-	m.busy[idx] = true
 	m.freeCount--
 	m.noteCell(c, true)
 	return nil
@@ -101,7 +102,6 @@ func (m *Mesh) Recover(c Coord) error {
 		m.overlayCount--
 		return nil
 	}
-	m.busy[idx] = false
 	m.freeCount++
 	m.noteCell(c, false)
 	return nil
@@ -133,19 +133,20 @@ func (m *Mesh) releasePinnedAware(nodes []Coord) error {
 			return fmt.Errorf("mesh: release out of bounds %v", c)
 		}
 		idx := m.Index(c)
-		if !m.busy[idx] {
+		if !m.Busy(c) {
 			return fmt.Errorf("mesh: release already-free %v", c)
 		}
 		if m.pinned[idx] && !m.overlay[idx] {
 			return fmt.Errorf("mesh: release pinned %v", c)
 		}
 	}
-	// Apply, using the flag flips themselves as duplicate detectors,
+	// Apply, using the bit flips themselves as duplicate detectors,
 	// mirroring the pristine path; a duplicate rolls every prior flip
 	// back so errors stay side-effect free.
 	freed := make([]Coord, 0, len(nodes))
 	for i, c := range nodes {
 		idx := m.Index(c)
+		r := m.rowIdx(c.Y, c.Z)
 		dup := false
 		switch {
 		case m.pinned[idx]:
@@ -155,20 +156,20 @@ func (m *Mesh) releasePinnedAware(nodes []Coord) error {
 			} else {
 				dup = true
 			}
-		case m.busy[idx]:
-			m.busy[idx] = false
+		case !m.freeBitAt(r, c.X):
+			m.setFreeBit(r, c.X)
 			freed = append(freed, c)
 		default:
 			dup = true
 		}
 		if dup {
 			for k := 0; k < i; k++ {
-				pidx := m.Index(nodes[k])
-				if m.pinned[pidx] {
-					m.overlay[pidx] = true
+				p := nodes[k]
+				if m.pinned[m.Index(p)] {
+					m.overlay[m.Index(p)] = true
 					m.overlayCount++
 				} else {
-					m.busy[pidx] = true
+					m.clearFreeBit(m.rowIdx(p.Y, p.Z), p.X)
 				}
 			}
 			return fmt.Errorf("mesh: duplicate coordinate %v in request", c)
@@ -191,15 +192,15 @@ func (m *Mesh) releaseSubPinnedAware(s Submesh) error {
 	for z := s.Z1; z <= s.Z2; z++ {
 		for y := s.Y1; y <= s.Y2; y++ {
 			row := (z*m.l + y) * m.w
+			r := m.rowIdx(y, z)
 			for x := s.X1; x <= s.X2; x++ {
-				idx := row + x
 				switch {
-				case m.pinned[idx]:
-					if !m.overlay[idx] {
+				case m.pinned[row+x]:
+					if !m.overlay[row+x] {
 						return fmt.Errorf("mesh: release pinned %v", Coord{x, y, z})
 					}
 					pinnedIn++
-				case !m.busy[idx]:
+				case m.freeBitAt(r, x):
 					return fmt.Errorf("mesh: release already-free %v", Coord{x, y, z})
 				}
 			}
@@ -214,13 +215,13 @@ func (m *Mesh) releaseSubPinnedAware(s Submesh) error {
 	for z := s.Z1; z <= s.Z2; z++ {
 		for y := s.Y1; y <= s.Y2; y++ {
 			row := (z*m.l + y) * m.w
+			r := m.rowIdx(y, z)
 			for x := s.X1; x <= s.X2; x++ {
-				idx := row + x
-				if m.pinned[idx] {
-					m.overlay[idx] = false
+				if m.pinned[row+x] {
+					m.overlay[row+x] = false
 					m.overlayCount--
 				} else {
-					m.busy[idx] = false
+					m.setFreeBit(r, x)
 					freed = append(freed, Coord{x, y, z})
 				}
 			}

@@ -413,9 +413,9 @@ func (m *Mesh) maxWidthByHeight(maxL int) []int {
 		// Degenerate rows shortcut the stack. A fully busy row — the
 		// aggregate bounds the widest run from above even when stale —
 		// zeroes every height and records nothing. And when the NEXT
-		// band row is fully free (O(1) on the always-exact rightRun
-		// table), every rectangle this row would record recurs there
-		// with the same width and a height one larger (or capped
+		// band row is fully free (a handful of word compares,
+		// rowFullyFree), every rectangle this row would record recurs
+		// there with the same width and a height one larger (or capped
 		// equal), so its record is dominated through the suffix max —
 		// only the heights need maintaining here.
 		if m.rowMax[ry] == 0 {
@@ -432,7 +432,7 @@ func (m *Mesh) maxWidthByHeight(maxL int) []int {
 			if ny >= m.l {
 				ny -= m.l
 			}
-			if m.rightRun[ny*m.w] == m.w {
+			if m.rowFullyFree(ny) {
 				bumpHeightsWords(words, cols, maxL, heights)
 				continue
 			}

@@ -1,14 +1,33 @@
 package mesh
 
-// White-box cross-checks of the incremental occupancy index: every
-// random mutation sequence must leave rightRun and the summed-area
-// table identical to a from-scratch recompute, and the searches must
-// return exactly what the seed's exhaustive scans returned.
+// White-box cross-checks of the occupancy index. The bitboard words are
+// authoritative, so every naive reference scan below runs against the
+// busy map derived from them (busySnapshot); checkTables verifies the
+// word invariants (geometry, sealed tail bits, freeCount, on-demand
+// runs, lazy aggregates) after every random mutation, and in oracle
+// mode additionally holds the independently maintained busy/run/SAT
+// tables — updated by the demoted incremental machinery — to the same
+// derived view, which is the production-vs-oracle differential. The
+// searches must return exactly what the seed's exhaustive scans
+// returned.
 
 import (
 	"math/rand"
 	"testing"
 )
+
+// busySnapshot derives the per-cell busy map from the authoritative
+// bitboard words — the view every naive reference scan runs against.
+func busySnapshot(m *Mesh) []bool {
+	out := make([]bool, m.Size())
+	for r := 0; r < m.rows(); r++ {
+		row := r * m.w
+		for x := 0; x < m.w; x++ {
+			out[row+x] = !m.freeBitAt(r, x)
+		}
+	}
+	return out
+}
 
 // naiveRightRun is the seed's full-rebuild refresh.
 func naiveRightRun(busy []bool, w, l int) []int {
@@ -53,24 +72,17 @@ func naiveSAT(busy []bool, w, l, h int) []int {
 	return out
 }
 
-// checkTables compares the incremental tables against full recomputes.
-// The SAT journal is folded first — the invariant is busy-map equality
-// after folding, which is exactly what every query observes. It is
+// checkTables verifies the authoritative word state against full
+// recomputes of the busy map it encodes, and in oracle mode compares
+// the independently maintained tables to the same derived view. It is
 // depth-aware: a 2D mesh exercises exactly the planar invariants, a 3D
-// one additionally the plane aggregates and the prefix volume.
+// one additionally the plane aggregates and (oracle) the prefix volume.
 func checkTables(t *testing.T, m *Mesh) {
 	t.Helper()
-	m.drainSAT()
-	wantRun := naiveRightRun(m.busy, m.w, m.l*m.h)
-	for i := range wantRun {
-		if m.rightRun[i] != wantRun[i] {
-			t.Fatalf("rightRun[%v] = %d, recompute says %d\n%s",
-				m.CoordOf(i), m.rightRun[i], wantRun[i], m)
-		}
-	}
-	// The bitboard must mirror the busy map bit for bit, keep its tail
-	// bits zero, and read back the exact run table — the
-	// bitboard-vs-runtable differential every mutation is held to.
+	busy := busySnapshot(m)
+	wantRun := naiveRightRun(busy, m.w, m.l*m.h)
+	// Word invariants, every build: exact geometry, sealed tail bits,
+	// and on-demand run reads matching the from-scratch run recompute.
 	if m.wpr != wordsPerRow(m.w) || len(m.freeW) != m.rows()*m.wpr {
 		t.Fatalf("bitboard geometry wpr=%d len=%d, want %d words x %d rows",
 			m.wpr, len(m.freeW), wordsPerRow(m.w), m.rows())
@@ -78,19 +90,36 @@ func checkTables(t *testing.T, m *Mesh) {
 	for r := 0; r < m.rows(); r++ {
 		words := m.rowWords(r)
 		for x := 0; x < m.w; x++ {
-			bit := words[x>>6]>>uint(x&63)&1 == 1
-			if bit == m.busy[r*m.w+x] {
-				t.Fatalf("freeW bit %v = %v disagrees with busy map\n%s",
-					m.CoordOf(r*m.w+x), bit, m)
-			}
 			if got := m.runAtBits(r, x); got != wantRun[r*m.w+x] {
-				t.Fatalf("runAtBits(%d, %d) = %d, rightRun says %d\n%s",
+				t.Fatalf("runAtBits(%d, %d) = %d, run recompute says %d\n%s",
 					r, x, got, wantRun[r*m.w+x], m)
 			}
 		}
 		for b := m.w; b < m.wpr*64; b++ {
 			if words[b>>6]>>uint(b&63)&1 == 1 {
 				t.Fatalf("freeW tail bit %d of row %d set\n%s", b, r, m)
+			}
+		}
+	}
+	if m.oracle {
+		// Oracle differential: the demoted tables are maintained by the
+		// old per-mutation machinery; they must agree with the busy map
+		// the words encode, run for run and prefix for prefix.
+		m.drainSAT()
+		for i := range busy {
+			if m.busy[i] != busy[i] {
+				t.Fatalf("oracle busy[%v] = %v disagrees with words\n%s",
+					m.CoordOf(i), m.busy[i], m)
+			}
+			if m.rightRun[i] != wantRun[i] {
+				t.Fatalf("oracle rightRun[%v] = %d, recompute says %d\n%s",
+					m.CoordOf(i), m.rightRun[i], wantRun[i], m)
+			}
+		}
+		wantSAT := naiveSAT(busy, m.w, m.l, m.h)
+		for i := range wantSAT {
+			if m.sat[i] != wantSAT[i] {
+				t.Fatalf("oracle sat[%d] = %d, recompute says %d\n%s", i, m.sat[i], wantSAT[i], m)
 			}
 		}
 	}
@@ -142,32 +171,26 @@ func checkTables(t *testing.T, m *Mesh) {
 			}
 		}
 	}
-	wantSAT := naiveSAT(m.busy, m.w, m.l, m.h)
-	for i := range wantSAT {
-		if m.sat[i] != wantSAT[i] {
-			t.Fatalf("sat[%d] = %d, recompute says %d\n%s", i, m.sat[i], wantSAT[i], m)
-		}
-	}
-	busy := 0
-	for _, b := range m.busy {
+	nbusy := 0
+	for _, b := range busy {
 		if b {
-			busy++
+			nbusy++
 		}
 	}
-	if m.freeCount != m.Size()-busy {
-		t.Fatalf("freeCount = %d, busy map says %d", m.freeCount, m.Size()-busy)
+	if m.freeCount != m.Size()-nbusy {
+		t.Fatalf("freeCount = %d, words say %d", m.freeCount, m.Size()-nbusy)
 	}
 	// Pin bookkeeping (fault.go): every pin is busy, every overlay is a
-	// pin, and the counters match the maps — so the naive busy map the
-	// table checks above ran against is exactly allocated ∪ pinned.
+	// pin, and the counters match the maps — so the derived busy map the
+	// checks above ran against is exactly allocated ∪ pinned.
 	pc, oc := 0, 0
-	for i := range m.busy {
+	for i := range busy {
 		p := m.pinned != nil && m.pinned[i]
 		o := m.overlay != nil && m.overlay[i]
 		if o && !p {
 			t.Fatalf("overlay without pin at %v\n%s", m.CoordOf(i), m)
 		}
-		if p && !m.busy[i] {
+		if p && !busy[i] {
 			t.Fatalf("pinned cell %v not busy\n%s", m.CoordOf(i), m)
 		}
 		if p {
@@ -198,7 +221,7 @@ func seedFirstFit(m *Mesh, w, l int) (Submesh, bool) {
 	if w <= 0 || l <= 0 || w > m.w || l > m.l {
 		return Submesh{}, false
 	}
-	run := naiveRightRun(m.busy, m.w, m.l)
+	run := naiveRightRun(busySnapshot(m), m.w, m.l)
 	for y := 0; y+l <= m.l; y++ {
 		for x := 0; x+w <= m.w; x++ {
 			if seedFitsAt(run, m.w, x, y, w, l) {
@@ -217,7 +240,7 @@ func seedBoundaryPressure(m *Mesh, s Submesh) int {
 			score++
 			return
 		}
-		if m.busy[y*m.w+x] {
+		if !m.freeBitAt(y, x) {
 			score++
 		}
 	}
@@ -237,7 +260,7 @@ func seedBestFit(m *Mesh, w, l int) (Submesh, bool) {
 	if w <= 0 || l <= 0 || w > m.w || l > m.l {
 		return Submesh{}, false
 	}
-	run := naiveRightRun(m.busy, m.w, m.l)
+	run := naiveRightRun(busySnapshot(m), m.w, m.l)
 	best := Submesh{}
 	bestScore := -1
 	for y := 0; y+l <= m.l; y++ {
@@ -270,7 +293,7 @@ func seedLargestFree(m *Mesh, maxW, maxL, maxArea int) (Submesh, bool) {
 	if maxL > m.l {
 		maxL = m.l
 	}
-	run := naiveRightRun(m.busy, m.w, m.l)
+	run := naiveRightRun(busySnapshot(m), m.w, m.l)
 	var (
 		best      Submesh
 		bestArea  int
@@ -320,7 +343,7 @@ func naiveBusyInRect(m *Mesh, s Submesh) int {
 	n := 0
 	for y := s.Y1; y <= s.Y2; y++ {
 		for x := s.X1; x <= s.X2; x++ {
-			if m.busy[y*m.w+x] {
+			if !m.freeBitAt(y, x) {
 				n++
 			}
 		}
@@ -449,7 +472,7 @@ func naiveTorusRun(busy []bool, w, l int) []int {
 func naiveTorusFits(m *Mesh, x, y, rw, rl int) bool {
 	for j := 0; j < rl; j++ {
 		for i := 0; i < rw; i++ {
-			if m.busy[((y+j)%m.l)*m.w+(x+i)%m.w] {
+			if !m.freeBitAt((y+j)%m.l, (x+i)%m.w) {
 				return false
 			}
 		}
@@ -462,7 +485,7 @@ func naiveTorusBusy(m *Mesh, x, y, rw, rl int) int {
 	n := 0
 	for j := 0; j < rl; j++ {
 		for i := 0; i < rw; i++ {
-			if m.busy[((y+j)%m.l)*m.w+(x+i)%m.w] {
+			if !m.freeBitAt((y+j)%m.l, (x+i)%m.w) {
 				n++
 			}
 		}
@@ -491,7 +514,7 @@ func naiveTorusFirstFit(m *Mesh, w, l int) (Submesh, bool) {
 func naiveTorusPressure(m *Mesh, x, y, rw, rl int) int {
 	score := 0
 	cell := func(cx, cy int) {
-		if m.busy[((cy+m.l)%m.l)*m.w+(cx+m.w)%m.w] {
+		if !m.freeBitAt((cy+m.l)%m.l, (cx+m.w)%m.w) {
 			score++
 		}
 	}
@@ -548,7 +571,7 @@ func naiveTorusLargestFree(m *Mesh, maxW, maxL, maxArea int) (Submesh, bool) {
 	if maxL > m.l {
 		maxL = m.l
 	}
-	run := naiveTorusRun(m.busy, m.w, m.l)
+	run := naiveTorusRun(busySnapshot(m), m.w, m.l)
 	var (
 		best      Submesh
 		bestArea  int
@@ -597,7 +620,7 @@ func checkTorusQueries(t *testing.T, m *Mesh, rng *rand.Rand) {
 	if !m.torus {
 		t.Fatal("checkTorusQueries on a planar mesh")
 	}
-	run := naiveTorusRun(m.busy, m.w, m.l)
+	run := naiveTorusRun(busySnapshot(m), m.w, m.l)
 	for y := 0; y < m.l; y++ {
 		rowMax := 0
 		for x := 0; x < m.w; x++ {
@@ -697,6 +720,7 @@ func checkSplitWrap(t *testing.T, m *Mesh, s Submesh) {
 func TestTorusOracleRectOps(t *testing.T) {
 	rng := rand.New(rand.NewSource(53))
 	m := NewTorus(16, 22)
+	m.EnableOracle()
 	var live []Submesh // planar pieces of committed placements
 	for step := 0; step < 1200; step++ {
 		switch op := rng.Intn(10); {
@@ -751,6 +775,7 @@ func TestTorusOracleRectOps(t *testing.T) {
 func TestIndexOracleRectOps(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	m := New(16, 22)
+	m.EnableOracle()
 	var live []Submesh
 	for step := 0; step < 2500; step++ {
 		switch op := rng.Intn(10); {
@@ -807,6 +832,7 @@ func TestIndexOracleRectOps(t *testing.T) {
 func TestIndexOracleCellOps(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	m := New(11, 13) // odd sides: no alignment accidents
+	m.EnableOracle()
 	for step := 0; step < 1500; step++ {
 		if rng.Intn(2) == 0 {
 			free := m.FreeNodes()
@@ -819,7 +845,7 @@ func TestIndexOracleCellOps(t *testing.T) {
 			}
 		} else {
 			var busyNodes []Coord
-			for i, b := range m.busy {
+			for i, b := range busySnapshot(m) {
 				if b {
 					busyNodes = append(busyNodes, m.CoordOf(i))
 				}
@@ -837,7 +863,7 @@ func TestIndexOracleCellOps(t *testing.T) {
 		// Failed scattered ops must leave the index untouched.
 		if m.BusyCount() > 0 {
 			var c Coord
-			for i, b := range m.busy {
+			for i, b := range busySnapshot(m) {
 				if b {
 					c = m.CoordOf(i)
 					break
@@ -858,7 +884,7 @@ func TestIndexOracleCellOps(t *testing.T) {
 		}
 		if m.BusyCount() > 0 {
 			var c Coord
-			for i, b := range m.busy {
+			for i, b := range busySnapshot(m) {
 				if b {
 					c = m.CoordOf(i)
 					break
@@ -884,6 +910,7 @@ func TestIndexJournalBursts(t *testing.T) {
 	cap := New(16, 22).satCap
 	for _, burst := range []int{1, 2, 3, 4, 5, 9, cap - 1, cap, cap + 1, 3 * cap} {
 		m := New(16, 22)
+		m.EnableOracle()
 		var live []Submesh
 		for ops := 0; ops < burst; {
 			if len(live) > 6 && rng.Intn(2) == 0 {
@@ -933,6 +960,9 @@ func FuzzIndexOps(f *testing.F) {
 		m := New(8, 9)
 		tor := NewTorus(8, 9)
 		vol := New3D(8, 9, 4)
+		m.EnableOracle()
+		tor.EnableOracle()
+		vol.EnableOracle()
 		rng := rand.New(rand.NewSource(7))
 		for len(data) >= 5 {
 			op, x1, y1, x2, y2 := data[0], data[1], data[2], data[3], data[4]

@@ -10,49 +10,31 @@ import "fmt"
 // simulation owns one mesh.
 //
 // Occupancy is indexed incrementally — there is no per-decision
-// full-table rebuild anywhere. Five derived indexes back the queries
-// (rows are addressed by the plane-row index r = z·L + y, so a 2D mesh
-// has r == y and the planar descriptions below read verbatim):
+// full-table rebuild anywhere. The bitboard is the single authoritative
+// occupancy store; two lazy aggregates ride on top of it (rows are
+// addressed by the plane-row index r = z·L + y, so a 2D mesh has r == y
+// and the planar descriptions below read verbatim):
 //
 //   - freeW is the word-parallel bitboard (bitboard.go): wpr uint64
 //     words per plane-row, bit x set iff the cell is free, tail bits
-//     past W always zero. Every mutation path updates it span by span
-//     (markRowSpan) alongside rightRun, and the scan hot paths —
-//     FitsAt row probes, CandidatesRow/FreeSeq run extraction, the
-//     histogram sweeps, the 3D plane projection — run on its words.
-//
-//   - rightRun[r*w+x] is the number of consecutive free processors at
-//     (x,y,z),(x+1,y,z),... It is kept fresh eagerly: a mutation
-//     touching columns [x1,x2] of a row recomputes only that row from
-//     x2 leftward, stopping as soon as a recomputed value left of x1
-//     matches the stored one (the run recurrence is a suffix chain, so
-//     everything further left is already correct). Cost: O(touched
-//     rows · W) worst case, typically the touched span plus the free
-//     run abutting it.
-//
-//   - sat is a summed-volume table of busy counts anchored at the far
-//     corner: sat[(z*(l+1)+y)*(w+1)+x] counts the busy processors with
-//     X >= x, Y >= y and Z >= z. Any cuboid's busy count is then eight
-//     lookups (BusyInRect), making SubFree, FitsAt and FreeInRect O(1).
-//     The table is maintained through a bounded journal: a mutation
-//     appends its cuboid delta in O(1), and cuboid queries first fold
-//     pending deltas in — each fold is a closed-form update of the
-//     entries x <= x2, y <= y2, z <= z2 (the far-corner anchor keeps
-//     that block small for the low placements the row-major searches
-//     favor), and once more than a few deltas are queued the fold
-//     recomputes the table in one pass instead, so a strategy that
-//     never queries rectangles pays O(size/journal-cap) amortized per
-//     mutation and one that queries after every mutation folds exactly
-//     its own delta. The journal is bounded by a constant, so queries
-//     stay O(1) worst case. On a depth-1 mesh the z = 0 slab is exactly
-//     the 2D far-corner summed-area table of PRs 1-3 and the z = 1 slab
-//     is identically zero, so the 2D four-lookup rectangle query reads
-//     the same integers it always did.
+//     past W always zero. Mutations flip it span by span (markRowSpan)
+//     or bit by bit, and every query derives from it on demand:
+//     Busy(c) is one bit test, cuboid busy/free counts are
+//     math/bits.OnesCount64 over masked words (busyRowSpanBits,
+//     scanBusyBox), freeness probes are masked compares (rowFreeSpan),
+//     and free-run lookups — CandidatesRow fit masks, FreeSeq,
+//     rowMaxRescan, the torus seam runs — are trailing-zero scans
+//     (maskNextFree/maskNextBusy, runAtBits). A whole-row count is
+//     W/64 popcounts, so nothing else needs maintaining for counting.
 //
 //   - rowMax[r] upper-bounds the widest free run of row r, letting the
-//     searches discard whole candidate rows in O(1). It is exact
-//     unless the row's recorded widest run was carved into (rowStale),
-//     and searches — never mutations — repair stale rows.
+//     searches discard whole candidate rows in O(1). Mutations settle
+//     it from the words in O(1) per touched row span: a freed span's
+//     containing run is two trailing-zero hops (aggSpanFree), a busy
+//     flip that carves the recorded run marks the row stale
+//     (aggSpanBusy), and searches — never mutations — repair stale
+//     rows by rescanning the words (rowMaxRescan). It is exact unless
+//     rowStale[r].
 //
 //   - planeMax[z] upper-bounds the widest free run anywhere in plane z
 //     — the z-axis aggregate stacked over the per-row ones. The 3D
@@ -61,22 +43,28 @@ import "fmt"
 //     repairing a row downward marks the plane stale (planeStale), and
 //     only searches re-derive stale planes from the row aggregates.
 //
-// The invariants (checked exhaustively against a naive recompute
-// oracle in index_test.go) are, for all in-range x and plane-rows r:
+// The pre-bitboard structures — the per-cell busy map, the eager
+// rightRun table and the journaled far-corner summed-volume table — are
+// demoted to oracle mode (oracle.go): nil and never touched in
+// production, allocated and maintained in lockstep when EnableOracle or
+// the meshoracle build tag arms the per-mutation differentials the
+// tests and the fuzz target run.
 //
-//	rightRun[r*w+x] == 0            if busy[r*w+x]
-//	rightRun[r*w+x] == 1 + rightRun[r*w+x+1] otherwise (0 past the edge)
-//	rowMax[r] >= max over x of rightRun[r*w+x], with equality unless rowStale[r]
+// The invariants (checked word-derived after every mutation, and
+// against the independently maintained oracle tables when oracle mode
+// is on — index_test.go) are, for all in-range x and plane-rows r:
+//
+//	freeW bit x of plane-row r set <=> the cell is free; bits >= w zero
+//	freeCount == Σ OnesCount64 over all words
+//	rowMax[r] >= the widest free run of row r, equality unless rowStale[r]
 //	planeMax[z] >= max over rows r of plane z of rowMax[r], equality unless planeStale[z]
-//	sat[(z*(l+1)+y)*(w+1)+x] + Σ pending overlaps == Σ busy in the quadrant X>=x, Y>=y, Z>=z
-//	sat entries with x == w, y == l or z == h are 0
-//	freeW bit x of plane-row r set <=> !busy[r*w+x]; bits >= w zero
+//	oracle mode: busy[r*w+x] <=> bit clear; rightRun is the exact run
+//	table; sat + Σ pending overlaps == Σ busy per far-corner quadrant
 type Mesh struct {
 	w, l, h int
-	busy    []bool // plane-row-major: index = (z*l + y)*w + x
 
-	// freeW is the bitboard: wpr words per plane-row, bit = free (see
-	// bitboard.go for the layout and tail rules).
+	// freeW is the authoritative bitboard: wpr words per plane-row,
+	// bit = free (see bitboard.go for the layout and tail rules).
 	freeW []uint64
 	wpr   int
 
@@ -89,17 +77,16 @@ type Mesh struct {
 
 	freeCount int
 
-	rightRun []int
 	// rowMax[r] bounds the widest free run in plane-row r — the
-	// row-level aggregate of rightRun. A search for width w skips every
-	// window containing a row with rowMax < w without probing a single
-	// base. rowMaxPos[r] is the base of a run achieving it. A mutation
-	// whose rewritten span misses that base cannot have shrunk the
-	// widest run, so the aggregate update is O(1); carving into the
-	// widest run leaves the old value behind as a valid upper bound and
-	// marks the row stale (rowStale), and only searches — never
-	// mutations — re-derive stale rows, so mutation-only strategies pay
-	// nothing for exactness they do not use.
+	// row-level aggregate of the bitboard words. A search for width w
+	// skips every window containing a row with rowMax < w without
+	// probing a single base. rowMaxPos[r] is the base of a run
+	// achieving it. A mutation that misses the recorded run cannot have
+	// shrunk it, so the aggregate update is O(1); carving into it
+	// leaves the old value behind as a valid upper bound and marks the
+	// row stale (rowStale), and only searches — never mutations —
+	// re-derive stale rows, so mutation-only strategies pay nothing for
+	// exactness they do not use.
 	rowMax    []int
 	rowMaxPos []int
 	rowStale  []bool
@@ -108,9 +95,20 @@ type Mesh struct {
 	// (see the type comment and volume.go).
 	planeMax   []int
 	planeStale []bool
-	sat        []int // (w+1) x (l+1) x (h+1), see type comment
-	pending    []satDelta
-	satCap     int // journal bound, scaled to the mesh (see New)
+
+	// Oracle mode (oracle.go): the demoted occupancy structures, nil
+	// and unmaintained in production. busy is the per-cell map the
+	// index originally ran on, rightRun the eager run table, sat the
+	// journaled far-corner summed-volume table with its bounded pending
+	// journal. EnableOracle (or the meshoracle build tag) allocates
+	// them, rebuilds them from the words, and arms their maintenance on
+	// every mutation so the tests' differentials can compare.
+	oracle   bool
+	busy     []bool // plane-row-major: index = (z*l + y)*w + x
+	rightRun []int
+	sat      []int // (w+1) x (l+1) x (h+1)
+	pending  []satDelta
+	satCap   int // journal bound, scaled to the mesh (see New)
 
 	// hist holds the reusable buffers of the histogram-based
 	// constrained-largest searches (histogram.go, volume.go); lazily
@@ -154,24 +152,23 @@ func New3D(w, l, h int) *Mesh {
 		w:          w,
 		l:          l,
 		h:          h,
-		busy:       make([]bool, w*l*h),
 		freeW:      make([]uint64, wordsPerRow(w)*l*h),
 		wpr:        wordsPerRow(w),
 		freeCount:  w * l * h,
-		rightRun:   make([]int, w*l*h),
 		rowMax:     make([]int, l*h),
 		rowMaxPos:  make([]int, l*h),
 		rowStale:   make([]bool, l*h),
 		planeMax:   make([]int, h),
 		planeStale: make([]bool, h),
-		sat:        make([]int, (w+1)*(l+1)*(h+1)),
-		// Scaling the journal bound with the mesh keeps the amortized
-		// overflow cost at O(size)/(size/4) ≈ a few operations per
-		// mutation, so strategies that never query rectangles pay a
-		// small constant tax instead of a per-mutation table update.
+		// Scaling the oracle journal bound with the mesh keeps the
+		// amortized overflow cost at O(size)/(size/4) ≈ a few operations
+		// per mutation for oracle-mode builds; production never journals.
 		satCap: max(64, w*l*h/4),
 	}
 	m.resetTables()
+	if oracleDefault {
+		m.EnableOracle()
+	}
 	return m
 }
 
@@ -181,13 +178,12 @@ func (m *Mesh) rows() int { return m.l * m.h }
 // rowIdx maps (y, z) to the plane-row index.
 func (m *Mesh) rowIdx(y, z int) int { return z*m.l + y }
 
-// resetTables sets the index tables to the all-free state.
+// resetTables sets the index to the all-free state: every word filled,
+// aggregates at W, and — in oracle mode — the oracle tables rebuilt to
+// match.
 func (m *Mesh) resetTables() {
 	for r := 0; r < m.rows(); r++ {
 		fillRowFree(m.rowWords(r), m.w)
-		for x := 0; x < m.w; x++ {
-			m.rightRun[r*m.w+x] = m.w - x
-		}
 		m.rowMax[r] = m.w
 		m.rowMaxPos[r] = 0
 		m.rowStale[r] = false
@@ -196,18 +192,17 @@ func (m *Mesh) resetTables() {
 		m.planeMax[z] = m.w
 		m.planeStale[z] = false
 	}
-	for i := range m.sat {
-		m.sat[i] = 0
+	if m.oracle {
+		m.syncOracle()
 	}
-	m.pending = m.pending[:0]
 }
 
-// queueSAT journals one cuboid's occupancy delta for the SAT; the
-// caller must have applied the busy flips already. The append is O(1);
-// a full journal folds by one recompute instead — which, because the
-// busy map is current, covers the new delta too, so nothing is
+// queueSAT journals one cuboid's occupancy delta for the oracle SAT;
+// the caller must have applied the busy flips already. The append is
+// O(1); a full journal folds by one recompute instead — which, because
+// the busy map is current, covers the new delta too, so nothing is
 // appended and the recompute cost is amortized over at least satCap
-// mutations.
+// mutations. Oracle mode only.
 func (m *Mesh) queueSAT(x1, y1, z1, x2, y2, z2, sign int) {
 	if len(m.pending) >= m.satCap {
 		m.recomputeSAT()
@@ -216,12 +211,11 @@ func (m *Mesh) queueSAT(x1, y1, z1, x2, y2, z2, sign int) {
 	m.pending = append(m.pending, satDelta{x1, y1, z1, x2, y2, z2, sign})
 }
 
-// drainSAT folds every journaled delta into the SAT. A handful of
-// deltas fold individually (each touches only the block x <= x2,
+// drainSAT folds every journaled delta into the oracle SAT. A handful
+// of deltas fold individually (each touches only the block x <= x2,
 // y <= y2, z <= z2); more than that and one recompute pass is cheaper.
-// Hot callers guard the call with an emptiness check themselves
-// (BestFit); an empty journal falls through the fold loop harmlessly
-// either way.
+// Only the oracle-mode differentials read the table, so only they
+// drain; no production query touches the journal.
 func (m *Mesh) drainSAT() {
 	if len(m.pending) <= 4 {
 		for _, d := range m.pending {
@@ -320,44 +314,19 @@ func (m *Mesh) CoordOf(i int) Coord {
 	return Coord{X: i % m.w, Y: (i / m.w) % m.l, Z: i / (m.w * m.l)}
 }
 
-// Busy reports whether processor c is allocated.
-func (m *Mesh) Busy(c Coord) bool { return m.busy[m.Index(c)] }
+// Busy reports whether processor c is allocated: one bit test.
+func (m *Mesh) Busy(c Coord) bool { return !m.freeBitAt(m.rowIdx(c.Y, c.Z), c.X) }
 
-// busyInRect returns the busy count in the inclusive plane-0 rectangle
-// (x1,y1)-(x2,y2) in four SAT lookups on the z = 0 slab — valid only on
-// a depth-1 mesh, where that slab is the whole table (the 2D query
-// layer and the torus layer run exclusively on depth-1 meshes). The
-// rectangle is assumed in bounds and valid, and the journal drained.
-func (m *Mesh) busyInRect(x1, y1, x2, y2 int) int {
-	s := m.sat
-	stride := m.w + 1
-	return s[y1*stride+x1] - s[y1*stride+x2+1] - s[(y2+1)*stride+x1] + s[(y2+1)*stride+x2+1]
-}
-
-// busyInBox returns the busy count in the inclusive cuboid in eight SAT
-// lookups (3D inclusion-exclusion on the far-corner prefix volume). The
-// cuboid is assumed in bounds and valid, and the journal drained.
-func (m *Mesh) busyInBox(x1, y1, z1, x2, y2, z2 int) int {
-	strideY := m.w + 1
-	strideZ := strideY * (m.l + 1)
-	at := func(x, y, z int) int { return m.sat[z*strideZ+y*strideY+x] }
-	return at(x1, y1, z1) - at(x2+1, y1, z1) - at(x1, y2+1, z1) - at(x1, y1, z2+1) +
-		at(x2+1, y2+1, z1) + at(x2+1, y1, z2+1) + at(x1, y2+1, z2+1) -
-		at(x2+1, y2+1, z2+1)
-}
-
-// scanBusyBox counts busy cells by walking the cuboid — cheaper than a
-// SAT fold for tiny cuboids, and journal-independent.
+// scanBusyBox counts the busy cells of the inclusive cuboid straight
+// off the bitboard: one masked popcount pass per plane-row
+// (busyRowSpanBits), W/64 word operations per row. Read-only and
+// journal-free, so it is safe under the sharded executor's concurrent
+// scans. The cuboid is assumed in bounds and valid.
 func (m *Mesh) scanBusyBox(x1, y1, z1, x2, y2, z2 int) int {
 	n := 0
 	for z := z1; z <= z2; z++ {
 		for y := y1; y <= y2; y++ {
-			row := (z*m.l + y) * m.w
-			for x := x1; x <= x2; x++ {
-				if m.busy[row+x] {
-					n++
-				}
-			}
+			n += m.busyRowSpanBits(m.rowIdx(y, z), x1, x2)
 		}
 	}
 	return n
@@ -369,32 +338,25 @@ func (m *Mesh) scanBusyRect(x1, y1, x2, y2 int) int {
 	return m.scanBusyBox(x1, y1, 0, x2, y2, 0)
 }
 
-// boxBusy dispatches a cuboid busy count: tiny cuboids are read
-// straight off the busy map (a constant-bounded scan), everything else
-// off the summed-volume table after folding the journal.
+// boxBusy is the cuboid busy count — an alias for the word popcount
+// scan now that the bitboard is authoritative (the SAT dispatch it used
+// to route to lives on only in oracle mode).
 func (m *Mesh) boxBusy(x1, y1, z1, x2, y2, z2 int) int {
-	if (x2-x1+1)*(y2-y1+1)*(z2-z1+1) <= 8 {
-		return m.scanBusyBox(x1, y1, z1, x2, y2, z2)
-	}
-	m.drainSAT()
-	return m.busyInBox(x1, y1, z1, x2, y2, z2)
+	return m.scanBusyBox(x1, y1, z1, x2, y2, z2)
 }
 
-// rectBusy is boxBusy restricted to plane 0 — the 2D dispatch the
-// planar query layer and the torus layer run on (depth-1 meshes only,
-// where plane 0 is the whole mesh).
+// rectBusy is boxBusy restricted to plane 0 — the form the planar query
+// layer and the torus layer run on (depth-1 meshes only, where plane 0
+// is the whole mesh).
 func (m *Mesh) rectBusy(x1, y1, x2, y2 int) int {
-	if (x2-x1+1)*(y2-y1+1) <= 8 {
-		return m.scanBusyRect(x1, y1, x2, y2)
-	}
-	m.drainSAT()
-	return m.busyInRect(x1, y1, x2, y2)
+	return m.scanBusyRect(x1, y1, x2, y2)
 }
 
-// BusyInRect returns the number of allocated processors inside s in
-// O(1). On a torus, s may cross the wrap-around seams (X2 >= W or
-// Y2 >= L) and is answered as its seam-split planar pieces.
-// Out-of-range or invalid sub-meshes return 0.
+// BusyInRect returns the number of allocated processors inside s: a
+// masked popcount per plane-row off the bitboard. On a torus, s may
+// cross the wrap-around seams (X2 >= W or Y2 >= L) and is answered as
+// its seam-split planar pieces. Out-of-range or invalid sub-meshes
+// return 0.
 func (m *Mesh) BusyInRect(s Submesh) int {
 	if m.torus {
 		if !m.wrapValid(s) {
@@ -408,9 +370,9 @@ func (m *Mesh) BusyInRect(s Submesh) int {
 	return m.boxBusy(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2)
 }
 
-// FreeInRect returns the number of free processors inside s in O(1).
-// On a torus, s may cross the wrap-around seams. Out-of-range or
-// invalid sub-meshes return 0.
+// FreeInRect returns the number of free processors inside s — the
+// popcount complement of BusyInRect. On a torus, s may cross the
+// wrap-around seams. Out-of-range or invalid sub-meshes return 0.
 func (m *Mesh) FreeInRect(s Submesh) int {
 	if m.torus {
 		if !m.wrapValid(s) {
@@ -424,77 +386,53 @@ func (m *Mesh) FreeInRect(s Submesh) int {
 	return s.Area() - m.boxBusy(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2)
 }
 
-// FitsAt reports in O(1) whether the w x l sub-mesh based at (x,y) in
-// plane 0 lies on the mesh and is entirely free. On a torus the base
-// must be on the grid but the extent may cross either seam (x+w > W,
-// y+l > L), as long as it does not exceed the ring sizes. FitsAt3D is
-// the cuboid generalization.
+// FitsAt reports whether the w x l sub-mesh based at (x,y) in plane 0
+// lies on the mesh and is entirely free: one masked word compare per
+// window row (rowFreeSpan), with the first busy cell ending the probe.
+// On a torus the base must be on the grid but the extent may cross
+// either seam (x+w > W, y+l > L), as long as it does not exceed the
+// ring sizes. FitsAt3D is the cuboid generalization.
 func (m *Mesh) FitsAt(x, y, w, l int) bool {
 	if m.torus {
 		if w <= 0 || l <= 0 || w > m.w || l > m.l ||
 			x < 0 || x >= m.w || y < 0 || y >= m.l {
 			return false
 		}
-		if l <= fitsAtRowCap {
-			for j := 0; j < l; j++ {
-				yy := y + j
-				if yy >= m.l {
-					yy -= m.l
-				}
-				if !m.rowFreeSpanWrap(yy, x, w) {
-					return false
-				}
-			}
-			return true
-		}
-		return m.wrapBusy(SubAt(x, y, w, l)) == 0
-	}
-	if w <= 0 || l <= 0 || x < 0 || y < 0 || x+w > m.w || y+l > m.l {
-		return false
-	}
-	if l <= fitsAtRowCap {
-		// Masked word compares on the bitboard: journal-independent and
-		// cache-local, so short windows never pay a SAT fold. Plane-0
-		// rows have r == y on any depth.
 		for j := 0; j < l; j++ {
-			if !m.rowFreeSpan(y+j, x, w) {
+			yy := y + j
+			if yy >= m.l {
+				yy -= m.l
+			}
+			if !m.rowFreeSpanWrap(yy, x, w) {
 				return false
 			}
 		}
 		return true
 	}
-	if m.h > 1 {
-		// The plane-0 rectangle as a depth-1 cuboid: the 2D rectBusy
-		// fast path below reads the z = 0 SAT slab, which on a deeper
-		// mesh counts every plane.
-		return m.boxBusy(x, y, 0, x+w-1, y+l-1, 0) == 0
+	if w <= 0 || l <= 0 || x < 0 || y < 0 || x+w > m.w || y+l > m.l {
+		return false
 	}
-	return m.rectBusy(x, y, x+w-1, y+l-1) == 0
+	// Plane-0 rows have r == y on any depth.
+	for j := 0; j < l; j++ {
+		if !m.rowFreeSpan(y+j, x, w) {
+			return false
+		}
+	}
+	return true
 }
 
-// fitsAtRowCap bounds the number of row-word probes a FitsAt answers
-// on the bitboard before deferring to the O(1) summed tables: taller
-// windows amortize the journal fold the tables need, shorter ones win
-// on locality. Either path gives the same answer; the cap only steers
-// which machinery computes it.
-const fitsAtRowCap = 64
-
-// updateRowRuns restores the rightRun and rowMax invariants for
-// plane-row r after the busy state of columns [x1,x2] changed. It
-// recomputes from x2 leftward, stopping at the first unchanged value
-// left of the touched span. The row aggregate then updates in O(1): a
-// shrunken run's base is always inside the rewritten span (its base
-// value is its length), so if the recorded widest-run base was not
-// rewritten, the widest run still stands; only carving into it forces
-// a rescan.
+// updateRowRuns restores the oracle rightRun invariant for plane-row r
+// after the busy state of columns [x1,x2] changed. It recomputes from
+// x2 leftward, stopping at the first unchanged value left of the
+// touched span (the run recurrence is a suffix chain, so everything
+// further left is already correct). Oracle mode only — the production
+// aggregates settle off the words (aggSpanBusy/aggSpanFree).
 func (m *Mesh) updateRowRuns(r, x1, x2 int) {
 	row := r * m.w
 	run := 0
 	if x2+1 < m.w {
 		run = m.rightRun[row+x2+1] // columns right of x2 are untouched
 	}
-	low := x2 + 1
-	maxWritten, maxWrittenPos := -1, 0
 	for x := x2; x >= 0; x-- {
 		if m.busy[row+x] {
 			run = 0
@@ -505,29 +443,22 @@ func (m *Mesh) updateRowRuns(r, x1, x2 int) {
 			break
 		}
 		m.rightRun[row+x] = run
-		low = x
-		if run > maxWritten {
-			maxWritten, maxWrittenPos = run, x
-		}
 	}
-	m.settleRowAggregate(r, maxWritten, maxWrittenPos, low, x2)
 }
 
 // updateRowRunsSpan is updateRowRuns specialized for a uniformly
-// flipped span (flipBox): the span's new run values need no busy-map
-// probes — zeros when it went busy, an incrementing suffix chain off
-// the right neighbour when it went free — and only the cells left of
-// the span walk the generic repair with its early stop. The aggregate
-// bookkeeping mirrors updateRowRuns exactly (same values, positions and
-// staleness decisions for the same mutation).
+// flipped span (oracleFlipBox): the span's new run values need no
+// busy-map probes — zeros when it went busy, an incrementing suffix
+// chain off the right neighbour when it went free — and only the cells
+// left of the span walk the generic repair with its early stop. Oracle
+// mode only.
 func (m *Mesh) updateRowRunsSpan(r, x1, x2 int, toBusy bool) {
 	row := r * m.w
-	var run, maxWritten, maxWrittenPos int
+	var run int
 	if toBusy {
 		for x := x1; x <= x2; x++ {
 			m.rightRun[row+x] = 0
 		}
-		maxWritten, maxWrittenPos = 0, x2
 	} else {
 		if x2+1 < m.w {
 			run = m.rightRun[row+x2+1]
@@ -536,9 +467,7 @@ func (m *Mesh) updateRowRunsSpan(r, x1, x2 int, toBusy bool) {
 			run++
 			m.rightRun[row+x] = run
 		}
-		maxWritten, maxWrittenPos = run, x1
 	}
-	low := x1
 	for x := x1 - 1; x >= 0; x-- {
 		if m.busy[row+x] {
 			run = 0
@@ -549,39 +478,48 @@ func (m *Mesh) updateRowRunsSpan(r, x1, x2 int, toBusy bool) {
 			break
 		}
 		m.rightRun[row+x] = run
-		low = x
-		if run > maxWritten {
-			maxWritten, maxWrittenPos = run, x
-		}
 	}
-	m.settleRowAggregate(r, maxWritten, maxWrittenPos, low, x2)
 }
 
-// settleRowAggregate applies one rewritten span's outcome to plane-row
-// r's aggregate, then lifts a grown row bound into the plane aggregate:
-// a fresh exact row maximum that beats the stored one replaces it (and
-// clears staleness); a rewritten recorded-widest run whose replacement
-// does not match or beat it leaves the old value behind as an upper
-// bound and marks the row stale (runs only ever shrink under the cells
-// just made busy), so only the next search that cares pays the exact
-// re-derivation.
-func (m *Mesh) settleRowAggregate(r, maxWritten, maxWrittenPos, low, x2 int) {
-	switch pos := m.rowMaxPos[r]; {
-	case maxWritten >= m.rowMax[r]:
-		m.rowMax[r], m.rowMaxPos[r] = maxWritten, maxWrittenPos
-		m.rowStale[r] = false
-		if z := r / m.l; maxWritten > m.planeMax[z] {
-			m.planeMax[z] = maxWritten
-		}
-	case pos >= low && pos <= x2:
-		// The recorded widest run was rewritten and nothing written
-		// matches or beats it. Runs only ever shrink under the cells
-		// just made busy, so the recorded value stays a valid upper
-		// bound; leave the exact re-derivation (rowMaxRescan) to the
-		// next search that cares about this row.
+// aggSpanBusy settles plane-row r's aggregate after columns [x1,x2]
+// went busy: if the recorded widest run was carved into, its value
+// stays behind as a valid upper bound (runs only shrink under cells
+// made busy) and the row goes stale; a recorded run the span missed
+// cannot have shrunk, so nothing changes. O(1), no word reads.
+func (m *Mesh) aggSpanBusy(r, x1, x2 int) {
+	if m.rowStale[r] || m.rowMax[r] == 0 {
+		return
+	}
+	if pos := m.rowMaxPos[r]; pos <= x2 && pos+m.rowMax[r] > x1 {
 		m.rowStale[r] = true
 	}
 }
+
+// aggSpanFree settles plane-row r's aggregate after columns [x1,x2]
+// went free (bits already set): the run now containing the span is two
+// trailing-zero hops off the words, and if it matches or beats the
+// stored bound it is the new exact maximum — every other run either
+// merged into it or was untouched and so is bounded by the old value.
+// A shorter merged run leaves the aggregate alone: the stored bound
+// still bounds it, and its staleness state is still correct because
+// the recorded run, being disjoint from the span, was not touched. A
+// grown exact row bound lifts the plane aggregate with it.
+func (m *Mesh) aggSpanFree(r, x1, x2 int) {
+	words := m.rowWords(r)
+	start := maskPrevBusy(words, x1) + 1
+	end := maskNextBusy(words, x2, m.w)
+	if run := end - start; run >= m.rowMax[r] {
+		m.rowMax[r], m.rowMaxPos[r], m.rowStale[r] = run, start, false
+		if z := r / m.l; run > m.planeMax[z] {
+			m.planeMax[z] = run
+		}
+	}
+}
+
+// aggCellFree is aggSpanFree for a single freed cell — the per-node
+// release fold, order-independent within a batch because every bit is
+// already set before the first fold.
+func (m *Mesh) aggCellFree(r, x int) { m.aggSpanFree(r, x, x) }
 
 // rowMaxRescan re-derives plane-row r's exact widest run by extracting
 // runs from the bitboard words (the first strictly wider run wins, the
@@ -630,72 +568,49 @@ func (m *Mesh) rowFitsWidth(r, w int) bool {
 	return m.rowMaxAt(r) >= w
 }
 
-// flipBox marks the (validated) cuboid busy or free and restores the
-// index invariants: busy map, bitboard and rightRun eagerly, SAT via
-// the journal.
+// flipBox marks the (validated) cuboid busy or free: whole-word writes
+// per plane-row (markRowSpan) with the O(1) aggregate settle riding
+// along — no per-cell loop anywhere on the path. Oracle mode mirrors
+// the flip into the demoted tables.
 func (m *Mesh) flipBox(x1, y1, z1, x2, y2, z2 int, toBusy bool) {
-	for z := z1; z <= z2; z++ {
-		for y := y1; y <= y2; y++ {
-			row := (z*m.l + y) * m.w
-			for x := x1; x <= x2; x++ {
-				m.busy[row+x] = toBusy
-			}
-		}
-	}
-	sign := 1
 	if !toBusy {
-		sign = -1
 		m.noteRelease()
 	}
-	m.queueSAT(x1, y1, z1, x2, y2, z2, sign)
 	for z := z1; z <= z2; z++ {
 		for y := y1; y <= y2; y++ {
 			r := m.rowIdx(y, z)
 			m.markRowSpan(r, x1, x2, toBusy)
-			m.updateRowRunsSpan(r, x1, x2, toBusy)
+			if toBusy {
+				m.aggSpanBusy(r, x1, x2)
+			} else {
+				m.aggSpanFree(r, x1, x2)
+			}
 		}
+	}
+	if m.oracle {
+		m.oracleFlipBox(x1, y1, z1, x2, y2, z2, toBusy)
 	}
 }
 
-// noteCells restores the index invariants after the busy state of the
-// given (already flipped) cells changed by sign (+1 busy, -1 free):
-// one bitboard bit flip and one journaled 1x1x1 SAT delta per cell,
-// one rightRun repair per touched plane-row over that row's touched
-// span.
+// noteCells settles the aggregates after the given cells' bits changed
+// by sign (+1 busy, -1 free). The callers flip the bits themselves
+// (the flips double as duplicate detectors); this fold is one O(1)
+// settle per cell, allocation-free. Oracle mode mirrors the batch into
+// the demoted tables.
 func (m *Mesh) noteCells(nodes []Coord, sign int) {
 	if sign < 0 {
 		m.noteRelease()
 	}
 	for _, c := range nodes {
-		m.markRowSpan(m.rowIdx(c.Y, c.Z), c.X, c.X, sign > 0)
-	}
-	// One overflow decision for the whole batch: the busy map already
-	// holds every flip, so a recompute covers all of them at once.
-	if len(m.pending)+len(nodes) > m.satCap {
-		m.recomputeSAT()
-	} else {
-		for _, c := range nodes {
-			m.pending = append(m.pending, satDelta{c.X, c.Y, c.Z, c.X, c.Y, c.Z, sign})
-		}
-	}
-	spans := make(map[int][2]int, len(nodes))
-	for _, c := range nodes {
 		r := m.rowIdx(c.Y, c.Z)
-		s, ok := spans[r]
-		if !ok {
-			spans[r] = [2]int{c.X, c.X}
-			continue
+		if sign > 0 {
+			m.aggSpanBusy(r, c.X, c.X)
+		} else {
+			m.aggCellFree(r, c.X)
 		}
-		if c.X < s[0] {
-			s[0] = c.X
-		}
-		if c.X > s[1] {
-			s[1] = c.X
-		}
-		spans[r] = s
 	}
-	for r, s := range spans {
-		m.updateRowRuns(r, s[0], s[1])
+	if m.oracle {
+		m.oracleNoteCells(nodes, sign)
 	}
 }
 
@@ -708,37 +623,43 @@ func (m *Mesh) Allocate(nodes []Coord) error {
 		if !m.InBounds(c) {
 			return fmt.Errorf("mesh: allocate out of bounds %v", c)
 		}
-		if m.busy[m.Index(c)] {
+		if !m.freeBitAt(m.rowIdx(c.Y, c.Z), c.X) {
 			return fmt.Errorf("mesh: allocate already-busy %v", c)
 		}
 	}
 	// Reject duplicate coordinates inside one request: every node was
-	// free above, so hitting a set flag while marking means this very
-	// request set it.
+	// free above, so hitting a cleared bit while marking means this very
+	// request cleared it.
 	for i, c := range nodes {
-		idx := m.Index(c)
-		if m.busy[idx] {
+		r := m.rowIdx(c.Y, c.Z)
+		if !m.freeBitAt(r, c.X) {
 			for k := 0; k < i; k++ {
-				m.busy[m.Index(nodes[k])] = false
+				p := nodes[k]
+				m.setFreeBit(m.rowIdx(p.Y, p.Z), p.X)
 			}
 			return fmt.Errorf("mesh: duplicate coordinate %v in request", c)
 		}
-		m.busy[idx] = true
+		m.clearFreeBit(r, c.X)
 	}
 	m.freeCount -= len(nodes)
 	m.noteCells(nodes, 1)
 	return nil
 }
 
-// AllocateSub marks an entire sub-mesh busy. The overlap check walks
-// the cuboid it is about to write anyway; the index update touches
-// only the affected plane-rows plus one journaled SAT delta.
+// AllocateSub marks an entire sub-mesh busy. The overlap check is one
+// masked word compare per plane-row (rowFreeSpan); the flip is
+// whole-word writes over the same rows.
 func (m *Mesh) AllocateSub(s Submesh) error {
 	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
 		return fmt.Errorf("mesh: allocate invalid sub-mesh %v", s)
 	}
-	if m.scanBusyBox(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2) != 0 {
-		return fmt.Errorf("mesh: sub-mesh %v overlaps busy %v", s, m.firstInRect(s, true))
+	w := s.W()
+	for z := s.Z1; z <= s.Z2; z++ {
+		for y := s.Y1; y <= s.Y2; y++ {
+			if !m.rowFreeSpan(m.rowIdx(y, z), s.X1, w) {
+				return fmt.Errorf("mesh: sub-mesh %v overlaps busy %v", s, m.firstInRect(s, true))
+			}
+		}
 	}
 	m.flipBox(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2, true)
 	m.freeCount -= s.Area()
@@ -750,8 +671,9 @@ func (m *Mesh) AllocateSub(s Submesh) error {
 func (m *Mesh) firstInRect(s Submesh, want bool) Coord {
 	for z := s.Z1; z <= s.Z2; z++ {
 		for y := s.Y1; y <= s.Y2; y++ {
+			r := m.rowIdx(y, z)
 			for x := s.X1; x <= s.X2; x++ {
-				if m.busy[(z*m.l+y)*m.w+x] == want {
+				if !m.freeBitAt(r, x) == want {
 					return Coord{x, y, z}
 				}
 			}
@@ -772,22 +694,23 @@ func (m *Mesh) Release(nodes []Coord) error {
 		if !m.InBounds(c) {
 			return fmt.Errorf("mesh: release out of bounds %v", c)
 		}
-		if !m.busy[m.Index(c)] {
+		if m.freeBitAt(m.rowIdx(c.Y, c.Z), c.X) {
 			return fmt.Errorf("mesh: release already-free %v", c)
 		}
 	}
 	// Reject duplicate coordinates inside one request, mirroring
-	// Allocate: every node was busy above, so hitting a cleared flag
-	// while clearing means this very request cleared it.
+	// Allocate: every node was busy above, so hitting a set bit while
+	// clearing means this very request set it.
 	for i, c := range nodes {
-		idx := m.Index(c)
-		if !m.busy[idx] {
+		r := m.rowIdx(c.Y, c.Z)
+		if m.freeBitAt(r, c.X) {
 			for k := 0; k < i; k++ {
-				m.busy[m.Index(nodes[k])] = true
+				p := nodes[k]
+				m.clearFreeBit(m.rowIdx(p.Y, p.Z), p.X)
 			}
 			return fmt.Errorf("mesh: duplicate coordinate %v in request", c)
 		}
-		m.busy[idx] = false
+		m.setFreeBit(r, c.X)
 	}
 	m.freeCount += len(nodes)
 	m.noteCells(nodes, -1)
@@ -828,11 +751,10 @@ func (m *Mesh) ReleaseSub(s Submesh) error {
 }
 
 // SubFree reports whether every processor of s is free (paper
-// Definition 3) in O(1). On a torus, s may cross the wrap-around
-// seams. Out-of-range sub-meshes are not free. Shallow cuboids are
-// answered by a constant-bounded number of run probes (one per
-// plane-row), which needs no journal fold; thick ones by the
-// summed-volume table.
+// Definition 3): one masked word compare per plane-row, the first busy
+// cell ending the probe. On a torus, s may cross the wrap-around
+// seams. Out-of-range sub-meshes are not free. Read-only, so it is
+// safe under the sharded executor's concurrent scans.
 func (m *Mesh) SubFree(s Submesh) bool {
 	if m.torus {
 		return m.torusSubFree(s)
@@ -840,17 +762,15 @@ func (m *Mesh) SubFree(s Submesh) bool {
 	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
 		return false
 	}
-	if w := s.W(); s.L()*s.H() <= 8 {
-		for z := s.Z1; z <= s.Z2; z++ {
-			for y := s.Y1; y <= s.Y2; y++ {
-				if m.rightRun[(z*m.l+y)*m.w+s.X1] < w {
-					return false
-				}
+	w := s.W()
+	for z := s.Z1; z <= s.Z2; z++ {
+		for y := s.Y1; y <= s.Y2; y++ {
+			if !m.rowFreeSpan(m.rowIdx(y, z), s.X1, w) {
+				return false
 			}
 		}
-		return true
 	}
-	return m.boxBusy(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2) == 0
+	return true
 }
 
 // FreeNodes returns the free processors plane by plane in row-major
@@ -864,20 +784,18 @@ func (m *Mesh) FreeNodes() []Coord {
 }
 
 // Clone returns an independent copy of the mesh occupancy, preserving
-// the topology and geometry.
+// the topology and geometry: the words, aggregates and pin marks copy
+// over, and an oracle-mode source rebuilds the clone's oracle tables
+// from the copied words.
 func (m *Mesh) Clone() *Mesh {
-	m.drainSAT()
 	n := New3D(m.w, m.l, m.h)
 	n.torus = m.torus
-	copy(n.busy, m.busy)
 	copy(n.freeW, m.freeW)
-	copy(n.rightRun, m.rightRun)
 	copy(n.rowMax, m.rowMax)
 	copy(n.rowMaxPos, m.rowMaxPos)
 	copy(n.rowStale, m.rowStale)
 	copy(n.planeMax, m.planeMax)
 	copy(n.planeStale, m.planeStale)
-	copy(n.sat, m.sat)
 	n.freeCount = m.freeCount
 	if m.pinned != nil {
 		n.ensureFault()
@@ -886,15 +804,15 @@ func (m *Mesh) Clone() *Mesh {
 		n.pinnedCount = m.pinnedCount
 		n.overlayCount = m.overlayCount
 	}
+	if m.oracle {
+		n.EnableOracle()
+	}
 	return n
 }
 
 // Reset frees every processor, recovering any failed ones: the mesh
 // returns to its factory all-free state.
 func (m *Mesh) Reset() {
-	for i := range m.busy {
-		m.busy[i] = false
-	}
 	if m.pinned != nil {
 		for i := range m.pinned {
 			m.pinned[i] = false
@@ -920,11 +838,12 @@ func (m *Mesh) String() string {
 		}
 		for y := m.l - 1; y >= 0; y-- {
 			row := (z*m.l + y) * m.w
+			r := m.rowIdx(y, z)
 			for x := 0; x < m.w; x++ {
 				switch {
 				case m.pinned != nil && m.pinned[row+x]:
 					b = append(b, 'x')
-				case m.busy[row+x]:
+				case !m.freeBitAt(r, x):
 					b = append(b, '#')
 				default:
 					b = append(b, '.')

@@ -1,0 +1,135 @@
+package mesh
+
+// Oracle mode keeps the demoted occupancy structures — the per-cell
+// busy map, the eager rightRun table and the journaled summed-volume
+// table — alive next to the authoritative bitboard, so the differential
+// tests, churn oracles and the fuzz target can hold the word-derived
+// counts, runs and aggregates to an independently maintained
+// representation after every mutation. Production builds never allocate
+// or touch any of it: the hot mutation paths check one bool and the
+// tables stay nil.
+//
+// The mode is entered per mesh with EnableOracle, or for every mesh in
+// the binary with the meshoracle build tag (oracle_default.go) — the CI
+// oracle job runs the mesh tests that way under -race. Once enabled it
+// stays on for the mesh's lifetime (Clone propagates it), and every
+// mutation path mirrors its flip into the tables through the oracle*
+// hooks below, exactly the maintenance the pre-bitboard index ran
+// unconditionally.
+
+// oracleDefault makes every New3D mesh oracle-mode; flipped true by the
+// meshoracle build tag.
+var oracleDefault = false
+
+// EnableOracle switches the mesh into oracle mode: the busy map, run
+// table and summed-volume table are allocated (first call) and rebuilt
+// from the bitboard words, and every later mutation maintains them.
+// Idempotent; safe at any occupancy.
+func (m *Mesh) EnableOracle() {
+	if m.busy == nil {
+		m.busy = make([]bool, m.w*m.l*m.h)
+		m.rightRun = make([]int, m.w*m.l*m.h)
+		m.sat = make([]int, (m.w+1)*(m.l+1)*(m.h+1))
+	}
+	m.oracle = true
+	m.syncOracle()
+}
+
+// Oracle reports whether the mesh maintains the oracle tables.
+func (m *Mesh) Oracle() bool { return m.oracle }
+
+// syncOracle rebuilds the oracle tables from the authoritative words:
+// busy and rightRun by one backward run scan per plane-row, the SAT by
+// one recompute pass (which also clears the journal).
+func (m *Mesh) syncOracle() {
+	for r := 0; r < m.rows(); r++ {
+		row := r * m.w
+		run := 0
+		for x := m.w - 1; x >= 0; x-- {
+			if m.freeBitAt(r, x) {
+				run++
+			} else {
+				run = 0
+			}
+			m.busy[row+x] = run == 0
+			m.rightRun[row+x] = run
+		}
+	}
+	m.recomputeSAT()
+}
+
+// oracleFlipBox mirrors a flipBox into the oracle tables: the per-cell
+// busy loop, one journaled cuboid SAT delta, and the per-row run-table
+// span repair — the maintenance flipBox itself ran before the bitboard
+// became authoritative.
+func (m *Mesh) oracleFlipBox(x1, y1, z1, x2, y2, z2 int, toBusy bool) {
+	for z := z1; z <= z2; z++ {
+		for y := y1; y <= y2; y++ {
+			row := (z*m.l + y) * m.w
+			for x := x1; x <= x2; x++ {
+				m.busy[row+x] = toBusy
+			}
+		}
+	}
+	sign := 1
+	if !toBusy {
+		sign = -1
+	}
+	m.queueSAT(x1, y1, z1, x2, y2, z2, sign)
+	for z := z1; z <= z2; z++ {
+		for y := y1; y <= y2; y++ {
+			m.updateRowRunsSpan(m.rowIdx(y, z), x1, x2, toBusy)
+		}
+	}
+}
+
+// oracleNoteCell mirrors one cell's flip into the oracle tables — the
+// single-cell analogue of oracleFlipBox (fault.go's noteCell hook).
+func (m *Mesh) oracleNoteCell(c Coord, toBusy bool) {
+	m.busy[m.Index(c)] = toBusy
+	sign := 1
+	if !toBusy {
+		sign = -1
+	}
+	m.queueSAT(c.X, c.Y, c.Z, c.X, c.Y, c.Z, sign)
+	m.updateRowRunsSpan(m.rowIdx(c.Y, c.Z), c.X, c.X, toBusy)
+}
+
+// oracleNoteCells mirrors a per-node batch into the oracle tables: the
+// busy flips, one journaled 1x1x1 SAT delta per cell (with a single
+// overflow decision for the whole batch — the busy map already holds
+// every flip, so a recompute covers all of them at once), and one
+// run-table repair per touched plane-row over that row's touched span.
+// The span map allocates; oracle mode trades allocation-freedom for the
+// differential, which is the point of the mode.
+func (m *Mesh) oracleNoteCells(nodes []Coord, sign int) {
+	for _, c := range nodes {
+		m.busy[m.Index(c)] = sign > 0
+	}
+	if len(m.pending)+len(nodes) > m.satCap {
+		m.recomputeSAT()
+	} else {
+		for _, c := range nodes {
+			m.pending = append(m.pending, satDelta{c.X, c.Y, c.Z, c.X, c.Y, c.Z, sign})
+		}
+	}
+	spans := make(map[int][2]int, len(nodes))
+	for _, c := range nodes {
+		r := m.rowIdx(c.Y, c.Z)
+		s, ok := spans[r]
+		if !ok {
+			spans[r] = [2]int{c.X, c.X}
+			continue
+		}
+		if c.X < s[0] {
+			s[0] = c.X
+		}
+		if c.X > s[1] {
+			s[1] = c.X
+		}
+		spans[r] = s
+	}
+	for r, s := range spans {
+		m.updateRowRuns(r, s[0], s[1])
+	}
+}

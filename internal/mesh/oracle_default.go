@@ -1,0 +1,10 @@
+//go:build meshoracle
+
+package mesh
+
+// Building with -tags meshoracle turns oracle mode on for every mesh in
+// the binary: New3D enables the demoted busy/run/SAT tables and every
+// mutation maintains them, so the whole test suite runs its ordinary
+// paths with the per-mutation differentials armed (the CI oracle job
+// adds -race on top).
+func init() { oracleDefault = true }

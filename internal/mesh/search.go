@@ -17,12 +17,13 @@ import (
 // blockedUntil returns 0 when the w x l sub-mesh based at (x,y) is
 // free, and otherwise the number of bases to skip: the first blocking
 // row's busy processor at x+run blocks every base in [x, x+run]. It is
-// the run-table reference for the bitboard fit mask (CandidatesRow) —
+// the run-probing reference for the bitboard fit mask (CandidatesRow) —
 // the churn differentials compare the two base enumerations window by
-// window.
+// window. Runs are derived from the words on demand (runAtBits), so the
+// reference works in every build, not just oracle mode.
 func (m *Mesh) blockedUntil(x, y, w, l int) int {
 	for yy := y; yy < y+l; yy++ {
-		if r := m.rightRun[yy*m.w+x]; r < w {
+		if r := m.runAtBits(yy, x); r < w {
 			return r + 1
 		}
 	}
@@ -164,11 +165,6 @@ func (m *Mesh) BestFit(w, l int) (Submesh, bool) {
 		// faces (volume.go).
 		return m.BestFit3D(w, l, 1)
 	}
-	// boundaryPressure reads the SAT per candidate; back-to-back
-	// searches with no intervening mutation skip the fold entirely.
-	if len(m.pending) > 0 {
-		m.drainSAT()
-	}
 	best := Submesh{}
 	bestScore := -1
 	fresh := true
@@ -194,12 +190,10 @@ func (m *Mesh) BestFit(w, l int) (Submesh, bool) {
 }
 
 // boundaryPressure counts perimeter positions of s that abut the mesh
-// border or a busy processor. The horizontal strips are one-row spans,
-// so they pop-count straight off the bitboard (cache-local and
-// journal-independent); the vertical strips span many rows and stay on
-// the O(1) summed-area queries, which still require a drained journal.
-// Strips falling off the mesh count whole as border. Corners are not
-// counted, matching the four perimeter edges.
+// border or a busy processor, straight off the bitboard words: the
+// horizontal strips are one-row pop-counts, the vertical strips one bit
+// probe per row. Strips falling off the mesh count whole as border.
+// Corners are not counted, matching the four perimeter edges.
 func (m *Mesh) boundaryPressure(s Submesh) int {
 	score := 0
 	if s.Y1 == 0 {
@@ -215,12 +209,20 @@ func (m *Mesh) boundaryPressure(s Submesh) int {
 	if s.X1 == 0 {
 		score += s.L()
 	} else {
-		score += m.busyInRect(s.X1-1, s.Y1, s.X1-1, s.Y2)
+		for y := s.Y1; y <= s.Y2; y++ {
+			if !m.freeBitAt(y, s.X1-1) {
+				score++
+			}
+		}
 	}
 	if s.X2 == m.w-1 {
 		score += s.L()
 	} else {
-		score += m.busyInRect(s.X2+1, s.Y1, s.X2+1, s.Y2)
+		for y := s.Y1; y <= s.Y2; y++ {
+			if !m.freeBitAt(y, s.X2+1) {
+				score++
+			}
+		}
 	}
 	return score
 }
@@ -299,7 +301,7 @@ func (m *Mesh) largestFreeScan(maxW, maxL, maxArea int) (Submesh, bool) {
 			// A strictly smaller bound than the best so far skips the
 			// anchor in O(1); equal bounds still scan, so area/skew
 			// tie-breaking is identical to the exhaustive search.
-			wCap := m.rightRun[y*m.w+x]
+			wCap := m.runAtBits(y, x)
 			if wCap == 0 {
 				continue
 			}
@@ -314,7 +316,7 @@ func (m *Mesh) largestFreeScan(maxW, maxL, maxArea int) (Submesh, bool) {
 			// based here is minRun clipped by the caps.
 			minRun := wCap
 			for l := 1; l <= lCap; l++ {
-				run := m.rightRun[(y+l-1)*m.w+x]
+				run := m.runAtBits(y+l-1, x)
 				if run == 0 {
 					break
 				}

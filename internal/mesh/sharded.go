@@ -18,16 +18,16 @@ import (
 // rules:
 //
 //   - Workers are strictly read-only on the mesh. The serial scans
-//     lazily repair stale aggregates (rowMaxRescan, planeMaxRescan) and
-//     fold the SAT journal mid-scan; a sharded search instead does both
-//     owner-side before the fan-out — prepare repairs every stale row
-//     and plane aggregate, and BestFit/FrameSlide drain the journal —
+//     lazily repair stale aggregates (rowMaxRescan, planeMaxRescan)
+//     mid-scan; a sharded search instead repairs owner-side before the
+//     fan-out — prepare repairs every stale row and plane aggregate —
 //     so workers prune with plain repair-free aggregate reads that are
 //     exact, and every worker bound check skips exactly the windows
-//     the serial scan skips.
+//     the serial scan skips. Occupancy itself is read straight off the
+//     bitboard words, which no read-only scan ever mutates.
 //
 //   - The owner goroutine runs stripe 0 inline and everything that
-//     mutates (journal drains, histogram memoization, refuted-shape
+//     mutates (aggregate repairs, histogram memoization, refuted-shape
 //     notes) strictly between fan-outs, so no mutation is ever
 //     concurrent with a worker scan.
 //
@@ -304,10 +304,6 @@ func (s *Sharded) BestFit(w, l, h int) (Submesh, bool) {
 	if k < 2 {
 		return m.BestFit3D(w, l, h)
 	}
-	// The boundary-pressure scores read the summed-area table per
-	// candidate; fold the journal once, owner-side, before any worker
-	// reads it.
-	m.drainSAT()
 	s.prepare()
 	s.req = shardReq{kind: opBestFit, w: w, l: l, h: h, k: k}
 	s.assign(B, k)
@@ -365,8 +361,6 @@ func (s *Sharded) FrameSlide(w, l, h int) (Submesh, bool) {
 	if k < 2 {
 		return m.SlideFit(w, l, h)
 	}
-	// SubFree probes on thick frames read the summed-area table.
-	m.drainSAT()
 	s.req = shardReq{kind: opSlide, w: w, l: l, h: h, k: k}
 	s.assign(B, k)
 	s.minStripe.Store(int32(k))
@@ -660,51 +654,13 @@ func (s *Sharded) slideStripe(id int) {
 		z, y := (b/nfy)*q.h, (b%nfy)*q.l
 		for x := 0; x <= xmax; x += q.w {
 			sub := SubAt3D(x, y, z, q.w, q.l, q.h)
-			if m.subFreeRO(sub) {
+			if m.SubFree(sub) {
 				wk.sub, wk.found = sub, true
 				s.publish(id)
 				return
 			}
 		}
 	}
-}
-
-// subFreeRO is SubFree for a drained journal: shallow windows read the
-// always-exact run table, thick ones the summed-volume table, neither
-// touching the journal — safe for concurrent read-only scans.
-func (m *Mesh) subFreeRO(s Submesh) bool {
-	if m.torus {
-		if !m.wrapValid(s) {
-			return false
-		}
-		if w := s.W(); s.L() <= 8 {
-			for y := s.Y1; y <= s.Y2; y++ {
-				yy := y
-				if yy >= m.l {
-					yy -= m.l
-				}
-				if m.runAt(s.X1, yy) < w {
-					return false
-				}
-			}
-			return true
-		}
-		return m.wrapBusyRO(s) == 0
-	}
-	if !s.Valid() || !m.InBounds(s.Base()) || !m.InBounds(s.End()) {
-		return false
-	}
-	if w := s.W(); s.L()*s.H() <= 8 {
-		for z := s.Z1; z <= s.Z2; z++ {
-			for y := s.Y1; y <= s.Y2; y++ {
-				if m.rightRun[(z*m.l+y)*m.w+s.X1] < w {
-					return false
-				}
-			}
-		}
-		return true
-	}
-	return m.busyInBox(s.X1, s.Y1, s.Z1, s.X2, s.Y2, s.Z2) == 0
 }
 
 // sweep2D runs the maximal-rectangle sweep behind the planar (and
@@ -790,7 +746,7 @@ func (s *Sharded) sweepStripe(id int) {
 			if ry >= m.l {
 				ry -= m.l
 			}
-			if m.busy[ry*m.w+xr] {
+			if !m.freeBitAt(ry, xr) {
 				break
 			}
 			h++
@@ -820,7 +776,7 @@ func (s *Sharded) sweepStripe(id int) {
 			if ny >= m.l {
 				ny -= m.l
 			}
-			if m.rightRun[ny*m.w] == m.w {
+			if m.rowFullyFree(ny) {
 				bumpHeightsWords(words, cols, maxL, heights)
 				continue
 			}

@@ -1,22 +1,22 @@
 package mesh
 
 // This file is the torus query layer of the occupancy index. The
-// incremental tables (rightRun, row aggregates, summed-area journal —
-// see Mesh) are planar and maintained identically for both topologies;
+// authoritative state (the bitboard words and the lazy row aggregates —
+// see Mesh) is planar and maintained identically for both topologies;
 // wrap-around semantics are resolved at query time:
 //
 //   - a free run that reaches the x = W-1 edge continues at x = 0, so
 //     the run at a base is the planar run plus the row's leading run,
-//     capped at W (runAt) — an O(1) adjustment, since both pieces are
-//     already in the table;
+//     capped at W (runAt) — both pieces are word scans off the bitboard
+//     (runAtBits), a few shifts per run;
 //   - a rectangle whose extent crosses the x or y seam is split into
 //     two (one seam) or four (both seams) planar rectangles, each
-//     answered by the planar summed-area machinery (wrapPieces);
+//     pop-counted off the words (wrapPieces, wrapBusy);
 //   - the per-row max-run aggregate is widened into an upper bound by
 //     adding the row's leading run when the trailing edge is free
 //     (rowBoundAt) — a bound is all the searches need for pruning.
 //
-// Keeping the tables planar means every mutation path, invariant and
+// Keeping the state planar means every mutation path, invariant and
 // repair rule of the planar index carries over unchanged, and mesh-mode
 // behaviour cannot drift: the torus branches are gated on m.torus.
 
@@ -35,14 +35,15 @@ func NewTorus(w, l int) *Mesh {
 func (m *Mesh) Torus() bool { return m.torus }
 
 // runAt returns the length of the free run at (x, y) in the row's
-// traversal order: the planar rightward run on a mesh; on a torus a run
-// reaching the x = W-1 edge continues at x = 0, capped at W. O(1).
+// traversal order: the planar rightward run on a mesh, derived from the
+// bitboard words on demand; on a torus a run reaching the x = W-1 edge
+// continues at x = 0, capped at W.
 func (m *Mesh) runAt(x, y int) int {
-	r := m.rightRun[y*m.w+x]
+	r := m.runAtBits(y, x)
 	if !m.torus || r == 0 || x+r < m.w || r == m.w {
 		return r
 	}
-	r += m.rightRun[y*m.w]
+	r += m.runAtBits(y, 0)
 	if r > m.w {
 		r = m.w
 	}
@@ -61,25 +62,25 @@ func (m *Mesh) rowBoundAt(y int) int {
 	if !m.torus || b == 0 || b >= m.w {
 		return b
 	}
-	row := y * m.w
-	if m.rightRun[row+m.w-1] > 0 {
-		b += m.rightRun[row]
-		if b > m.w {
-			b = m.w
-		}
+	if !m.freeBitAt(y, m.w-1) {
+		return b
+	}
+	b += m.runAtBits(y, 0)
+	if b > m.w {
+		b = m.w
 	}
 	return b
 }
 
 // looseRowBound is rowBoundAt without the staleness repair: the stored
 // rowMax bounds the widest run from above even when stale, and the
-// torus widening reads only the always-exact rightRun, so the result
-// is a valid upper bound at O(1) — what filters need, never what an
-// exact answer may use.
+// torus widening reads only the words (trailing-edge bit plus leading
+// run), so the result is a valid upper bound — what filters need,
+// never what an exact answer may use.
 func (m *Mesh) looseRowBound(y int) int {
 	b := m.rowMax[y]
-	if m.torus && b > 0 && b < m.w && m.rightRun[y*m.w+m.w-1] > 0 {
-		if b += m.rightRun[y*m.w]; b > m.w {
+	if m.torus && b > 0 && b < m.w && m.freeBitAt(y, m.w-1) {
+		if b += m.runAtBits(y, 0); b > m.w {
 			b = m.w
 		}
 	}
@@ -163,29 +164,6 @@ func (m *Mesh) wrapBusy(s Submesh) int {
 	return busy
 }
 
-// rectBusyRO is rectBusy for callers that have already drained the SAT
-// journal: tiny rectangles scan the busy map, the rest read the table
-// directly, neither touching the journal — safe for the executor's
-// concurrent read-only scans.
-func (m *Mesh) rectBusyRO(x1, y1, x2, y2 int) int {
-	if (x2-x1+1)*(y2-y1+1) <= 8 {
-		return m.scanBusyRect(x1, y1, x2, y2)
-	}
-	return m.busyInRect(x1, y1, x2, y2)
-}
-
-// wrapBusyRO is wrapBusy over rectBusyRO — the drained-journal,
-// read-only form the torus scoring and sliding scans use.
-func (m *Mesh) wrapBusyRO(s Submesh) int {
-	ps, n := m.wrapPieces(s)
-	busy := 0
-	for i := 0; i < n; i++ {
-		p := ps[i]
-		busy += m.rectBusyRO(p.X1, p.Y1, p.X2, p.Y2)
-	}
-	return busy
-}
-
 // torusSubFree reports whether every processor of the possibly
 // seam-crossing sub-mesh is free. Shallow rectangles are answered by
 // one wrap-aware run probe per row; tall ones by the seam-split
@@ -213,7 +191,7 @@ func (m *Mesh) torusSubFree(s Submesh) bool {
 // — extents wrapping — is free, and otherwise the number of bases to
 // skip: the first blocking row's run ends at a busy processor that
 // blocks every base in [x, x+run], exactly as in the planar search.
-// Retained as the run-table reference the torus fit-mask enumeration
+// Retained as the run-probing reference the torus fit-mask enumeration
 // (CandidatesRow) is differentially tested against.
 func (m *Mesh) torusBlockedUntil(x, y, w, l int) int {
 	for i := 0; i < l; i++ {
@@ -283,12 +261,6 @@ func (m *Mesh) torusBestFit(w, l int) (Submesh, bool) {
 	if w <= 0 || l <= 0 || w > m.w || l > m.l {
 		return Submesh{}, false
 	}
-	// torusBoundaryPressure reads the SAT per candidate; back-to-back
-	// searches with no intervening mutation skip the fold entirely,
-	// mirroring the planar BestFit.
-	if len(m.pending) > 0 {
-		m.drainSAT()
-	}
 	best := Submesh{}
 	bestScore := -1
 	for y := 0; y < m.l; y++ {
@@ -314,22 +286,22 @@ func (m *Mesh) torusBestFit(w, l int) (Submesh, bool) {
 // that abut a busy processor. A torus has no border, so — unlike the
 // planar score — there is no border bonus; and a side that spans its
 // whole ring has no perimeter in that dimension (the ring closes on
-// itself), so its strips are skipped. Each strip is one or two O(1)
-// summed-area queries (the strip may cross the other seam). Requires a
-// drained journal.
+// itself), so its strips are skipped. Each strip is a pop-count off the
+// bitboard words over one or two planar pieces (the strip may cross the
+// other seam) — pure reads, safe for concurrent scans.
 func (m *Mesh) torusBoundaryPressure(s Submesh) int {
 	score := 0
 	if s.L() < m.l {
 		below := (s.Y1 + m.l - 1) % m.l
 		above := (s.Y2 + 1) % m.l
-		score += m.wrapBusyRO(Submesh{X1: s.X1, Y1: below, X2: s.X2, Y2: below})
-		score += m.wrapBusyRO(Submesh{X1: s.X1, Y1: above, X2: s.X2, Y2: above})
+		score += m.wrapBusy(Submesh{X1: s.X1, Y1: below, X2: s.X2, Y2: below})
+		score += m.wrapBusy(Submesh{X1: s.X1, Y1: above, X2: s.X2, Y2: above})
 	}
 	if s.W() < m.w {
 		left := (s.X1 + m.w - 1) % m.w
 		right := (s.X2 + 1) % m.w
-		score += m.wrapBusyRO(Submesh{X1: left, Y1: s.Y1, X2: left, Y2: s.Y2})
-		score += m.wrapBusyRO(Submesh{X1: right, Y1: s.Y1, X2: right, Y2: s.Y2})
+		score += m.wrapBusy(Submesh{X1: left, Y1: s.Y1, X2: left, Y2: s.Y2})
+		score += m.wrapBusy(Submesh{X1: right, Y1: s.Y1, X2: right, Y2: s.Y2})
 	}
 	return score
 }

@@ -3,11 +3,12 @@ package mesh
 import "math/bits"
 
 // This file is the 3D query and search layer of the occupancy index
-// (PR 4). The incremental tables are dimension-general (mesh.go): the
-// run table is per-(row, plane), the per-row aggregates stack into the
-// z-axis planeMax aggregate, and the journaled far-corner summed-area
-// table is a 3D prefix volume, so SubFree/FitsAt/BusyInRect/FreeInRect
-// are O(1) on cuboids. The searches here port the planar ones:
+// (PR 4). The authoritative state is dimension-general (mesh.go): the
+// bitboard words are per-(row, plane), the per-row aggregates stack
+// into the z-axis planeMax aggregate, and cuboid occupancy queries
+// (SubFree/FitsAt/BusyInRect/FreeInRect) are masked word compares and
+// pop-counts over the slab's rows. The searches here port the planar
+// ones:
 //
 //   - firstFit3D / bestFit3D scan candidate bases in (z, y, x) order,
 //     pruning whole planes with planeMax (z-pruning) and whole window
@@ -55,8 +56,9 @@ func (m *Mesh) planeFitsWidth(z, w int) bool {
 	return m.planeMax[z] >= w
 }
 
-// FitsAt3D reports in O(1) whether the w x l x h cuboid based at
-// (x, y, z) lies on the mesh and is entirely free. The torus query
+// FitsAt3D reports whether the w x l x h cuboid based at (x, y, z)
+// lies on the mesh and is entirely free: one masked word compare per
+// plane-row, mirroring the planar FitsAt word path. The torus query
 // layer is 2D-only, so on a torus any h other than 1 reports false and
 // h == 1 defers to the wrap-aware FitsAt.
 func (m *Mesh) FitsAt3D(x, y, z, w, l, h int) bool {
@@ -67,32 +69,27 @@ func (m *Mesh) FitsAt3D(x, y, z, w, l, h int) bool {
 		x+w > m.w || y+l > m.l || z+h > m.h {
 		return false
 	}
-	if l*h <= fitsAtRowCap {
-		// Masked word compares per plane-row, mirroring the planar
-		// FitsAt word path: journal-independent, same answer.
-		for zz := z; zz < z+h; zz++ {
-			for yy := y; yy < y+l; yy++ {
-				if !m.rowFreeSpan(m.rowIdx(yy, zz), x, w) {
-					return false
-				}
+	for zz := z; zz < z+h; zz++ {
+		for yy := y; yy < y+l; yy++ {
+			if !m.rowFreeSpan(m.rowIdx(yy, zz), x, w) {
+				return false
 			}
 		}
-		return true
 	}
-	return m.boxBusy(x, y, z, x+w-1, y+l-1, z+h-1) == 0
+	return true
 }
 
 // blockedUntil3D returns 0 when the w x l x h cuboid based at (x, y, z)
 // is free, and otherwise the number of bases to skip: the first
 // blocking plane-row's busy processor at x+run blocks every base in
 // [x, x+run], exactly as in the planar search. Like blockedUntil it is
-// retained as the run-table reference the bitboard fit-mask scans are
-// differentially tested against.
+// retained as the run-probing reference the bitboard fit-mask scans
+// are differentially tested against, with the runs derived from the
+// words on demand.
 func (m *Mesh) blockedUntil3D(x, y, z, w, l, h int) int {
 	for zz := z; zz < z+h; zz++ {
-		row := (zz*m.l + y) * m.w
 		for yy := 0; yy < l; yy++ {
-			if r := m.rightRun[row+yy*m.w+x]; r < w {
+			if r := m.runAtBits(m.rowIdx(y+yy, zz), x); r < w {
 				return r + 1
 			}
 		}
@@ -189,11 +186,6 @@ func (m *Mesh) BestFit3D(w, l, h int) (Submesh, bool) {
 	if m.h == 1 {
 		return m.BestFit(w, l)
 	}
-	// boundaryPressure3D reads the SAT per candidate; back-to-back
-	// searches with no intervening mutation skip the fold entirely.
-	if len(m.pending) > 0 {
-		m.drainSAT()
-	}
 	best := Submesh{}
 	bestScore := -1
 	mask := sizedWordScratch(&m.hist.winMask, m.wpr)
@@ -231,41 +223,41 @@ func (m *Mesh) BestFit3D(w, l, h int) (Submesh, bool) {
 }
 
 // boundaryPressure3D counts face-adjacent positions of s that abut the
-// mesh border or a busy processor. Each of the six face slabs is one
-// O(1) summed-volume query; slabs falling off the mesh count whole as
-// border. Edges and corners are not counted, matching the planar
-// score's edge-only perimeter. Requires a drained journal.
+// mesh border or a busy processor. Each of the six face slabs is a
+// pop-count over its plane-rows' masked words (scanBusyBox); slabs
+// falling off the mesh count whole as border. Edges and corners are
+// not counted, matching the planar score's edge-only perimeter.
 func (m *Mesh) boundaryPressure3D(s Submesh) int {
 	score := 0
 	if s.Y1 == 0 {
 		score += s.W() * s.H()
 	} else {
-		score += m.busyInBox(s.X1, s.Y1-1, s.Z1, s.X2, s.Y1-1, s.Z2)
+		score += m.scanBusyBox(s.X1, s.Y1-1, s.Z1, s.X2, s.Y1-1, s.Z2)
 	}
 	if s.Y2 == m.l-1 {
 		score += s.W() * s.H()
 	} else {
-		score += m.busyInBox(s.X1, s.Y2+1, s.Z1, s.X2, s.Y2+1, s.Z2)
+		score += m.scanBusyBox(s.X1, s.Y2+1, s.Z1, s.X2, s.Y2+1, s.Z2)
 	}
 	if s.X1 == 0 {
 		score += s.L() * s.H()
 	} else {
-		score += m.busyInBox(s.X1-1, s.Y1, s.Z1, s.X1-1, s.Y2, s.Z2)
+		score += m.scanBusyBox(s.X1-1, s.Y1, s.Z1, s.X1-1, s.Y2, s.Z2)
 	}
 	if s.X2 == m.w-1 {
 		score += s.L() * s.H()
 	} else {
-		score += m.busyInBox(s.X2+1, s.Y1, s.Z1, s.X2+1, s.Y2, s.Z2)
+		score += m.scanBusyBox(s.X2+1, s.Y1, s.Z1, s.X2+1, s.Y2, s.Z2)
 	}
 	if s.Z1 == 0 {
 		score += s.W() * s.L()
 	} else {
-		score += m.busyInBox(s.X1, s.Y1, s.Z1-1, s.X2, s.Y2, s.Z1-1)
+		score += m.scanBusyBox(s.X1, s.Y1, s.Z1-1, s.X2, s.Y2, s.Z1-1)
 	}
 	if s.Z2 == m.h-1 {
 		score += s.W() * s.L()
 	} else {
-		score += m.busyInBox(s.X1, s.Y1, s.Z2+1, s.X2, s.Y2, s.Z2+1)
+		score += m.scanBusyBox(s.X1, s.Y1, s.Z2+1, s.X2, s.Y2, s.Z2+1)
 	}
 	return score
 }
@@ -528,13 +520,13 @@ func (m *Mesh) largestFreeScan3D(maxW, maxL, maxH, maxVol int) (Submesh, bool) {
 				lCap = rest
 			}
 			for x := 0; x < m.w; x++ {
-				if m.rightRun[(z*m.l+y)*m.w+x] == 0 {
+				if !m.freeBitAt(m.rowIdx(y, z), x) {
 					continue
 				}
 				for d := 1; d <= hCap; d++ {
 					zz := z + d - 1
 					for j := 0; j < lCap; j++ {
-						r := m.rightRun[(zz*m.l+y+j)*m.w+x]
+						r := m.runAtBits(m.rowIdx(y+j, zz), x)
 						if d == 1 || r < rowMin[j] {
 							rowMin[j] = r
 						}

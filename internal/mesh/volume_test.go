@@ -17,7 +17,7 @@ func naiveBoxBusy(m *Mesh, s Submesh) int {
 	for z := s.Z1; z <= s.Z2; z++ {
 		for y := s.Y1; y <= s.Y2; y++ {
 			for x := s.X1; x <= s.X2; x++ {
-				if m.busy[(z*m.l+y)*m.w+x] {
+				if !m.freeBitAt(m.rowIdx(y, z), x) {
 					n++
 				}
 			}
@@ -62,7 +62,7 @@ func naivePressure3D(m *Mesh, s Submesh) int {
 			score++
 			return
 		}
-		if m.busy[(z*m.l+y)*m.w+x] {
+		if !m.freeBitAt(m.rowIdx(y, z), x) {
 			score++
 		}
 	}
@@ -129,7 +129,7 @@ func naiveLargestFree3D(m *Mesh, maxW, maxL, maxH, maxVol int) (Submesh, bool) {
 	if maxH > m.h {
 		maxH = m.h
 	}
-	run := naiveRightRun(m.busy, m.w, m.l*m.h)
+	run := naiveRightRun(busySnapshot(m), m.w, m.l*m.h)
 	var (
 		best      Submesh
 		bestVol   int
@@ -320,6 +320,7 @@ func TestVolumeOracleBoxOps(t *testing.T) {
 func TestVolumeOracleCellOps(t *testing.T) {
 	rng := rand.New(rand.NewSource(67))
 	m := New3D(5, 7, 3) // odd-ish sides: no alignment accidents
+	m.EnableOracle()
 	for step := 0; step < 800; step++ {
 		if rng.Intn(2) == 0 {
 			free := m.FreeNodes()
@@ -332,7 +333,7 @@ func TestVolumeOracleCellOps(t *testing.T) {
 			}
 		} else {
 			var busyNodes []Coord
-			for i, b := range m.busy {
+			for i, b := range busySnapshot(m) {
 				if b {
 					busyNodes = append(busyNodes, m.CoordOf(i))
 				}

@@ -270,6 +270,50 @@ func TestTimelineEmission(t *testing.T) {
 	}
 }
 
+// TestTimelineShowsDiurnalCycle is the diurnal-modulator smoke: a
+// day/night-warped workload driven through the timeline channel must
+// show the cycle in the snapshots — intervals covering the rising
+// (day) half of each period complete more jobs than the falling
+// (night) half. Snapshots land every half period, so the per-interval
+// completion deltas alternate day, night, day, night, ...
+func TestTimelineShowsDiurnalCycle(t *testing.T) {
+	const (
+		period   = 20000.0
+		duration = 100000.0
+	)
+	cfg := DefaultConfig()
+	cfg.MaxCompleted = 0
+	cfg.Duration = duration
+	cfg.Seed = 4
+	var buf bytes.Buffer
+	cfg.Timeline = &TimelineConfig{Interval: period / 2, W: &buf, Format: TimelineJSON}
+	src := workload.NewDiurnal(
+		workload.NewAllocStress3D(stats.NewStream(6), 16, 22, 1, 0.01, 400), period, 0.9)
+	if _, err := Run(cfg, src); err != nil {
+		t.Fatalf("diurnal run: %v", err)
+	}
+	day, night, prev := 0, 0, 0
+	for i, ln := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var row TimelineRow
+		if err := json.Unmarshal([]byte(ln), &row); err != nil {
+			t.Fatalf("jsonl row %q: %v", ln, err)
+		}
+		delta := row.Completed - prev
+		prev = row.Completed
+		if i%2 == 0 {
+			day += delta
+		} else {
+			night += delta
+		}
+	}
+	if day+night == 0 {
+		t.Fatal("timeline recorded no completions")
+	}
+	if day <= night {
+		t.Fatalf("day-half completions %d not above night-half %d; diurnal cycle invisible", day, night)
+	}
+}
+
 // parseFloatStrict is a tiny helper so the CSV check doesn't need
 // strconv import gymnastics in the assertions above.
 func parseFloatStrict(s string, out *float64) (float64, error) {

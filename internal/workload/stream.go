@@ -2,8 +2,8 @@ package workload
 
 // This file is the streaming half of the workload engine: pull-based
 // sources that draw each job lazily inside Next, plus the composable
-// wrappers (scaling, shifting, time compression, 3D deepening) the CLIs
-// stack on top. The contract, shared with the materialized helpers that
+// wrappers (scaling, shifting, time compression, diurnal modulation,
+// 3D deepening) the CLIs stack on top. The contract, shared with the materialized helpers that
 // now drain these sources, is documented in docs/occupancy-index.md §12:
 //
 //   - a source holds O(1) memory however many jobs it yields;
@@ -19,6 +19,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/stats"
 )
@@ -249,6 +250,81 @@ func (s *Compressed) Next() (Job, bool) {
 	}
 	j.Arrival /= s.scale
 	j.Compute /= s.scale
+	return j, true
+}
+
+// Diurnal modulates the stream's arrival rate with a sinusoidal
+// day/night cycle of the given period: the instantaneous rate becomes
+// λ(t) = λ₀·(1 + a·sin(2πt/P)), so arrivals cluster in the "day" half
+// of each period and thin out in the "night" half while the mean rate
+// over a whole period is unchanged. The modulation is a deterministic
+// time warp — an arrival at unmodulated time T is emitted at
+// t = Λ⁻¹(T), where Λ(t) = t + (aP/2π)(1 − cos(2πt/P)) is the
+// integrated rate — so it composes with every other wrapper, draws no
+// randomness, and preserves the nondecreasing-arrival contract.
+type Diurnal struct {
+	src    Source
+	period float64
+	amp    float64
+	last   float64
+}
+
+// NewDiurnal wraps src with a sinusoidal rate cycle of the given
+// period and relative amplitude a in [0, 1): amplitude 0 is the
+// identity, amplitudes approaching 1 nearly silence the night troughs.
+// It panics on a non-positive period or an amplitude outside [0, 1) —
+// a ≥ 1 would drive the instantaneous rate negative.
+func NewDiurnal(src Source, period, amplitude float64) *Diurnal {
+	if period <= 0 {
+		panic("workload: diurnal period must be positive")
+	}
+	if amplitude < 0 || amplitude >= 1 {
+		panic("workload: diurnal amplitude must be in [0, 1)")
+	}
+	return &Diurnal{src: src, period: period, amp: amplitude}
+}
+
+// Name implements Source.
+func (s *Diurnal) Name() string { return s.src.Name() }
+
+// Err forwards the wrapped source's stream error, if any.
+func (s *Diurnal) Err() error { return SourceErr(s.src) }
+
+// warp solves Λ(t) = T by Newton iteration. Λ is smooth and strictly
+// increasing (Λ' = 1 + a·sin ≥ 1 − a > 0), so the iteration converges
+// in a handful of steps from t = T; Λ(t) − t is bounded by aP/π, so
+// the start is never far off.
+func (s *Diurnal) warp(T float64) float64 {
+	w := 2 * math.Pi / s.period
+	k := s.amp / w
+	t := T
+	for i := 0; i < 64; i++ {
+		f := t + k*(1-math.Cos(w*t)) - T
+		if math.Abs(f) <= 1e-9*(1+math.Abs(T)) {
+			break
+		}
+		t -= f / (1 + s.amp*math.Sin(w*t))
+	}
+	return t
+}
+
+// Next implements Source. The warp is monotone, but its Newton
+// approximation could wobble by an ulp on near-equal arrivals, so the
+// emitted time is clamped to never run backwards.
+func (s *Diurnal) Next() (Job, bool) {
+	j, ok := s.src.Next()
+	if !ok {
+		return Job{}, false
+	}
+	if s.amp == 0 {
+		return j, true
+	}
+	t := s.warp(j.Arrival)
+	if t < s.last {
+		t = s.last
+	}
+	s.last = t
+	j.Arrival = t
 	return j, true
 }
 

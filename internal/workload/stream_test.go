@@ -141,16 +141,91 @@ func TestShiftedAndCompressed(t *testing.T) {
 	}
 }
 
+// tickSource emits jobs at a fixed interval forever — the uniform
+// stream the diurnal tests warp.
+type tickSource struct {
+	n  int
+	dt float64
+}
+
+func (s *tickSource) Name() string { return "tick" }
+func (s *tickSource) Next() (Job, bool) {
+	s.n++
+	return Job{ID: s.n, Arrival: float64(s.n-1) * s.dt, W: 1, L: 1, H: 1, Compute: 1}, true
+}
+
+// TestDiurnalModulation checks the day/night warp's contract on a
+// uniform stream: arrivals never run backwards, whole periods are
+// fixed points of the warp (the mean rate over a cycle is unchanged),
+// the rising half of each cycle receives more arrivals than the
+// falling half, everything but the arrival time is untouched, and
+// amplitude 0 is the identity.
+func TestDiurnalModulation(t *testing.T) {
+	const (
+		period = 100.0
+		amp    = 0.8
+		cycles = 20
+	)
+	src := NewDiurnal(&tickSource{dt: 0.25}, period, amp)
+	day, night := 0, 0
+	last := -1.0
+	for {
+		j, ok := src.Next()
+		if !ok {
+			t.Fatal("tick stream ended")
+		}
+		if j.Arrival >= cycles*period {
+			break
+		}
+		if j.Arrival < last {
+			t.Fatalf("arrival went backwards: %v after %v", j.Arrival, last)
+		}
+		last = j.Arrival
+		if w := j.Arrival / period; w-float64(int(w)) < 0.5 {
+			day++
+		} else {
+			night++
+		}
+		if j.W != 1 || j.L != 1 || j.H != 1 || j.Compute != 1 {
+			t.Fatalf("job perturbed beyond arrival: %+v", j)
+		}
+	}
+	// λ(t) = 1 + a·sin integrates to (1 + 2a/π)/cycle over the rising
+	// half: at a = 0.8 the day half holds ~75% of arrivals.
+	wantDay := (1 + 2*amp/math.Pi) / 2
+	if frac := float64(day) / float64(day+night); math.Abs(frac-wantDay) > 0.02 {
+		t.Fatalf("day-half fraction %v, want ~%v (day %d, night %d)", frac, wantDay, day, night)
+	}
+	// Whole periods are fixed points: Λ(kP) = kP exactly.
+	warped := NewDiurnal(&tickSource{dt: period}, period, amp)
+	for i := 0; i < 10; i++ {
+		j, _ := warped.Next()
+		if want := float64(i) * period; math.Abs(j.Arrival-want) > 1e-6*(1+want) {
+			t.Fatalf("period boundary %d warped to %v, want %v", i, j.Arrival, want)
+		}
+	}
+	ident := NewDiurnal(&tickSource{dt: 3.5}, period, 0)
+	for i := 0; i < 50; i++ {
+		j, _ := ident.Next()
+		if want := float64(i) * 3.5; j.Arrival != want {
+			t.Fatalf("amplitude-0 wrapper moved arrival %d: %v != %v", i, j.Arrival, want)
+		}
+	}
+}
+
 // TestWrapperPanics checks the wrappers reject nonsense parameters at
 // construction, matching their slice-helper counterparts.
 func TestWrapperPanics(t *testing.T) {
 	src := NewParagonSource(DefaultParagon(), 1)
 	for name, fn := range map[string]func(){
-		"scale zero":     func() { NewScaled(src, 0) },
-		"scale negative": func() { NewScaled(src, -1) },
-		"shift negative": func() { NewShifted(src, -1) },
-		"compress zero":  func() { NewCompressed(src, 0) },
-		"deepen zero":    func() { NewDeepened(src, 8, 8, 0, stats.NewStream(1)) },
+		"scale zero":       func() { NewScaled(src, 0) },
+		"scale negative":   func() { NewScaled(src, -1) },
+		"shift negative":   func() { NewShifted(src, -1) },
+		"compress zero":    func() { NewCompressed(src, 0) },
+		"deepen zero":      func() { NewDeepened(src, 8, 8, 0, stats.NewStream(1)) },
+		"diurnal period":   func() { NewDiurnal(src, 0, 0.5) },
+		"diurnal amp low":  func() { NewDiurnal(src, 10, -0.1) },
+		"diurnal amp high": func() { NewDiurnal(src, 10, 1) },
 	} {
 		func() {
 			defer func() {
@@ -199,6 +274,7 @@ func TestSourcesDrawLazily(t *testing.T) {
 		"deepened": NewDeepened(NewParagonSource(spec, 4),
 			16, 22, 4, stats.NewStream(5)),
 		"compressed": NewCompressed(NewShifted(NewScaled(NewParagonSource(spec, 6), 2), 10), 3),
+		"diurnal":    NewDiurnal(NewParagonSource(spec, 7), 5000, 0.6),
 	}
 	for name, src := range cases {
 		src.Next() // warm

@@ -23,6 +23,11 @@
 //     (fits_at), free-run extraction (free_runs), the histogram sweep
 //     over row words (sweep) and the projected-plane 3D sweep (proj3d);
 //     all must stay allocation-free once warm;
+//   - mutate/*: the pure mutation path in isolation — warm
+//     AllocateSub/ReleaseSub round-trips over a fixed tiling (no
+//     searches in the loop) on 256x256, 1024x1024 and 64x64x16 meshes,
+//     plus a pinned-cell variant; all must stay allocation-free once
+//     warm;
 //   - alloc/*: full simulation runs (arrival → schedule → allocate →
 //     release) on 64x64 and 256x256 meshes, both topologies, plus the
 //     32x32x8 3D mesh, under the allocation-stress workload with zero
@@ -112,6 +117,7 @@ func main() {
 	snap.Cases = append(snap.Cases, faultCases(*short)...)
 	snap.Cases = append(snap.Cases, netfaultCases(*short)...)
 	snap.Cases = append(snap.Cases, bitboardCases(*short)...)
+	snap.Cases = append(snap.Cases, mutateCases(*short)...)
 	snap.Cases = append(snap.Cases, allocCases(*short)...)
 	snap.Cases = append(snap.Cases, largeCases(*short)...)
 	snap.Cases = append(snap.Cases, streamCases(*short)...)
@@ -141,7 +147,8 @@ func main() {
 		for _, c := range snap.Cases {
 			if (strings.HasPrefix(c.Name, "des/") || strings.HasPrefix(c.Name, "search/") ||
 				strings.HasPrefix(c.Name, "bitboard/") || strings.HasPrefix(c.Name, "fault/") ||
-				strings.HasPrefix(c.Name, "netfault/") || strings.HasPrefix(c.Name, "stream/source/")) &&
+				strings.HasPrefix(c.Name, "netfault/") || strings.HasPrefix(c.Name, "mutate/") ||
+				strings.HasPrefix(c.Name, "stream/source/")) &&
 				c.AllocsPerOp != 0 {
 				fmt.Fprintf(os.Stderr, "bench: ALLOC REGRESSION: %s reports %d allocs/op, want 0\n",
 					c.Name, c.AllocsPerOp)
@@ -151,7 +158,7 @@ func main() {
 		if bad {
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "bench: alloc gate passed (des/*, search/*, fault/*, netfault/*, bitboard/* and stream/source/* at 0 allocs/op)")
+		fmt.Fprintln(os.Stderr, "bench: alloc gate passed (des/*, search/*, fault/*, netfault/*, bitboard/*, mutate/* and stream/source/* at 0 allocs/op)")
 	}
 }
 
@@ -428,6 +435,70 @@ func bitboardCases(short bool) []Case {
 		}))
 	}
 	return out
+}
+
+// mutateCases measures the pure mutation path — what Allocate/Release
+// cost with no search in the loop. The mesh is tiled half-density with
+// fixed blocks, all pre-allocated; one op is one ReleaseSub+AllocateSub
+// round-trip on the next block in the tiling, so every op flips the
+// same number of cells and the occupancy the index maintains is
+// identical at the start of every op. The pinned variant scatters
+// failed cells over the free half first, so the flips run with the
+// pinned-cell overlay active. All cases must stay allocation-free.
+func mutateCases(short bool) []Case {
+	churn := func(name string, m *mesh.Mesh, bw, bl, bh, pins int) Case {
+		var boxes []mesh.Submesh
+		for z := 0; z+bh <= m.H(); z += 2 * bh {
+			for y := 0; y+bl <= m.L(); y += 2 * bl {
+				for x := 0; x+bw <= m.W(); x += 2 * bw {
+					boxes = append(boxes, mesh.Submesh{
+						X1: x, Y1: y, Z1: z,
+						X2: x + bw - 1, Y2: y + bl - 1, Z2: z + bh - 1,
+					})
+				}
+			}
+		}
+		for _, s := range boxes {
+			if err := m.AllocateSub(s); err != nil {
+				panic(err)
+			}
+		}
+		if pins > 0 {
+			pinScatter(m, pins)
+		}
+		// Warm: one full round-trip per block position.
+		for _, s := range boxes {
+			if err := m.ReleaseSub(s); err != nil {
+				panic(err)
+			}
+			if err := m.AllocateSub(s); err != nil {
+				panic(err)
+			}
+		}
+		return record(name, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := boxes[i%len(boxes)]
+				if err := m.ReleaseSub(s); err != nil {
+					b.Fatal(err)
+				}
+				if err := m.AllocateSub(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	cases := []Case{
+		churn("mutate/sub_churn/256x256", mesh.New(256, 256), 8, 8, 1, 0),
+	}
+	if !short {
+		cases = append(cases,
+			churn("mutate/sub_churn/1024x1024", mesh.New(1024, 1024), 8, 8, 1, 0),
+			churn("mutate/sub_churn/64x64x16", mesh.New3D(64, 64, 16), 8, 8, 4, 0),
+			churn("mutate/sub_churn/1024x1024/pinned", mesh.New(1024, 1024), 8, 8, 1, 1024),
+		)
+	}
+	return cases
 }
 
 // largeCases measures the sharded-search executor end to end: the
